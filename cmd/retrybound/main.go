@@ -1,0 +1,136 @@
+// Command retrybound evaluates the paper's analytic results for a task
+// set described on the command line: the Theorem 2 retry bound, the
+// Theorem 3 sojourn-time thresholds, and the worst-case sojourn times
+// under both synchronization disciplines.
+//
+// Each -task flag adds one task as "a,W,C,u,m" (max arrivals per window,
+// window µs, critical time µs, compute µs, object accesses):
+//
+//	retrybound -r 150 -s 5 \
+//	  -task 1,2000,1000,300,4 \
+//	  -task 2,500,400,100,2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/rtime"
+	"repro/internal/task"
+	"repro/internal/tuf"
+	"repro/internal/uam"
+)
+
+type taskFlags []string
+
+func (t *taskFlags) String() string     { return strings.Join(*t, " ") }
+func (t *taskFlags) Set(v string) error { *t = append(*t, v); return nil }
+
+func parseTask(id int, s string) (*task.Task, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 5 {
+		return nil, fmt.Errorf("task %q: want a,W,C,u,m", s)
+	}
+	nums := make([]int64, 5)
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("task %q field %d: %v", s, i, err)
+		}
+		nums[i] = v
+	}
+	a, w, c, u, m := int(nums[0]), rtime.Duration(nums[1]), rtime.Duration(nums[2]), rtime.Duration(nums[3]), int(nums[4])
+	f, err := tuf.NewStep(1, c)
+	if err != nil {
+		return nil, err
+	}
+	objs := make([]int, m)
+	for i := range objs {
+		objs[i] = i
+	}
+	tk := &task.Task{
+		ID:       id,
+		Name:     fmt.Sprintf("T%d", id),
+		TUF:      f,
+		Arrival:  uam.Spec{L: 0, A: a, W: w},
+		Segments: task.InterleavedSegments(u, m, objs),
+	}
+	return tk, tk.Validate()
+}
+
+func main() {
+	var specs taskFlags
+	r := flag.Int64("r", 150, "lock-based access time r (µs)")
+	s := flag.Int64("s", 5, "lock-free access time s (µs)")
+	flag.Var(&specs, "task", `task spec "a,W,C,u,m" (repeatable)`)
+	flag.Parse()
+	if len(specs) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	tasks := make([]*task.Task, len(specs))
+	for i, spec := range specs {
+		tk, err := parseTask(i, spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "retrybound: %v\n", err)
+			os.Exit(2)
+		}
+		tasks[i] = tk
+	}
+	fmt.Printf("%-5s %-14s %-8s %-10s %-12s %-12s %-14s %-14s %s\n",
+		"task", "uam", "C_us", "f_i_bound", "thresh_2/3", "exact_thr", "sojourn_lb", "sojourn_lf", "lock-free wins (worst case)")
+	for i, tk := range tasks {
+		bound, err := analysis.RetryBound(i, tasks)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "retrybound: %v\n", err)
+			os.Exit(1)
+		}
+		in, err := analysis.InputsFor(i, tasks, rtime.Duration(*r), rtime.Duration(*s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "retrybound: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-5s %-14s %-8d %-10d %-12.4f %-12.4f %-14v %-14v %v\n",
+			tk.Name, tk.Arrival.String(), tk.CriticalTime().Micros(), bound,
+			in.Theorem3Threshold(), in.ExactThreshold(),
+			in.LockBasedSojourn(), in.LockFreeSojourn(),
+			in.LockFreeSojourn() < in.LockBasedSojourn())
+	}
+	fmt.Printf("\ns/r = %.4f (Theorem 3: lock-free is guaranteed shorter when s/r is below the exact threshold)\n",
+		float64(*s)/float64(*r))
+
+	// Demand-bound schedulability (sound sufficient test) under both
+	// access-cost assumptions.
+	var maxC rtime.Duration
+	for _, tk := range tasks {
+		if c := tk.CriticalTime(); c > maxC {
+			maxC = c
+		}
+	}
+	cap := 50 * maxC
+	okLF, failLF, err := analysis.Schedulable(tasks, rtime.Duration(*s), cap)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "retrybound: %v\n", err)
+		os.Exit(1)
+	}
+	okLB, failLB, err := analysis.Schedulable(tasks, rtime.Duration(*r), cap)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "retrybound: %v\n", err)
+		os.Exit(1)
+	}
+	report := func(tag string, ok bool, at rtime.Duration) {
+		if ok {
+			fmt.Printf("demand-bound test (%s access costs): schedulable ✓\n", tag)
+		} else if at > 0 {
+			fmt.Printf("demand-bound test (%s access costs): NOT guaranteed (demand exceeds interval at L=%v)\n", tag, at)
+		} else {
+			fmt.Printf("demand-bound test (%s access costs): NOT guaranteed (long-run rate > 1)\n", tag)
+		}
+	}
+	report("lock-free s", okLF, failLF)
+	report("lock-based r", okLB, failLB)
+}

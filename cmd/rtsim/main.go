@@ -1,0 +1,83 @@
+// Command rtsim regenerates the paper's tables and figures. Each
+// experiment id corresponds to one figure/theorem of the evaluation (see
+// DESIGN.md's per-experiment index):
+//
+//	rtsim -list
+//	rtsim fig9
+//	rtsim -profile quick fig8 fig12
+//	rtsim all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	profile := flag.String("profile", "full", "experiment profile: full or quick")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	format := flag.String("format", "text", "output format: text or csv")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rtsim [-profile full|quick] <experiment>... | all\n\nexperiments:\n")
+		for _, n := range experiment.Names() {
+			fmt.Fprintf(os.Stderr, "  %s\n", n)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiment.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	var p experiment.Profile
+	switch *profile {
+	case "full":
+		p = experiment.Full
+	case "quick":
+		p = experiment.Quick
+	default:
+		fmt.Fprintf(os.Stderr, "rtsim: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ids := args
+	if len(args) == 1 && args[0] == "all" {
+		ids = experiment.Names()
+	}
+
+	exitCode := 0
+	for _, id := range ids {
+		run, ok := experiment.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rtsim: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tables, err := run(p)
+		for _, t := range tables {
+			if *format == "csv" {
+				fmt.Println(t.RenderCSV())
+			} else {
+				fmt.Println(t.Render())
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtsim: %s: %v\n", id, err)
+			exitCode = 1
+			continue
+		}
+		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	os.Exit(exitCode)
+}

@@ -1,0 +1,77 @@
+// Quickstart: define three tasks with time/utility functions, run them
+// under lock-free RUA and under lock-based RUA on the simulated RTOS, and
+// compare accrued utility — the paper's headline comparison in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/rtime"
+	"repro/internal/uam"
+)
+
+func build() *core.System {
+	b := core.NewSystem().
+		// Access-cost calibration from the paper's Fig 8: lock-based
+		// object accesses (r) cost ~150 µs on its testbed, lock-free
+		// accesses (s) ~5 µs.
+		AccessCosts(150*rtime.Microsecond, 5*rtime.Microsecond).
+		Seed(2026)
+
+	// A sensor task: frequent, moderately important, step deadline.
+	b.AddTask(core.TaskSpec{
+		Name:     "sensor",
+		TUF:      core.TUFSpec{Shape: "step", Utility: 10, CriticalTime: 2 * rtime.Millisecond},
+		Arrival:  uam.Spec{L: 0, A: 2, W: 4 * rtime.Millisecond},
+		Exec:     300 * rtime.Microsecond,
+		Accesses: 3,
+		Objects:  []int{0, 1},
+	})
+	// A control task: utility decays linearly — acting late is worth less.
+	b.AddTask(core.TaskSpec{
+		Name:     "control",
+		TUF:      core.TUFSpec{Shape: "linear", Utility: 40, CriticalTime: 5 * rtime.Millisecond},
+		Arrival:  uam.Spec{L: 0, A: 1, W: 10 * rtime.Millisecond},
+		Exec:     800 * rtime.Microsecond,
+		Accesses: 2,
+		Objects:  []int{0},
+	})
+	// A telemetry task: parabolic utility, least urgent.
+	b.AddTask(core.TaskSpec{
+		Name:     "telemetry",
+		TUF:      core.TUFSpec{Shape: "parabolic", Utility: 25, CriticalTime: 8 * rtime.Millisecond},
+		Arrival:  uam.Spec{L: 0, A: 1, W: 16 * rtime.Millisecond},
+		Exec:     1200 * rtime.Microsecond,
+		Accesses: 4,
+		Objects:  []int{1},
+	})
+	return b
+}
+
+func main() {
+	const horizon = 2 * rtime.Second
+
+	lf, err := build().LockFree().Run(horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lb, err := build().LockBased().Run(horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Lock-free RUA :", lf.Summary())
+	fmt.Println("Lock-based RUA:", lb.Summary())
+	fmt.Println()
+	fmt.Println("Theorem 2 retry bounds per task (lock-free):")
+	for i, bound := range lf.RetryBounds {
+		fmt.Printf("  task %d: f_i ≤ %d (measured total retries across all jobs: see summary)\n", i, bound)
+	}
+	if lf.Stats.AUR >= lb.Stats.AUR {
+		fmt.Println("\nlock-free accrued at least as much utility — as Theorem 3 predicts for s/r ≪ 2/3")
+	} else {
+		fmt.Println("\nunexpected: lock-based won; try raising contention or load")
+	}
+}

@@ -1,0 +1,90 @@
+// Retrybound sweeps the s/r access-cost ratio across the Theorem 3
+// crossover and shows both sides of the paper's tradeoff on one task set:
+// analytic worst-case sojourn times (lock-based vs lock-free) and the
+// simulated accrued-utility consequences. For this workload m_i ≪ n_i,
+// so the exact per-task threshold (m+min(m,n))/(m+3a+2x) sits well below
+// the paper's 2/3 headline figure (which is the threshold at the extreme
+// m_i = n_i = 2a_i + x_i); the sweep prints where the worst-case
+// crossover actually lands and how mildly the average-case simulation
+// reacts (worst-case bounds are pessimistic by design).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/rtime"
+	"repro/internal/uam"
+)
+
+func build(r, s rtime.Duration) *core.System {
+	b := core.NewSystem().AccessCosts(r, s).Seed(11)
+	for i := 0; i < 6; i++ {
+		b.AddTask(core.TaskSpec{
+			Name:     fmt.Sprintf("worker-%d", i),
+			TUF:      core.TUFSpec{Shape: "step", Utility: float64(10 * (i + 1)), CriticalTime: rtime.Duration(4+i) * rtime.Millisecond},
+			Arrival:  uam.Spec{L: 0, A: 2, W: rtime.Duration(2*(4+i)) * rtime.Millisecond},
+			Exec:     600 * rtime.Microsecond,
+			Accesses: 6,
+			Objects:  []int{0, 1, 2},
+		})
+	}
+	return b
+}
+
+func main() {
+	const (
+		r       = 100 * rtime.Microsecond
+		horizon = 2 * rtime.Second
+	)
+
+	fmt.Println("Theorem 3 crossover sweep (r fixed at 100µs)")
+	fmt.Printf("%-6s %-22s %-16s %-16s %-12s %-12s\n",
+		"s/r", "analytic LF wins", "worst sojourn LB", "worst sojourn LF", "sim AUR LB", "sim AUR LF")
+
+	for _, ratio := range []float64{0.1, 0.3, 0.5, 0.67, 0.8, 1.0, 1.25} {
+		s := rtime.Duration(float64(r) * ratio)
+		if s < 1 {
+			s = 1
+		}
+		sys := build(r, s)
+		tasks := sys.Tasks()
+
+		wins := 0
+		var worstLB, worstLF rtime.Duration
+		for i := range tasks {
+			in, err := analysis.InputsFor(i, tasks, r, s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if in.ExactConditionHolds() {
+				wins++
+			}
+			if lb := in.LockBasedSojourn(); lb > worstLB {
+				worstLB = lb
+			}
+			if lf := in.LockFreeSojourn(); lf > worstLF {
+				worstLF = lf
+			}
+		}
+
+		repLF, err := build(r, s).LockFree().Run(horizon)
+		if err != nil {
+			log.Fatal(err)
+		}
+		repLB, err := build(r, s).LockBased().Run(horizon)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6.2f %-22s %-16v %-16v %-12.3f %-12.3f\n",
+			ratio, fmt.Sprintf("%d/%d tasks", wins, len(tasks)),
+			worstLB, worstLF, repLB.Stats.AUR, repLF.Stats.AUR)
+	}
+	fmt.Println()
+	fmt.Println("Below each task's exact threshold lock-free wins the worst-case sojourn")
+	fmt.Println("comparison; past it, lock-based does (Theorem 3). The simulated AURs react")
+	fmt.Println("far more mildly because average-case retries are rare — worst-case bounds")
+	fmt.Println("assume the UAM adversary fires on every access.")
+}

@@ -1,0 +1,105 @@
+// Tracker models the adaptive airborne tracking scenario that motivates
+// the paper (§1, Fig 1): sensor plots arrive in bursts, must be
+// correlated against tracks, and the utility of acting decays with time
+// in shape-specific ways — track association loses value linearly as the
+// aircraft moves, plot correlation has a step cutoff, and intercept
+// guidance decays parabolically. Under a pop-up burst (the UAM adversary)
+// the system overloads, and the run shows utility-accrual scheduling
+// shedding the right work: lock-free RUA keeps the important activities'
+// utility while lock-based RUA loses much of it to blocking on the shared
+// track store.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rtime"
+	"repro/internal/uam"
+)
+
+const (
+	trackStore  = 0 // shared track database (queue of track records)
+	sensorQueue = 1 // shared raw-plot queue
+)
+
+func build() *core.System {
+	b := core.NewSystem().
+		AccessCosts(150*rtime.Microsecond, 5*rtime.Microsecond).
+		Seed(7)
+
+	// Plot correlation: hard step — a plot uncorrelated within its radar
+	// revisit interval is useless. Bursty: up to 4 plots per 8 ms window.
+	b.AddTask(core.TaskSpec{
+		Name:     "plot-correlation",
+		TUF:      core.TUFSpec{Shape: "step", Utility: 30, CriticalTime: 4 * rtime.Millisecond},
+		Arrival:  uam.Spec{L: 0, A: 4, W: 8 * rtime.Millisecond},
+		Exec:     900 * rtime.Microsecond,
+		Accesses: 4,
+		Objects:  []int{sensorQueue, trackStore},
+	})
+	// Track association: value decays linearly as the target moves.
+	b.AddTask(core.TaskSpec{
+		Name:     "track-association",
+		TUF:      core.TUFSpec{Shape: "linear", Utility: 60, CriticalTime: 10 * rtime.Millisecond},
+		Arrival:  uam.Spec{L: 1, A: 2, W: 12 * rtime.Millisecond},
+		Exec:     1500 * rtime.Microsecond,
+		Accesses: 3,
+		Objects:  []int{trackStore},
+	})
+	// Intercept guidance: most important; parabolic decay (early action
+	// is nearly as good as immediate, late action is nearly worthless).
+	b.AddTask(core.TaskSpec{
+		Name:     "intercept",
+		TUF:      core.TUFSpec{Shape: "parabolic", Utility: 200, CriticalTime: 15 * rtime.Millisecond},
+		Arrival:  uam.Spec{L: 0, A: 1, W: 20 * rtime.Millisecond},
+		Exec:     2500 * rtime.Microsecond,
+		Accesses: 2,
+		Objects:  []int{trackStore},
+	})
+	// Display update: least important, cheap, frequent.
+	b.AddTask(core.TaskSpec{
+		Name:     "display",
+		TUF:      core.TUFSpec{Shape: "step", Utility: 5, CriticalTime: 6 * rtime.Millisecond},
+		Arrival:  uam.Spec{L: 0, A: 2, W: 6 * rtime.Millisecond},
+		Exec:     1200 * rtime.Microsecond,
+		Accesses: 2,
+		Objects:  []int{trackStore, sensorQueue},
+	})
+	return b
+}
+
+func main() {
+	const horizon = 3 * rtime.Second
+
+	lf, err := build().LockFree().Arrivals(uam.KindBursty).Run(horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lb, err := build().LockBased().Arrivals(uam.KindBursty).Run(horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Airborne tracker under pop-up burst load (bursty UAM arrivals)")
+	fmt.Println()
+	fmt.Println("  lock-free RUA :", lf.Summary())
+	fmt.Println("  lock-based RUA:", lb.Summary())
+	fmt.Println()
+
+	// Per-task breakdown: which activities kept their utility?
+	plf := metrics.PerTask(lf.Result)
+	plb := metrics.PerTask(lb.Result)
+	fmt.Printf("  %-18s %12s %12s\n", "activity", "AUR lockfree", "AUR lockbased")
+	for i := range plf {
+		fmt.Printf("  %-18s %12.3f %12.3f\n", plf[i].Name, plf[i].AUR, plb[i].AUR)
+	}
+	fmt.Println()
+	fmt.Println("Under sustained burst overload RUA greedily favors the densest utility")
+	fmt.Println("(the plot-correlation bursts); decaying TUFs that wait lose PUD and get")
+	fmt.Println("shed. The lock-free system accrues far more total utility because the")
+	fmt.Println("shared track store never serializes the burst — the paper's Fig 12/13")
+	fmt.Println("effect on a concrete scenario.")
+}

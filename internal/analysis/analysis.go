@@ -1,0 +1,396 @@
+// Package analysis implements the paper's analytical results in closed
+// form: the Theorem 2 retry bound under UAM, the Theorem 3 lock-free vs.
+// lock-based sojourn-time conditions, and the Lemma 4/5 AUR bounds. The
+// experiment harness checks simulated runs against these formulas, and
+// cmd/retrybound exposes them as a calculator.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rtime"
+	"repro/internal/task"
+	"repro/internal/tuf"
+)
+
+// ErrInput reports an input outside a formula's domain.
+var ErrInput = errors.New("analysis: invalid input")
+
+// MaxReleases returns the maximum number of releases of a task with UAM
+// parameters ⟨·, a, W⟩ inside any interval of length d:
+// a·(⌈d/W⌉ + 1). This is the Case-1 counting step of Theorem 2's proof.
+func MaxReleases(a int, w, d rtime.Duration) int64 {
+	if a < 1 || w <= 0 {
+		panic("analysis: MaxReleases needs a ≥ 1, w > 0")
+	}
+	if d < 0 {
+		return 0
+	}
+	return int64(a) * (rtime.CeilDiv(d, w) + 1)
+}
+
+// MaxEvents bounds the scheduling events a job J_i of tasks[i] can
+// witness during [t0, t0+C_i] under lock-free RUA (Lemma 1 + Theorem 2's
+// two cases): 3·a_i from its own task plus 2·a_j·(⌈C_i/W_j⌉+1) from every
+// other task. Under lock-free synchronization the only scheduling events
+// are job arrivals and departures, so each released job contributes at
+// most two.
+func MaxEvents(i int, tasks []*task.Task) (int64, error) {
+	if i < 0 || i >= len(tasks) {
+		return 0, fmt.Errorf("%w: task index %d out of range", ErrInput, i)
+	}
+	ti := tasks[i]
+	ci := ti.CriticalTime()
+	total := int64(3 * ti.Arrival.A)
+	for j, tj := range tasks {
+		if j == i {
+			continue
+		}
+		total += 2 * MaxReleases(tj.Arrival.A, tj.Arrival.W, ci)
+	}
+	return total, nil
+}
+
+// RetryBound evaluates Theorem 2: the upper bound f_i on the total number
+// of lock-free retries of a job of tasks[i] scheduled by RUA under UAM:
+//
+//	f_i ≤ 3·a_i + Σ_{j≠i} 2·a_j·(⌈C_i/W_j⌉ + 1)
+//
+// Note that the bound is independent of how many lock-free objects the
+// job accesses: no matter how many objects it touches, retries cannot
+// exceed scheduling events.
+func RetryBound(i int, tasks []*task.Task) (int64, error) {
+	return MaxEvents(i, tasks)
+}
+
+// InterferenceTerm returns x_i = Σ_{j≠i} a_j·(⌈C_i/W_j⌉ + 1), the
+// cross-task release count that appears in Theorem 3.
+func InterferenceTerm(i int, tasks []*task.Task) (int64, error) {
+	if i < 0 || i >= len(tasks) {
+		return 0, fmt.Errorf("%w: task index %d out of range", ErrInput, i)
+	}
+	ci := tasks[i].CriticalTime()
+	var x int64
+	for j, tj := range tasks {
+		if j == i {
+			continue
+		}
+		x += MaxReleases(tj.Arrival.A, tj.Arrival.W, ci)
+	}
+	return x, nil
+}
+
+// MaxConcurrentJobs bounds n_i, the number of jobs that could block J_i:
+// all jobs that may exist while J_i does, n_i ≤ 2·a_i + x_i (the bound
+// used inside Theorem 3's proof).
+func MaxConcurrentJobs(i int, tasks []*task.Task) (int64, error) {
+	x, err := InterferenceTerm(i, tasks)
+	if err != nil {
+		return 0, err
+	}
+	return int64(2*tasks[i].Arrival.A) + x, nil
+}
+
+// SojournInputs collects the per-job quantities Theorem 3 and the sojourn
+// compositions work with.
+type SojournInputs struct {
+	U rtime.Duration // u_i: compute time outside object accesses
+	M int64          // m_i: number of object accesses per job
+	N int64          // n_i: number of jobs that could block J_i
+	A int64          // a_i: UAM max arrivals of the job's own task
+	X int64          // x_i: InterferenceTerm
+	I rtime.Duration // I_i: worst-case interference time
+	R rtime.Duration // r:  lock-based access time
+	S rtime.Duration // s:  lock-free access time
+}
+
+// InputsFor assembles SojournInputs for tasks[i], leaving the
+// interference time I zero (callers with a response-time analysis can
+// fill it in; the Theorem 3 comparison cancels it out anyway).
+func InputsFor(i int, tasks []*task.Task, r, s rtime.Duration) (SojournInputs, error) {
+	if i < 0 || i >= len(tasks) {
+		return SojournInputs{}, fmt.Errorf("%w: task index %d out of range", ErrInput, i)
+	}
+	if r <= 0 || s <= 0 {
+		return SojournInputs{}, fmt.Errorf("%w: access times r=%v s=%v must be positive", ErrInput, r, s)
+	}
+	x, err := InterferenceTerm(i, tasks)
+	if err != nil {
+		return SojournInputs{}, err
+	}
+	n, err := MaxConcurrentJobs(i, tasks)
+	if err != nil {
+		return SojournInputs{}, err
+	}
+	t := tasks[i]
+	return SojournInputs{
+		U: t.ComputeTime(),
+		M: int64(t.NumAccesses()),
+		N: n,
+		A: int64(t.Arrival.A),
+		X: x,
+		R: r,
+		S: s,
+	}, nil
+}
+
+// WorstBlocking returns B_i = r·min(m_i, n_i): under RUA a job can be
+// blocked at most min(m_i, n_i) times, each for at most one lock-based
+// access length (paper §5, citing [27]).
+func (in SojournInputs) WorstBlocking() rtime.Duration {
+	k := in.M
+	if in.N < k {
+		k = in.N
+	}
+	return rtime.Duration(k) * in.R
+}
+
+// RetryBoundCount returns f_i = 3·a_i + 2·x_i, Theorem 2 restated with
+// the x_i shorthand.
+func (in SojournInputs) RetryBoundCount() int64 { return 3*in.A + 2*in.X }
+
+// WorstRetryTime returns R_i = s·f_i.
+func (in SojournInputs) WorstRetryTime() rtime.Duration {
+	return rtime.Duration(in.RetryBoundCount()) * in.S
+}
+
+// LockBasedSojourn returns the worst-case sojourn time under lock-based
+// sharing: u_i + I_i + r·m_i + B_i.
+func (in SojournInputs) LockBasedSojourn() rtime.Duration {
+	return in.U + in.I + rtime.Duration(in.M)*in.R + in.WorstBlocking()
+}
+
+// LockFreeSojourn returns the worst-case sojourn time under lock-free
+// sharing: u_i + I_i + s·m_i + R_i.
+func (in SojournInputs) LockFreeSojourn() rtime.Duration {
+	return in.U + in.I + rtime.Duration(in.M)*in.S + in.WorstRetryTime()
+}
+
+// Theorem3Holds evaluates Theorem 3's stated condition on s/r:
+//
+//	s/r < 2/3                                  when m_i ≤ n_i
+//	s/r < (m_i + n_i)/(m_i + 3·a_i + 2·x_i)    when m_i > n_i
+//
+// Note a subtlety in the paper's Case 1: the 2/3 figure comes from
+// evaluating the exact condition at the extreme m_i = n_i = 2a_i + x_i
+// (the derivation bounds r/s > 1/2 + (3a_i+2x_i)/(2m_i) and then
+// substitutes m_i's maximum). For smaller m_i the exact requirement is
+// stricter; use ExactThreshold for the per-task algebraic condition.
+func (in SojournInputs) Theorem3Holds() bool {
+	ratio := float64(in.S) / float64(in.R)
+	return ratio < in.Theorem3Threshold()
+}
+
+// Theorem3Threshold returns the s/r threshold exactly as stated in the
+// paper's Theorem 3.
+func (in SojournInputs) Theorem3Threshold() float64 {
+	if in.M <= in.N {
+		return 2.0 / 3.0
+	}
+	return float64(in.M+in.N) / float64(in.M+3*in.A+2*in.X)
+}
+
+// ExactThreshold returns the exact s/r threshold below which the
+// worst-case lock-free sojourn beats lock-based, from the X > Y algebra
+// underlying Theorem 3's proof:
+//
+//	X = r·(m_i + min(m_i, n_i)),  Y = s·(m_i + 3a_i + 2x_i)
+//	X > Y  ⟺  s/r < (m_i + min(m_i, n_i)) / (m_i + 3a_i + 2x_i)
+func (in SojournInputs) ExactThreshold() float64 {
+	k := in.M
+	if in.N < k {
+		k = in.N
+	}
+	return float64(in.M+k) / float64(in.M+3*in.A+2*in.X)
+}
+
+// ExactConditionHolds reports whether s/r is below ExactThreshold, which
+// guarantees LockFreeSojourn() < LockBasedSojourn() for any I_i (the
+// interference term appears on both sides and cancels).
+func (in SojournInputs) ExactConditionHolds() bool {
+	return float64(in.S)/float64(in.R) < in.ExactThreshold()
+}
+
+// SojournAdvantage returns lock-based minus lock-free worst-case sojourn
+// (positive means lock-free wins).
+func (in SojournInputs) SojournAdvantage() rtime.Duration {
+	return in.LockBasedSojourn() - in.LockFreeSojourn()
+}
+
+// AURBounds is the [lower, upper] interval of Lemmas 4 and 5.
+type AURBounds struct {
+	Lower float64
+	Upper float64
+}
+
+// aur computes Σ (k_i/W_i)·U_i(s_i) / Σ (k_i/W_i)·U_i(0) with k chosen
+// per bound.
+func aurSide(tasks []*task.Task, sojourn func(*task.Task) rtime.Duration, useA bool) (float64, error) {
+	var num, den float64
+	for _, t := range tasks {
+		k := float64(t.Arrival.L)
+		if useA {
+			k = float64(t.Arrival.A)
+		}
+		w := float64(t.Arrival.W)
+		num += k / w * t.TUF.Utility(sojourn(t))
+		den += k / w * t.TUF.Utility(0)
+	}
+	if den == 0 {
+		if !useA {
+			// All l_i are zero: no arrivals are guaranteed, so the lower
+			// bound is trivially zero.
+			return 0, nil
+		}
+		return 0, fmt.Errorf("%w: zero denominator (all rates or utilities zero)", ErrInput)
+	}
+	return num / den, nil
+}
+
+// LockFreeAUR evaluates Lemma 4: the AUR of lock-free sharing under RUA
+// converges into (lower, upper) where the lower bound uses the longest
+// sojourn u_i + s·m_i + I_i + R_i at the minimum arrival rate l_i/W_i,
+// and the upper bound uses the shortest sojourn u_i + s·m_i at the
+// maximum rate a_i/W_i. Requires all TUFs non-increasing and all jobs
+// feasible (the caller's obligation, as in the paper).
+func LockFreeAUR(tasks []*task.Task, s rtime.Duration, interference []rtime.Duration) (AURBounds, error) {
+	if err := checkAURInputs(tasks, s, interference); err != nil {
+		return AURBounds{}, err
+	}
+	lower, err := aurSide(tasks, func(t *task.Task) rtime.Duration {
+		in := SojournInputs{
+			U: t.ComputeTime(), M: int64(t.NumAccesses()),
+			A: int64(t.Arrival.A), S: s,
+		}
+		x, _ := InterferenceTerm(indexOf(tasks, t), tasks)
+		in.X = x
+		return t.ComputeTime() + rtime.Duration(t.NumAccesses())*s +
+			interference[indexOf(tasks, t)] + in.WorstRetryTime()
+	}, false)
+	if err != nil {
+		return AURBounds{}, err
+	}
+	upper, err := aurSide(tasks, func(t *task.Task) rtime.Duration {
+		return t.ComputeTime() + rtime.Duration(t.NumAccesses())*s
+	}, true)
+	if err != nil {
+		return AURBounds{}, err
+	}
+	return AURBounds{Lower: lower, Upper: upper}, nil
+}
+
+// LockBasedAUR evaluates Lemma 5, the lock-based twin of LockFreeAUR:
+// sojourns use r and B_i instead of s and R_i.
+func LockBasedAUR(tasks []*task.Task, r rtime.Duration, interference []rtime.Duration) (AURBounds, error) {
+	if err := checkAURInputs(tasks, r, interference); err != nil {
+		return AURBounds{}, err
+	}
+	lower, err := aurSide(tasks, func(t *task.Task) rtime.Duration {
+		i := indexOf(tasks, t)
+		n, _ := MaxConcurrentJobs(i, tasks)
+		in := SojournInputs{M: int64(t.NumAccesses()), N: n, R: r}
+		return t.ComputeTime() + rtime.Duration(t.NumAccesses())*r +
+			interference[i] + in.WorstBlocking()
+	}, false)
+	if err != nil {
+		return AURBounds{}, err
+	}
+	upper, err := aurSide(tasks, func(t *task.Task) rtime.Duration {
+		return t.ComputeTime() + rtime.Duration(t.NumAccesses())*r
+	}, true)
+	if err != nil {
+		return AURBounds{}, err
+	}
+	return AURBounds{Lower: lower, Upper: upper}, nil
+}
+
+func checkAURInputs(tasks []*task.Task, acc rtime.Duration, interference []rtime.Duration) error {
+	if len(tasks) == 0 {
+		return fmt.Errorf("%w: no tasks", ErrInput)
+	}
+	if acc <= 0 {
+		return fmt.Errorf("%w: access time %v must be positive", ErrInput, acc)
+	}
+	if len(interference) != len(tasks) {
+		return fmt.Errorf("%w: interference vector has %d entries for %d tasks", ErrInput, len(interference), len(tasks))
+	}
+	for i, t := range tasks {
+		if !tuf.NonIncreasing(t.TUF) {
+			return fmt.Errorf("%w: task %d TUF is not non-increasing (Lemmas 4/5 require it)", ErrInput, t.ID)
+		}
+		if interference[i] < 0 {
+			return fmt.Errorf("%w: negative interference for task %d", ErrInput, t.ID)
+		}
+	}
+	return nil
+}
+
+func indexOf(tasks []*task.Task, t *task.Task) int {
+	for i, x := range tasks {
+		if x == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// Interference bounds I_i, task i's worst-case interference time within
+// one critical-time window: every other task T_j can release at most
+// MaxReleases(a_j, W_j, C_i) jobs whose demand (with per-access cost acc)
+// preempts J_i. The sum is clamped to C_i — more interference than the
+// window itself cannot delay the job further for the purposes of
+// utility-at-sojourn lookups, since the TUF is zero past C_i anyway.
+func Interference(i int, tasks []*task.Task, acc rtime.Duration) (rtime.Duration, error) {
+	if i < 0 || i >= len(tasks) {
+		return 0, fmt.Errorf("%w: task index %d out of range", ErrInput, i)
+	}
+	if acc <= 0 {
+		return 0, fmt.Errorf("%w: access time %v must be positive", ErrInput, acc)
+	}
+	ci := tasks[i].CriticalTime()
+	var tot rtime.Duration
+	for j, tj := range tasks {
+		if j == i {
+			continue
+		}
+		tot += rtime.Duration(MaxReleases(tj.Arrival.A, tj.Arrival.W, ci)) * tj.Demand(acc)
+		if tot >= ci {
+			return ci, nil
+		}
+	}
+	return tot, nil
+}
+
+// InterferenceVector evaluates Interference for every task.
+func InterferenceVector(tasks []*task.Task, acc rtime.Duration) ([]rtime.Duration, error) {
+	out := make([]rtime.Duration, len(tasks))
+	for i := range tasks {
+		v, err := Interference(i, tasks, acc)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// LockBasedRUAOps predicts the dominant operation count of one lock-based
+// RUA scheduling pass over n jobs: Θ(n² log n) (paper §3.6, Step 5
+// dominates).
+func LockBasedRUAOps(n int) float64 {
+	if n < 2 {
+		return float64(n)
+	}
+	fn := float64(n)
+	return fn * fn * math.Log2(fn)
+}
+
+// LockFreeRUAOps predicts the dominant operation count of one lock-free
+// RUA scheduling pass over n jobs: Θ(n²) (paper §5: steps 1 and 3 vanish,
+// step 2 drops to O(n), step 5 drops to O(n²)).
+func LockFreeRUAOps(n int) float64 {
+	fn := float64(n)
+	return fn * fn
+}

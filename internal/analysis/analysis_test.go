@@ -1,0 +1,433 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rtime"
+	"repro/internal/task"
+	"repro/internal/tuf"
+	"repro/internal/uam"
+)
+
+// mkTask builds a task with UAM ⟨1, a, w⟩, critical time c, compute u,
+// and m accesses.
+func mkTask(id, a int, w, c, u rtime.Duration, m int) *task.Task {
+	return &task.Task{
+		ID:       id,
+		TUF:      tuf.MustStep(10, c),
+		Arrival:  uam.Spec{L: 1, A: a, W: w},
+		Segments: task.InterleavedSegments(u, m, []int{0, 1}),
+	}
+}
+
+func TestMaxReleases(t *testing.T) {
+	// a=2, W=100: in d=250, ⌈250/100⌉+1 = 4 windows' worth → 8.
+	if got := MaxReleases(2, 100, 250); got != 8 {
+		t.Fatalf("MaxReleases = %d, want 8", got)
+	}
+	// W > d still gives a·2 (paper: "It also holds when W_j > C_i").
+	if got := MaxReleases(3, 1000, 100); got != 6 {
+		t.Fatalf("MaxReleases W>d = %d, want 6", got)
+	}
+	if got := MaxReleases(3, 1000, -1); got != 0 {
+		t.Fatalf("MaxReleases d<0 = %d, want 0", got)
+	}
+}
+
+func TestRetryBoundTwoTasks(t *testing.T) {
+	// T0: a=1, W=1000, C=500. T1: a=2, W=300.
+	tasks := []*task.Task{
+		mkTask(0, 1, 1000, 500, 100, 1),
+		mkTask(1, 2, 300, 250, 50, 1),
+	}
+	// f_0 = 3·1 + 2·2·(⌈500/300⌉+1) = 3 + 4·3 = 15.
+	got, err := RetryBound(0, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 15 {
+		t.Fatalf("RetryBound(0) = %d, want 15", got)
+	}
+	// f_1 = 3·2 + 2·1·(⌈250/1000⌉+1) = 6 + 2·2 = 10.
+	got, err = RetryBound(1, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Fatalf("RetryBound(1) = %d, want 10", got)
+	}
+}
+
+func TestRetryBoundIndexError(t *testing.T) {
+	tasks := []*task.Task{mkTask(0, 1, 1000, 500, 100, 1)}
+	if _, err := RetryBound(5, tasks); !errors.Is(err, ErrInput) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := RetryBound(-1, tasks); !errors.Is(err, ErrInput) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInterferenceAndConcurrent(t *testing.T) {
+	tasks := []*task.Task{
+		mkTask(0, 1, 1000, 500, 100, 1),
+		mkTask(1, 2, 300, 250, 50, 1),
+	}
+	x, err := InterferenceTerm(0, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 6 { // 2·(⌈500/300⌉+1) = 2·3
+		t.Fatalf("x_0 = %d, want 6", x)
+	}
+	n, err := MaxConcurrentJobs(0, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2+6 { // 2·a_0 + x_0
+		t.Fatalf("n_0 = %d, want 8", n)
+	}
+	// Consistency: RetryBound = 3a + 2x.
+	f, _ := RetryBound(0, tasks)
+	if f != 3*1+2*x {
+		t.Fatalf("RetryBound %d != 3a+2x %d", f, 3+2*x)
+	}
+}
+
+func TestSojournCompositions(t *testing.T) {
+	in := SojournInputs{U: 100, M: 4, N: 2, A: 1, X: 3, I: 50, R: 10, S: 3}
+	// B = r·min(m,n) = 10·2 = 20.
+	if got := in.WorstBlocking(); got != 20 {
+		t.Fatalf("WorstBlocking = %v, want 20", got)
+	}
+	// f = 3·1 + 2·3 = 9; R = 3·9 = 27.
+	if got := in.RetryBoundCount(); got != 9 {
+		t.Fatalf("RetryBoundCount = %d, want 9", got)
+	}
+	if got := in.WorstRetryTime(); got != 27 {
+		t.Fatalf("WorstRetryTime = %v, want 27", got)
+	}
+	// Lock-based: 100+50+40+20 = 210. Lock-free: 100+50+12+27 = 189.
+	if got := in.LockBasedSojourn(); got != 210 {
+		t.Fatalf("LockBasedSojourn = %v, want 210", got)
+	}
+	if got := in.LockFreeSojourn(); got != 189 {
+		t.Fatalf("LockFreeSojourn = %v, want 189", got)
+	}
+	if got := in.SojournAdvantage(); got != 21 {
+		t.Fatalf("SojournAdvantage = %v, want 21", got)
+	}
+}
+
+func TestTheorem3ThresholdCases(t *testing.T) {
+	// m ≤ n: threshold 2/3.
+	in := SojournInputs{M: 2, N: 5, A: 1, X: 2}
+	if got := in.Theorem3Threshold(); got != 2.0/3.0 {
+		t.Fatalf("threshold = %v, want 2/3", got)
+	}
+	// m > n: threshold (m+n)/(m+3a+2x) < 1.
+	in = SojournInputs{M: 10, N: 3, A: 1, X: 2}
+	want := float64(10+3) / float64(10+3*1+2*2)
+	if got := in.Theorem3Threshold(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("threshold = %v, want %v", got, want)
+	}
+	if want >= 1 {
+		t.Fatal("m>n threshold should be < 1")
+	}
+}
+
+// The exact condition underlying Theorem 3, checked directly: whenever
+// s/r is below ExactThreshold, the worst-case lock-free sojourn is
+// strictly shorter, for any m, n, a, x, u, I.
+func TestQuickExactConditionSufficient(t *testing.T) {
+	f := func(uRaw, iRaw uint16, mRaw, aRaw, xRaw, nRaw, rRaw uint8) bool {
+		a := int64(aRaw%4) + 1
+		x := int64(xRaw % 20)
+		m := int64(mRaw%25) + 1
+		n := int64(nRaw%25) + 1
+		r := rtime.Duration(rRaw%50) + 30
+		in := SojournInputs{
+			U: rtime.Duration(uRaw), M: m, N: n, A: a, X: x,
+			I: rtime.Duration(iRaw), R: r,
+		}
+		s := rtime.Duration(float64(r) * in.ExactThreshold() * 0.9)
+		if s < 1 {
+			s = 1
+		}
+		in.S = s
+		if !in.ExactConditionHolds() {
+			return true // integer rounding left no room below the threshold; skip
+		}
+		return in.LockFreeSojourn() < in.LockBasedSojourn()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper's stated 2/3 threshold IS sufficient at the extreme it was
+// derived for: m_i = n_i = 2a_i + x_i.
+func TestQuickPaperThresholdSufficientAtExtreme(t *testing.T) {
+	f := func(uRaw uint16, aRaw, xRaw, rRaw uint8) bool {
+		a := int64(aRaw%4) + 1
+		x := int64(xRaw % 20)
+		m := 2*a + x
+		n := m
+		r := rtime.Duration(rRaw%50) + 30
+		in := SojournInputs{U: rtime.Duration(uRaw), M: m, N: n, A: a, X: x, R: r}
+		s := rtime.Duration(float64(r) * 2.0 / 3.0 * 0.9)
+		if s < 1 {
+			s = 1
+		}
+		in.S = s
+		if !in.Theorem3Holds() {
+			return true // rounding; skip
+		}
+		return in.LockFreeSojourn() < in.LockBasedSojourn()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ExactThreshold never exceeds the paper's threshold in the m > n case
+// (there they coincide), and equals (m+min(m,n))/(m+3a+2x) in general.
+func TestExactThresholdAgainstPaper(t *testing.T) {
+	in := SojournInputs{M: 10, N: 3, A: 1, X: 2}
+	if in.ExactThreshold() != in.Theorem3Threshold() {
+		t.Fatal("m>n: exact and paper thresholds should coincide")
+	}
+	in = SojournInputs{M: 4, N: 20, A: 1, X: 1} // m ≤ n, m below max
+	want := float64(4+4) / float64(4+3+2)
+	if got := in.ExactThreshold(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ExactThreshold = %v, want %v", got, want)
+	}
+	// At the extreme m = n = 2a+x the exact threshold is ≥ 2/3.
+	in = SojournInputs{M: 4, N: 4, A: 1, X: 2} // 2a+x = 4
+	if in.ExactThreshold() < 2.0/3.0-1e-12 {
+		t.Fatalf("extreme exact threshold %v below 2/3", in.ExactThreshold())
+	}
+}
+
+// The converse direction of the tradeoff: with s ≥ r, lock-based never
+// loses (retries can only add time).
+func TestQuickLockBasedWinsWhenSGeR(t *testing.T) {
+	f := func(uRaw uint16, mRaw, aRaw, xRaw, rRaw uint8) bool {
+		a := int64(aRaw%4) + 1
+		x := int64(xRaw % 20)
+		m := int64(mRaw%10) + 1
+		in := SojournInputs{
+			U: rtime.Duration(uRaw), M: m, N: 2*a + x, A: a, X: x,
+			R: rtime.Duration(rRaw%40) + 1,
+		}
+		in.S = in.R // equal access times: retries make lock-free ≥
+		return in.LockFreeSojourn() >= in.LockBasedSojourn()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInputsFor(t *testing.T) {
+	tasks := []*task.Task{
+		mkTask(0, 1, 1000, 500, 100, 2),
+		mkTask(1, 2, 300, 250, 50, 1),
+	}
+	in, err := InputsFor(0, tasks, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.U != 100 || in.M != 2 || in.A != 1 || in.R != 10 || in.S != 3 {
+		t.Fatalf("InputsFor = %+v", in)
+	}
+	if in.X != 6 || in.N != 8 {
+		t.Fatalf("X=%d N=%d, want 6, 8", in.X, in.N)
+	}
+	if _, err := InputsFor(0, tasks, 0, 3); !errors.Is(err, ErrInput) {
+		t.Fatal("r=0 accepted")
+	}
+	if _, err := InputsFor(7, tasks, 1, 1); !errors.Is(err, ErrInput) {
+		t.Fatal("bad index accepted")
+	}
+}
+
+func TestAURBoundsOrdering(t *testing.T) {
+	tasks := []*task.Task{
+		mkTask(0, 2, 1000, 800, 100, 2),
+		mkTask(1, 1, 2000, 1500, 200, 3),
+	}
+	interf := []rtime.Duration{100, 150}
+	lf, err := LockFreeAUR(tasks, 3, interf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lf.Lower <= lf.Upper) {
+		t.Fatalf("lock-free bounds inverted: %+v", lf)
+	}
+	if lf.Upper > 1+1e-9 || lf.Lower < 0 {
+		t.Fatalf("lock-free bounds outside [0,1]: %+v", lf)
+	}
+	lb, err := LockBasedAUR(tasks, 10, interf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lb.Lower <= lb.Upper) {
+		t.Fatalf("lock-based bounds inverted: %+v", lb)
+	}
+	// With step TUFs and sojourns below C, the upper bounds are both 1.
+	if lf.Upper != 1 || lb.Upper != 1 {
+		t.Fatalf("step-TUF upper bounds should be 1: lf=%v lb=%v", lf.Upper, lb.Upper)
+	}
+}
+
+func TestAURBoundsSensitiveToAccessCost(t *testing.T) {
+	// With linear TUFs the lower bound must degrade as access cost grows.
+	mk := func(c rtime.Duration) []*task.Task {
+		return []*task.Task{{
+			ID:       0,
+			TUF:      tuf.MustLinear(10, c),
+			Arrival:  uam.Spec{L: 1, A: 1, W: 2 * c},
+			Segments: task.InterleavedSegments(100, 4, []int{0}),
+		}}
+	}
+	tasks := mk(5000)
+	interf := []rtime.Duration{0}
+	cheap, err := LockFreeAUR(tasks, 2, interf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dear, err := LockFreeAUR(tasks, 200, interf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dear.Lower >= cheap.Lower {
+		t.Fatalf("lower bound did not degrade: cheap=%v dear=%v", cheap.Lower, dear.Lower)
+	}
+	if dear.Upper >= cheap.Upper {
+		t.Fatalf("upper bound did not degrade: cheap=%v dear=%v", cheap.Upper, dear.Upper)
+	}
+}
+
+func TestAURInputValidation(t *testing.T) {
+	tasks := []*task.Task{mkTask(0, 1, 1000, 500, 100, 1)}
+	if _, err := LockFreeAUR(nil, 1, nil); !errors.Is(err, ErrInput) {
+		t.Error("empty tasks accepted")
+	}
+	if _, err := LockFreeAUR(tasks, 0, []rtime.Duration{0}); !errors.Is(err, ErrInput) {
+		t.Error("zero access accepted")
+	}
+	if _, err := LockFreeAUR(tasks, 1, []rtime.Duration{}); !errors.Is(err, ErrInput) {
+		t.Error("short interference vector accepted")
+	}
+	if _, err := LockFreeAUR(tasks, 1, []rtime.Duration{-1}); !errors.Is(err, ErrInput) {
+		t.Error("negative interference accepted")
+	}
+	rising := &task.Task{
+		ID:       1,
+		TUF:      tuf.MustPiecewiseLinear([]tuf.Point{{T: 0, U: 1}, {T: 50, U: 5}, {T: 100, U: 0}}),
+		Arrival:  uam.Spec{L: 1, A: 1, W: 200},
+		Segments: task.InterleavedSegments(10, 0, nil),
+	}
+	if _, err := LockBasedAUR([]*task.Task{rising}, 1, []rtime.Duration{0}); !errors.Is(err, ErrInput) {
+		t.Error("increasing TUF accepted by Lemma 5 evaluator")
+	}
+}
+
+func TestCostModels(t *testing.T) {
+	// Lock-based grows strictly faster than lock-free; ratio ≈ log2 n.
+	for _, n := range []int{4, 16, 64, 256} {
+		lb, lf := LockBasedRUAOps(n), LockFreeRUAOps(n)
+		if lb <= lf {
+			t.Fatalf("n=%d: lock-based %v not above lock-free %v", n, lb, lf)
+		}
+		ratio := lb / lf
+		if math.Abs(ratio-math.Log2(float64(n))) > 1e-9 {
+			t.Fatalf("n=%d: ratio %v, want log2(n)=%v", n, ratio, math.Log2(float64(n)))
+		}
+	}
+	if LockBasedRUAOps(1) != 1 || LockFreeRUAOps(0) != 0 {
+		t.Fatal("small-n edge cases wrong")
+	}
+}
+
+// Property: the retry bound is monotone — adding a task, raising an a_j,
+// or lengthening C_i never decreases f_i.
+func TestQuickRetryBoundMonotone(t *testing.T) {
+	f := func(a1, a2 uint8, w1, w2, c uint16) bool {
+		aa1, aa2 := int(a1%5)+1, int(a2%5)+1
+		ww1 := rtime.Duration(w1%2000) + 100
+		ww2 := rtime.Duration(w2%2000) + 100
+		cc := rtime.Duration(c%900) + 50
+		base := []*task.Task{
+			mkTask(0, aa1, ww1, rtime.Min(cc, ww1), 10, 1),
+			mkTask(1, aa2, ww2, rtime.Min(cc, ww2), 10, 1),
+		}
+		f0, err := RetryBound(0, base)
+		if err != nil {
+			return false
+		}
+		// Add a third task: bound must not decrease.
+		more := append(append([]*task.Task(nil), base...), mkTask(2, 1, 500, 400, 10, 1))
+		f0b, err := RetryBound(0, more)
+		if err != nil {
+			return false
+		}
+		if f0b < f0 {
+			return false
+		}
+		// Raise a_2: bound must not decrease.
+		bigger := []*task.Task{
+			base[0],
+			mkTask(1, aa2+1, ww2, rtime.Min(cc, ww2), 10, 1),
+		}
+		f0c, err := RetryBound(0, bigger)
+		if err != nil {
+			return false
+		}
+		return f0c >= f0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterference(t *testing.T) {
+	tasks := []*task.Task{
+		mkTask(0, 1, 1000, 500, 100, 1),
+		mkTask(1, 2, 300, 250, 50, 1),
+	}
+	// I_0: task 1 releases ≤ 2·(⌈500/300⌉+1) = 6 jobs of demand 50+1·acc.
+	got, err := Interference(0, tasks, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rtime.Duration(6 * (50 + 10))
+	if got != want {
+		t.Fatalf("Interference = %v, want %v", got, want)
+	}
+	// Clamping: huge demands cap at C_i.
+	heavy := []*task.Task{
+		mkTask(0, 1, 1000, 500, 100, 1),
+		mkTask(1, 3, 300, 250, 20000, 1),
+	}
+	got, err = Interference(0, heavy, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != heavy[0].CriticalTime() {
+		t.Fatalf("clamped Interference = %v, want C=%v", got, heavy[0].CriticalTime())
+	}
+	if _, err := Interference(9, tasks, 10); !errors.Is(err, ErrInput) {
+		t.Fatal("bad index accepted")
+	}
+	if _, err := Interference(0, tasks, 0); !errors.Is(err, ErrInput) {
+		t.Fatal("zero acc accepted")
+	}
+	vec, err := InterferenceVector(tasks, 10)
+	if err != nil || len(vec) != 2 || vec[0] != want {
+		t.Fatalf("InterferenceVector = %v, %v", vec, err)
+	}
+}

@@ -1,0 +1,57 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/rtime"
+	"repro/internal/task"
+	"repro/internal/tuf"
+	"repro/internal/uam"
+)
+
+// ExampleRetryBound evaluates Theorem 2 for a two-task set: a sporadic
+// control task and a bursty sensor task.
+func ExampleRetryBound() {
+	tasks := []*task.Task{
+		{
+			ID:       0,
+			TUF:      tuf.MustStep(10, 1000),
+			Arrival:  uam.Spec{L: 0, A: 1, W: 2000},
+			Segments: task.InterleavedSegments(300, 4, []int{0}),
+		},
+		{
+			ID:       1,
+			TUF:      tuf.MustStep(5, 250),
+			Arrival:  uam.Spec{L: 0, A: 2, W: 300},
+			Segments: task.InterleavedSegments(50, 2, []int{0}),
+		},
+	}
+	f0, _ := analysis.RetryBound(0, tasks)
+	f1, _ := analysis.RetryBound(1, tasks)
+	fmt.Printf("f_0 ≤ %d, f_1 ≤ %d\n", f0, f1)
+	// Output: f_0 ≤ 23, f_1 ≤ 10
+}
+
+// ExampleSojournInputs_Theorem3Holds checks the paper's lock-free vs
+// lock-based sojourn condition for one task.
+func ExampleSojournInputs_Theorem3Holds() {
+	tasks := []*task.Task{
+		{
+			ID:       0,
+			TUF:      tuf.MustStep(10, 1000),
+			Arrival:  uam.Spec{L: 0, A: 1, W: 2000},
+			Segments: task.InterleavedSegments(300, 4, []int{0}),
+		},
+		{
+			ID:       1,
+			TUF:      tuf.MustStep(5, 250),
+			Arrival:  uam.Spec{L: 0, A: 2, W: 300},
+			Segments: task.InterleavedSegments(50, 2, []int{0}),
+		},
+	}
+	in, _ := analysis.InputsFor(0, tasks, 150*rtime.Microsecond, 5*rtime.Microsecond)
+	fmt.Printf("s/r=%.3f paper_threshold=%.3f lock-free wins: %v\n",
+		5.0/150.0, in.Theorem3Threshold(), in.LockFreeSojourn() < in.LockBasedSojourn())
+	// Output: s/r=0.033 paper_threshold=0.667 lock-free wins: true
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/rtime"
+	"repro/internal/uam"
+)
+
+func addThree(b *System) *System {
+	for i := 0; i < 3; i++ {
+		b.AddTask(TaskSpec{
+			Name:     "sensor",
+			TUF:      TUFSpec{Shape: "step", Utility: float64(10 * (i + 1)), CriticalTime: 2 * rtime.Millisecond},
+			Exec:     200 * rtime.Microsecond,
+			Accesses: 2, Objects: []int{0, 1},
+		})
+	}
+	return b
+}
+
+func TestBuilderRunLockFree(t *testing.T) {
+	rep, err := addThree(NewSystem()).Run(200 * rtime.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Released == 0 || rep.Stats.Completed == 0 {
+		t.Fatalf("nothing ran: %+v", rep.Stats)
+	}
+	if rep.Scheduler != "rua-lockfree" {
+		t.Fatalf("scheduler = %s", rep.Scheduler)
+	}
+	if len(rep.RetryBounds) != 3 {
+		t.Fatalf("bounds = %v", rep.RetryBounds)
+	}
+	for _, b := range rep.RetryBounds {
+		if b <= 0 {
+			t.Fatalf("non-positive bound %d", b)
+		}
+	}
+	if !strings.Contains(rep.Summary(), "AUR=") {
+		t.Fatalf("summary: %s", rep.Summary())
+	}
+}
+
+func TestBuilderRunLockBasedAndEDF(t *testing.T) {
+	rep, err := addThree(NewSystem().LockBased()).Run(200 * rtime.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scheduler != "rua-lockbased" {
+		t.Fatalf("scheduler = %s", rep.Scheduler)
+	}
+	rep, err = addThree(NewSystem().EDF()).Run(200 * rtime.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scheduler != "edf" {
+		t.Fatalf("scheduler = %s", rep.Scheduler)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewSystem().Run(rtime.Duration(1000)); !errors.Is(err, ErrSpec) {
+		t.Fatal("empty system accepted")
+	}
+	b := NewSystem().AddTask(TaskSpec{
+		TUF:  TUFSpec{Shape: "zigzag", Utility: 1, CriticalTime: 100},
+		Exec: 10,
+	})
+	if _, err := b.Run(rtime.Duration(1000)); !errors.Is(err, ErrSpec) {
+		t.Fatalf("bad shape accepted: %v", err)
+	}
+	b2 := NewSystem().AddTask(TaskSpec{
+		TUF:  TUFSpec{Utility: 0, CriticalTime: 100}, // zero utility
+		Exec: 10,
+	})
+	if _, err := b2.Run(rtime.Duration(1000)); err == nil {
+		t.Fatal("zero-utility TUF accepted")
+	}
+}
+
+func TestBuilderArrivalDefault(t *testing.T) {
+	b := NewSystem().AddTask(TaskSpec{
+		TUF:  TUFSpec{Utility: 1, CriticalTime: 1000},
+		Exec: 100,
+	})
+	tk := b.Tasks()[0]
+	if tk.Arrival != (uam.Spec{L: 0, A: 1, W: 2000}) {
+		t.Fatalf("default arrival = %v", tk.Arrival)
+	}
+}
+
+func TestBuilderKnobsCompose(t *testing.T) {
+	b := NewSystem().
+		LockFree().
+		AccessCosts(90*rtime.Microsecond, 9*rtime.Microsecond).
+		SchedulerOpCost(0).
+		Seed(99).
+		Arrivals(uam.KindBursty).
+		PreciseRetries()
+	b.AddTask(TaskSpec{
+		TUF:     TUFSpec{Shape: "linear", Utility: 5, CriticalTime: 3 * rtime.Millisecond},
+		Arrival: uam.Spec{L: 1, A: 2, W: 6 * rtime.Millisecond},
+		Exec:    300 * rtime.Microsecond,
+	})
+	rep, err := b.Run(100 * rtime.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result.Overhead != 0 {
+		t.Fatalf("ideal op cost still charged overhead %v", rep.Result.Overhead)
+	}
+	if rep.Stats.Released == 0 {
+		t.Fatal("no arrivals under bursty UAM")
+	}
+}
+
+func TestTraceWiring(t *testing.T) {
+	rep, err := addThree(NewSystem().Trace(0)).Run(50 * rtime.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace == nil || rep.Trace.Len() == 0 {
+		t.Fatal("trace recorder empty despite Trace(0)")
+	}
+	rep2, err := addThree(NewSystem()).Run(50 * rtime.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Trace != nil {
+		t.Fatal("recorder present without Trace()")
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	rep, err := addThree(NewSystem()).Run(100 * rtime.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := rep.Result.Utilization()
+	if u <= 0 || u > 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if rep.Result.Busy() != rep.Result.ExecTime+rep.Result.Overhead+rep.Result.HandlerTime {
+		t.Fatal("Busy composition wrong")
+	}
+}

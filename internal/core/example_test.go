@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rtime"
+	"repro/internal/uam"
+)
+
+// Example runs a tiny two-task system under lock-free RUA on the virtual
+// RTOS and prints the outcome counters. Virtual time makes the run fully
+// deterministic.
+func Example() {
+	b := core.NewSystem().
+		LockFree().
+		AccessCosts(150*rtime.Microsecond, 5*rtime.Microsecond).
+		Arrivals(uam.KindPeriodic).
+		Seed(1)
+	b.AddTask(core.TaskSpec{
+		Name:     "sensor",
+		TUF:      core.TUFSpec{Shape: "step", Utility: 10, CriticalTime: 2 * rtime.Millisecond},
+		Arrival:  uam.Spec{L: 1, A: 1, W: 4 * rtime.Millisecond},
+		Exec:     400 * rtime.Microsecond,
+		Accesses: 2,
+		Objects:  []int{0},
+	})
+	b.AddTask(core.TaskSpec{
+		Name:     "control",
+		TUF:      core.TUFSpec{Shape: "linear", Utility: 40, CriticalTime: 8 * rtime.Millisecond},
+		Arrival:  uam.Spec{L: 1, A: 1, W: 8 * rtime.Millisecond},
+		Exec:     1 * rtime.Millisecond,
+		Accesses: 1,
+		Objects:  []int{0},
+	})
+	rep, err := b.Run(40 * rtime.Millisecond)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("scheduler=%s completed=%d aborted=%d CMR=%.2f retries≤bounds=%v\n",
+		rep.Scheduler, rep.Stats.Completed, rep.Stats.Aborted, rep.Stats.CMR,
+		rep.Stats.Retries <= rep.RetryBounds[0]+rep.RetryBounds[1])
+	// Output: scheduler=rua-lockfree completed=15 aborted=0 CMR=1.00 retries≤bounds=true
+}

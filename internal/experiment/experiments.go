@@ -1,0 +1,559 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/metrics"
+	"repro/internal/resource"
+	"repro/internal/rtime"
+	"repro/internal/rua"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/uam"
+)
+
+// Default access-cost and overhead calibration, chosen to match the
+// magnitudes of the paper's Fig 8 on its 500 MHz Pentium-III (s ≈ 5–15
+// µs, r ≈ 100–400 µs including RUA's lock-based machinery) and the
+// meta-scheduler overhead implied by Fig 9.
+const (
+	// DefaultS is the lock-free per-access cost s.
+	DefaultS = 5 * rtime.Microsecond
+	// DefaultR is the lock-based per-access cost r (object operation plus
+	// RUA's resource-sharing mechanism).
+	DefaultR = 150 * rtime.Microsecond
+	// DefaultOpCost is virtual µs charged per scheduler operation.
+	DefaultOpCost = 0.02
+)
+
+// runOnce builds and runs one simulation of the canonical workload.
+func runOnce(tasks []*task.Task, s sched.Scheduler, mode sim.Mode, r, sAcc rtime.Duration,
+	opCost float64, horizon rtime.Time, seed int64) (sim.Result, error) {
+	return sim.Run(sim.Config{
+		Tasks:             tasks,
+		Scheduler:         s,
+		Mode:              mode,
+		R:                 r,
+		S:                 sAcc,
+		OpCost:            opCost,
+		Horizon:           horizon,
+		ArrivalKind:       uam.KindJittered,
+		Seed:              seed,
+		ConservativeRetry: true,
+	})
+}
+
+// bothModes runs the workload under lock-based RUA and lock-free RUA for
+// every seed in the profile, returning per-mode stats.
+func bothModes(w WorkloadSpec, p Profile, r, s rtime.Duration, opCost float64) (lb, lf []metrics.RunStats, err error) {
+	for _, seed := range p.Seeds {
+		tasksLB, err := w.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		horizon := horizonFor(tasksLB, p)
+		resLB, err := runOnce(tasksLB, rua.NewLockBased(), sim.LockBased, r, s, opCost, horizon, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		lb = append(lb, metrics.Analyze(resLB))
+
+		tasksLF, err := w.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		resLF, err := runOnce(tasksLF, rua.NewLockFree(), sim.LockFree, r, s, opCost, horizon, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		lf = append(lf, metrics.Analyze(resLF))
+	}
+	return lb, lf, nil
+}
+
+func means(stats []metrics.RunStats, f func(metrics.RunStats) float64) metrics.Sample {
+	xs := make([]float64, len(stats))
+	for i, st := range stats {
+		xs[i] = f(st)
+	}
+	return metrics.Summarize(xs)
+}
+
+// Fig8 regenerates Figure 8: lock-based r and lock-free s effective
+// object access times under an increasing number of shared objects
+// accessed per job (10 tasks, no nested sections). The measured access
+// time spans a job's first arrival at the access boundary through the
+// commit, so lock-based numbers absorb blocking and RUA's resource
+// machinery while lock-free numbers absorb retries — exactly the two
+// quantities the paper's figure contrasts.
+func Fig8(p Profile) ([]*Table, error) {
+	t := &Table{
+		ID:    "fig8",
+		Title: "lock-based (r) vs lock-free (s) shared object access time",
+		Note: fmt.Sprintf("10 tasks; base costs r=%v s=%v; effective time includes blocking/retries; mean ± 95%% CI over %d seeds",
+			DefaultR, DefaultS, len(p.Seeds)),
+		Columns: []string{"objects", "r_eff_us", "s_eff_us", "r/s"},
+	}
+	for _, objs := range sweepInts(p, 1, 10) {
+		var rEff, sEff []float64
+		for _, seed := range p.Seeds {
+			w := WorkloadSpec{
+				NumTasks: 10, NumObjects: objs, AccessesPerJob: objs,
+				MeanExec: 500 * rtime.Microsecond, TargetAL: 0.4,
+				Class: StepTUFs, MaxArrivals: 1,
+			}
+			tasks, err := w.Build()
+			if err != nil {
+				return nil, err
+			}
+			horizon := horizonFor(tasks, p)
+			resLB, err := runOnce(tasks, rua.NewLockBased(), sim.LockBased, DefaultR, DefaultS, DefaultOpCost, horizon, seed)
+			if err != nil {
+				return nil, err
+			}
+			if resLB.Accesses > 0 {
+				rEff = append(rEff, float64(resLB.AccessTime)/float64(resLB.Accesses))
+			}
+			tasks2, err := w.Build()
+			if err != nil {
+				return nil, err
+			}
+			resLF, err := runOnce(tasks2, rua.NewLockFree(), sim.LockFree, DefaultR, DefaultS, DefaultOpCost, horizon, seed)
+			if err != nil {
+				return nil, err
+			}
+			if resLF.Accesses > 0 {
+				sEff = append(sEff, float64(resLF.AccessTime)/float64(resLF.Accesses))
+			}
+		}
+		rS, sS := metrics.Summarize(rEff), metrics.Summarize(sEff)
+		ratio := math.Inf(1)
+		if sS.Mean > 0 {
+			ratio = rS.Mean / sS.Mean
+		}
+		t.AddRow(objs, rS.String(), sS.String(), ratio)
+	}
+	return []*Table{t}, nil
+}
+
+// Fig9 regenerates Figure 9: critical-time-miss load (CML) versus average
+// job execution time for ideal, lock-free, and lock-based RUA. Ideal RUA
+// is the ablation of DESIGN.md §5.1: near-zero object access cost with
+// the same scheduling overhead.
+func Fig9(p Profile) ([]*Table, error) {
+	t := &Table{
+		ID:      "fig9",
+		Title:   "critical-time-miss load vs average job execution time",
+		Note:    "10 tasks, 4 accesses/job over 10 objects; CML = highest load in grid with CMR=1",
+		Columns: []string{"exec_us", "cml_ideal", "cml_lockfree", "cml_lockbased"},
+	}
+	execs := []rtime.Duration{10, 30, 100, 300, 1000, 3000}
+	if p.Name == Quick.Name {
+		execs = []rtime.Duration{30, 300, 3000}
+	}
+	loads := loadGrid(p)
+	type variant struct {
+		name  string
+		sched func() sched.Scheduler
+		mode  sim.Mode
+		r, s  rtime.Duration
+	}
+	variants := []variant{
+		{"ideal", func() sched.Scheduler { return rua.NewLockFree() }, sim.LockFree, DefaultR, 1},
+		{"lockfree", func() sched.Scheduler { return rua.NewLockFree() }, sim.LockFree, DefaultR, DefaultS},
+		{"lockbased", func() sched.Scheduler { return rua.NewLockBased() }, sim.LockBased, DefaultR, DefaultS},
+	}
+	for _, ex := range execs {
+		cmls := make([]float64, len(variants))
+		for vi, v := range variants {
+			cml, _, err := metrics.FindCML(metrics.CMLConfig{
+				Loads:         loads,
+				MissTolerance: 0.001,
+				Build: func(al float64) (sim.Config, error) {
+					w := WorkloadSpec{
+						NumTasks: 10, NumObjects: 10, AccessesPerJob: 4,
+						MeanExec: ex, TargetAL: al, Class: StepTUFs, MaxArrivals: 1,
+					}
+					tasks, err := w.Build()
+					if err != nil {
+						return sim.Config{}, err
+					}
+					return sim.Config{
+						Tasks: tasks, Scheduler: v.sched(), Mode: v.mode,
+						R: v.r, S: v.s, OpCost: DefaultOpCost,
+						Horizon:     horizonFor(tasks, p),
+						ArrivalKind: uam.KindJittered, Seed: p.Seeds[0],
+						ConservativeRetry: true,
+					}, nil
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			cmls[vi] = cml
+		}
+		t.AddRow(int64(ex), cmls[0], cmls[1], cmls[2])
+	}
+	return []*Table{t}, nil
+}
+
+// AURCMR regenerates Figures 10–13: AUR and CMR of lock-based vs
+// lock-free RUA under an increasing number of shared objects, at the
+// given approximate load and TUF class.
+func AURCMR(p Profile, id string, class TUFClass, al float64) ([]*Table, error) {
+	t := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf("AUR/CMR, %s TUFs, AL≈%.1f, increasing shared objects", class, al),
+		Note:    fmt.Sprintf("10 tasks; r=%v s=%v; mean ± 95%% CI over %d seeds", DefaultR, DefaultS, len(p.Seeds)),
+		Columns: []string{"objects", "AUR_lockbased", "AUR_lockfree", "CMR_lockbased", "CMR_lockfree"},
+	}
+	for _, objs := range sweepInts(p, 1, 10) {
+		w := WorkloadSpec{
+			NumTasks: 10, NumObjects: objs, AccessesPerJob: objs,
+			MeanExec: 500 * rtime.Microsecond, TargetAL: al,
+			Class: class, MaxArrivals: 2,
+		}
+		lb, lf, err := bothModes(w, p, DefaultR, DefaultS, DefaultOpCost)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(objs,
+			means(lb, func(s metrics.RunStats) float64 { return s.AUR }).String(),
+			means(lf, func(s metrics.RunStats) float64 { return s.AUR }).String(),
+			means(lb, func(s metrics.RunStats) float64 { return s.CMR }).String(),
+			means(lf, func(s metrics.RunStats) float64 { return s.CMR }).String(),
+		)
+	}
+	return []*Table{t}, nil
+}
+
+// Fig10 — underload, step TUFs.
+func Fig10(p Profile) ([]*Table, error) { return AURCMR(p, "fig10", StepTUFs, 0.4) }
+
+// Fig11 — underload, heterogeneous TUFs.
+func Fig11(p Profile) ([]*Table, error) { return AURCMR(p, "fig11", HeterogeneousTUFs, 0.4) }
+
+// Fig12 — overload, step TUFs.
+func Fig12(p Profile) ([]*Table, error) { return AURCMR(p, "fig12", StepTUFs, 1.1) }
+
+// Fig13 — overload, heterogeneous TUFs.
+func Fig13(p Profile) ([]*Table, error) { return AURCMR(p, "fig13", HeterogeneousTUFs, 1.1) }
+
+// Fig14 regenerates Figure 14: AUR/CMR across an increasing load sweep
+// (0.1–1.1) with heterogeneous TUFs and reader tasks sharing queues.
+func Fig14(p Profile) ([]*Table, error) {
+	t := &Table{
+		ID:      "fig14",
+		Title:   "AUR/CMR across load 0.1–1.1, heterogeneous TUFs (reader sweep)",
+		Note:    fmt.Sprintf("10 reader tasks over 5 queues; r=%v s=%v", DefaultR, DefaultS),
+		Columns: []string{"AL", "AUR_lockbased", "AUR_lockfree", "CMR_lockbased", "CMR_lockfree"},
+	}
+	loads := []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.1}
+	if p.Name == Quick.Name {
+		loads = []float64{0.3, 0.9}
+	}
+	for _, al := range loads {
+		w := WorkloadSpec{
+			NumTasks: 10, NumObjects: 5, AccessesPerJob: 4,
+			MeanExec: 500 * rtime.Microsecond, TargetAL: al,
+			Class: HeterogeneousTUFs, MaxArrivals: 2,
+		}
+		lb, lf, err := bothModes(w, p, DefaultR, DefaultS, DefaultOpCost)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(al,
+			means(lb, func(s metrics.RunStats) float64 { return s.AUR }).String(),
+			means(lf, func(s metrics.RunStats) float64 { return s.AUR }).String(),
+			means(lb, func(s metrics.RunStats) float64 { return s.CMR }).String(),
+			means(lf, func(s metrics.RunStats) float64 { return s.CMR }).String(),
+		)
+	}
+	return []*Table{t}, nil
+}
+
+// Thm2 validates Theorem 2 empirically: per-task measured maximum
+// lock-free retries per job never exceed the analytic bound, under the
+// bursty UAM adversary with conservative retry accounting.
+func Thm2(p Profile) ([]*Table, error) {
+	t := &Table{
+		ID:      "thm2",
+		Title:   "Theorem 2 retry bound vs measured per-job retries",
+		Note:    "lock-free RUA, bursty UAM arrivals, conservative retry accounting",
+		Columns: []string{"task", "uam", "C_us", "bound_f_i", "max_measured", "ok"},
+	}
+	w := WorkloadSpec{
+		NumTasks: 6, NumObjects: 3, AccessesPerJob: 4,
+		MeanExec: 300 * rtime.Microsecond, TargetAL: 1.0,
+		Class: StepTUFs, MaxArrivals: 2,
+	}
+	maxRetries := map[int]int64{}
+	var tasks []*task.Task
+	for _, seed := range p.Seeds {
+		ts, err := w.Build()
+		if err != nil {
+			return nil, err
+		}
+		tasks = ts
+		res, err := sim.Run(sim.Config{
+			Tasks: ts, Scheduler: rua.NewLockFree(), Mode: sim.LockFree,
+			R: DefaultR, S: DefaultS, OpCost: DefaultOpCost,
+			Horizon:     horizonFor(ts, p),
+			ArrivalKind: uam.KindBursty, Seed: seed, ConservativeRetry: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range res.Jobs {
+			if j.Retries > maxRetries[j.Task.ID] {
+				maxRetries[j.Task.ID] = j.Retries
+			}
+		}
+	}
+	allOK := true
+	for i, tk := range tasks {
+		bound, err := analysis.RetryBound(i, tasks)
+		if err != nil {
+			return nil, err
+		}
+		ok := maxRetries[tk.ID] <= bound
+		if !ok {
+			allOK = false
+		}
+		t.AddRow(tk.Name, tk.Arrival.String(), int64(tk.CriticalTime()), bound, maxRetries[tk.ID], ok)
+	}
+	if !allOK {
+		return []*Table{t}, fmt.Errorf("experiment: Theorem 2 bound violated (see table)")
+	}
+	return []*Table{t}, nil
+}
+
+// Thm3 maps the lock-free vs lock-based sojourn-time tradeoff across the
+// s/r ratio: analytic worst-case sojourns from Theorem 3's inputs, the
+// per-task exact thresholds, and measured mean sojourns from simulation.
+// The crossover should straddle the paper's 2/3 figure.
+func Thm3(p Profile) ([]*Table, error) {
+	t := &Table{
+		ID:      "thm3",
+		Title:   "sojourn-time crossover vs s/r ratio",
+		Note:    "analytic = Theorem 3 worst cases; sim = measured mean sojourn (µs); winner by analytic worst case",
+		Columns: []string{"s/r", "analytic_LF_wins", "exact_thresh_min", "sim_sojourn_lb", "sim_sojourn_lf"},
+	}
+	ratios := []float64{0.1, 0.3, 0.5, 0.67, 0.8, 1.0, 1.3}
+	if p.Name == Quick.Name {
+		ratios = []float64{0.3, 0.67, 1.3}
+	}
+	r := 100 * rtime.Microsecond
+	for _, ratio := range ratios {
+		s := rtime.Duration(math.Max(1, math.Round(float64(r)*ratio)))
+		w := WorkloadSpec{
+			NumTasks: 6, NumObjects: 3, AccessesPerJob: 6,
+			MeanExec: 400 * rtime.Microsecond, TargetAL: 0.5,
+			Class: StepTUFs, MaxArrivals: 1,
+		}
+		tasks, err := w.Build()
+		if err != nil {
+			return nil, err
+		}
+		wins := 0
+		minThresh := math.Inf(1)
+		for i := range tasks {
+			in, err := analysis.InputsFor(i, tasks, r, s)
+			if err != nil {
+				return nil, err
+			}
+			if in.ExactConditionHolds() {
+				wins++
+			}
+			if th := in.ExactThreshold(); th < minThresh {
+				minThresh = th
+			}
+		}
+		lb, lf, err := bothModes(w, p, r, s, DefaultOpCost)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(ratio, fmt.Sprintf("%d/%d", wins, len(tasks)), minThresh,
+			means(lb, func(st metrics.RunStats) float64 { return float64(st.MeanSojourn) }).String(),
+			means(lf, func(st metrics.RunStats) float64 { return float64(st.MeanSojourn) }).String(),
+		)
+	}
+	return []*Table{t}, nil
+}
+
+// Costs regenerates the §3.6/§5 asymptotic comparison: charged operation
+// counts of one lock-based vs one lock-free RUA scheduling pass as the
+// ready queue grows, against the Θ(n² log n) / Θ(n²) predictions.
+func Costs(p Profile) ([]*Table, error) {
+	t := &Table{
+		ID:      "costs",
+		Title:   "RUA scheduling-pass cost: lock-based O(n² log n) vs lock-free O(n²)",
+		Note:    "charged ops per Select over n jobs with lock dependencies present",
+		Columns: []string{"n", "ops_lockbased", "ops_lockfree", "ratio", "log2(n)"},
+	}
+	ns := []int{4, 8, 16, 32, 64, 128, 256}
+	if p.Name == Quick.Name {
+		ns = []int{8, 32, 128}
+	}
+	for _, n := range ns {
+		wLB, wLF := CostWorld(n)
+		lb := rua.NewLockBased().Select(wLB)
+		lf := rua.NewLockFree().Select(wLF)
+		ratio := float64(lb.Ops) / float64(lf.Ops)
+		t.AddRow(n, lb.Ops, lf.Ops, ratio, math.Log2(float64(n)))
+	}
+	return []*Table{t}, nil
+}
+
+// CostWorld builds a synthetic n-job world exhibiting the paper's §3.6
+// worst case: an O(n)-long dependency chain (J_i holds object i while
+// waiting for object i−1, the nested-section shape that makes chains
+// deep), so lock-based RUA's per-job aggregate work is Θ(n) while
+// lock-free RUA's stays Θ(1) plus schedule insertion. Exported for reuse
+// by the root benchmarks. The chain state is installed directly on the
+// resource map — the cost experiment measures one scheduling pass, not an
+// execution.
+func CostWorld(n int) (lockBased, lockFree sched.World) {
+	res := resource.NewMap()
+	w := WorkloadSpec{
+		NumTasks: n, NumObjects: maxInt(n, 1), AccessesPerJob: 1,
+		MeanExec: 300 * rtime.Microsecond, TargetAL: 0.8,
+		Class: HeterogeneousTUFs, MaxArrivals: 1,
+	}
+	tasks, err := w.Build()
+	if err != nil {
+		panic(err)
+	}
+	jobs := make([]*task.Job, n)
+	for i, tk := range tasks {
+		jobs[i] = task.NewJob(tk, 0, rtime.Time(i))
+	}
+	// J_0 holds o_0. For i ≥ 1: J_i holds o_i and waits on o_{i-1}.
+	for i := 0; i < n; i++ {
+		if granted, _, err := res.TryAcquire(jobs[i], i); err != nil || !granted {
+			panic(fmt.Sprintf("experiment: CostWorld acquire %d: granted=%v err=%v", i, granted, err))
+		}
+	}
+	for i := 1; i < n; i++ {
+		if granted, _, err := res.TryAcquire(jobs[i], i-1); err != nil || granted {
+			panic(fmt.Sprintf("experiment: CostWorld wait %d: granted=%v err=%v", i, granted, err))
+		}
+		jobs[i].State = task.Blocked
+	}
+	lockBased = sched.World{Now: 0, Jobs: jobs, Res: res, Acc: 10, LockBased: true}
+	lockFree = sched.World{Now: 0, Jobs: jobs, Res: res, Acc: 10, LockBased: false}
+	return lockBased, lockFree
+}
+
+// AURBoundsExp checks Lemmas 4 and 5: simulated AUR must not exceed the
+// analytic upper bound (and the lower bound must not exceed the upper).
+func AURBoundsExp(p Profile) ([]*Table, error) {
+	t := &Table{
+		ID:      "aurbounds",
+		Title:   "Lemma 4/5 AUR bounds vs simulated AUR (underload, non-increasing TUFs)",
+		Note:    "upper bound uses shortest sojourns at max rate; lower uses worst sojourns at min rate",
+		Columns: []string{"mode", "lower", "measured", "upper", "ok"},
+	}
+	w := WorkloadSpec{
+		NumTasks: 8, NumObjects: 4, AccessesPerJob: 2,
+		MeanExec: 300 * rtime.Microsecond, TargetAL: 0.3,
+		Class: HeterogeneousTUFs, MaxArrivals: 1,
+	}
+	tasks, err := w.Build()
+	if err != nil {
+		return nil, err
+	}
+	interfLF, err := analysis.InterferenceVector(tasks, DefaultS)
+	if err != nil {
+		return nil, err
+	}
+	interfLB, err := analysis.InterferenceVector(tasks, DefaultR)
+	if err != nil {
+		return nil, err
+	}
+	lfB, err := analysis.LockFreeAUR(tasks, DefaultS, interfLF)
+	if err != nil {
+		return nil, err
+	}
+	lbB, err := analysis.LockBasedAUR(tasks, DefaultR, interfLB)
+	if err != nil {
+		return nil, err
+	}
+	lb, lf, err := bothModes(w, p, DefaultR, DefaultS, 0)
+	if err != nil {
+		return nil, err
+	}
+	const eps = 1e-9
+	mlb := means(lb, func(s metrics.RunStats) float64 { return s.AUR })
+	mlf := means(lf, func(s metrics.RunStats) float64 { return s.AUR })
+	okLB := mlb.Mean <= lbB.Upper+eps && lbB.Lower <= lbB.Upper+eps
+	okLF := mlf.Mean <= lfB.Upper+eps && lfB.Lower <= lfB.Upper+eps
+	t.AddRow("lock-based", lbB.Lower, mlb.String(), lbB.Upper, okLB)
+	t.AddRow("lock-free", lfB.Lower, mlf.String(), lfB.Upper, okLF)
+	if !okLB || !okLF {
+		return []*Table{t}, fmt.Errorf("experiment: AUR bounds violated (see table)")
+	}
+	return []*Table{t}, nil
+}
+
+// Runner is one registered experiment.
+type Runner func(Profile) ([]*Table, error)
+
+// Registry maps experiment ids to runners, in the order DESIGN.md lists
+// them.
+var Registry = map[string]Runner{
+	"fig8":            Fig8,
+	"fig9":            Fig9,
+	"fig10":           Fig10,
+	"fig11":           Fig11,
+	"fig12":           Fig12,
+	"fig13":           Fig13,
+	"fig14":           Fig14,
+	"thm2":            Thm2,
+	"thm3":            Thm3,
+	"costs":           Costs,
+	"aurbounds":       AURBoundsExp,
+	"ablation-retry":  AblationRetry,
+	"ablation-opcost": AblationOpCost,
+	"baselines":       Baselines,
+	"multicpu":        MultiCPU,
+	"globalcpu":       GlobalCPU,
+	"lockdisc":        LockDisciplines,
+}
+
+// Names returns the registered experiment ids in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for k := range Registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sweepInts returns the object-count sweep for the profile.
+func sweepInts(p Profile, lo, hi int) []int {
+	if p.Name == Quick.Name {
+		return []int{lo, (lo + hi) / 2, hi}
+	}
+	out := make([]int, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func loadGrid(p Profile) []float64 {
+	if p.Name == Quick.Name {
+		return []float64{0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.2}
+	}
+	out := make([]float64, 0, 12)
+	for al := 0.1; al <= 1.21; al += 0.1 {
+		out = append(out, al)
+	}
+	return out
+}

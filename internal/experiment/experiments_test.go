@@ -1,0 +1,301 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWorkloadBuild(t *testing.T) {
+	w := WorkloadSpec{
+		NumTasks: 10, NumObjects: 10, AccessesPerJob: 4,
+		MeanExec: 500, TargetAL: 0.4, Class: HeterogeneousTUFs, MaxArrivals: 2,
+	}
+	tasks, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 10 {
+		t.Fatalf("built %d tasks", len(tasks))
+	}
+	// AL must hit the target closely (integer rounding aside).
+	al := 0.0
+	for _, tk := range tasks {
+		al += float64(tk.ComputeTime()) / float64(tk.CriticalTime())
+		if tk.NumAccesses() != 4 {
+			t.Fatalf("task %d has %d accesses", tk.ID, tk.NumAccesses())
+		}
+	}
+	if al < 0.35 || al > 0.45 {
+		t.Fatalf("AL = %v, want ≈0.4", al)
+	}
+	// Heterogeneous class mixes shapes.
+	shapes := map[string]bool{}
+	for _, tk := range tasks {
+		shapes[tk.TUF.Shape()] = true
+	}
+	if len(shapes) < 3 {
+		t.Fatalf("shapes = %v, want 3 kinds", shapes)
+	}
+}
+
+func TestWorkloadBuildRejects(t *testing.T) {
+	bad := []WorkloadSpec{
+		{NumTasks: 0, MeanExec: 1, TargetAL: 1},
+		{NumTasks: 1, MeanExec: 0, TargetAL: 1},
+		{NumTasks: 1, MeanExec: 1, TargetAL: 0},
+		{NumTasks: 1, MeanExec: 1, TargetAL: 1, AccessesPerJob: 2, NumObjects: 0},
+	}
+	for i, w := range bad {
+		if _, err := w.Build(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Note: "n", Columns: []string{"a", "bb"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("long-cell", true)
+	out := tb.Render()
+	for _, want := range []string{"== x: demo ==", "a", "bb", "long-cell", "2.5", "true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "thm2", "thm3", "costs", "aurbounds", "ablation-retry", "ablation-opcost", "baselines", "multicpu", "globalcpu", "lockdisc"}
+	for _, id := range want {
+		if Registry[id] == nil {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(Names()) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(Names()), len(want))
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	ts, err := Fig8(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Shape check: r_eff must exceed s_eff at every object count (the
+	// figure's headline: r ≫ s).
+	for _, row := range tb.Rows {
+		if !(parseLead(row[1]) > parseLead(row[2])) {
+			t.Fatalf("r_eff not above s_eff: %v", row)
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	ts, err := Fig9(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	// At long executions every variant reaches a high CML; at short
+	// executions lock-based lags ideal (Fig 9's shape).
+	if parseLead(last[1]) < 0.5 || parseLead(last[2]) < 0.5 {
+		t.Fatalf("long-exec CMLs too low: %v", last)
+	}
+	first := tb.Rows[0]
+	if parseLead(first[3]) > parseLead(first[1]) {
+		t.Fatalf("short-exec lock-based CML above ideal: %v", first)
+	}
+}
+
+func TestFig12OverloadShape(t *testing.T) {
+	ts, err := Fig12(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	// At the maximum object count during overload, lock-free AUR must
+	// beat lock-based (the paper's ≈65% gap).
+	last := tb.Rows[len(tb.Rows)-1]
+	lbAUR, lfAUR := parseLead(last[1]), parseLead(last[2])
+	if lfAUR <= lbAUR {
+		t.Fatalf("lock-free AUR %v not above lock-based %v at 10 objects overload", lfAUR, lbAUR)
+	}
+}
+
+func TestThm2BoundHolds(t *testing.T) {
+	if _, err := Thm2(Quick); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostsShape(t *testing.T) {
+	ts, err := Costs(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	// Lock-based ops above lock-free at every n, and the gap grows.
+	var prevRatio float64
+	for _, row := range tb.Rows {
+		ratio := parseLead(row[3])
+		if ratio <= 1 {
+			t.Fatalf("ratio ≤ 1: %v", row)
+		}
+		if prevRatio > 0 && ratio < prevRatio*0.8 {
+			t.Fatalf("ratio shrank sharply: %v after %v", ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+}
+
+func TestAURBoundsHold(t *testing.T) {
+	if _, err := AURBoundsExp(Quick); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThm3Runs(t *testing.T) {
+	ts, err := Thm3(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts[0].Rows) != 3 {
+		t.Fatalf("rows = %d", len(ts[0].Rows))
+	}
+}
+
+func TestFig14Runs(t *testing.T) {
+	ts, err := Fig14(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts[0].Rows) != 2 {
+		t.Fatalf("rows = %d", len(ts[0].Rows))
+	}
+}
+
+// parseLead extracts the leading float of a cell like "0.9123 ± 0.0021".
+func parseLead(cell string) float64 {
+	cell = strings.TrimSpace(cell)
+	end := len(cell)
+	for i, r := range cell {
+		if !(r == '.' || r == '-' || r == '+' || r == 'e' || (r >= '0' && r <= '9')) {
+			end = i
+			break
+		}
+	}
+	f, err := strconv.ParseFloat(cell[:end], 64)
+	if err != nil {
+		return -1
+	}
+	return f
+}
+
+func TestAblationRetryInvariant(t *testing.T) {
+	if _, err := AblationRetry(Quick); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationOpCostMonotone(t *testing.T) {
+	ts, err := AblationOpCost(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Overhead strictly grows with op cost; AUR must not improve.
+	o0, o1, o2 := parseLead(tb.Rows[0][1]), parseLead(tb.Rows[1][1]), parseLead(tb.Rows[2][1])
+	if !(o0 == 0 && o1 > 0 && o2 > o1) {
+		t.Fatalf("overheads not increasing: %v %v %v", o0, o1, o2)
+	}
+	a0, a2 := parseLead(tb.Rows[0][2]), parseLead(tb.Rows[2][2])
+	if a2 > a0+1e-9 {
+		t.Fatalf("AUR improved with slower scheduler: %v -> %v", a0, a2)
+	}
+}
+
+func TestBaselinesOverloadShape(t *testing.T) {
+	ts, err := Baselines(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Overload row: RUA must beat EDF on accrued utility.
+	over := tb.Rows[1]
+	if parseLead(over[1]) <= parseLead(over[3]) {
+		t.Fatalf("RUA AUR %v not above EDF %v under overload", over[1], over[3])
+	}
+}
+
+func TestMultiCPUShape(t *testing.T) {
+	ts, err := MultiCPU(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// More CPUs must raise aggregate AUR on an overloaded set.
+	if parseLead(tb.Rows[1][1]) <= parseLead(tb.Rows[0][1]) {
+		t.Fatalf("AUR did not improve with CPUs: %v", tb.Rows)
+	}
+}
+
+func TestGlobalCPUShape(t *testing.T) {
+	ts, err := GlobalCPU(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Both disciplines improve with CPUs.
+	if parseLead(tb.Rows[1][1]) <= parseLead(tb.Rows[0][1]) {
+		t.Fatalf("global AUR did not improve: %v", tb.Rows)
+	}
+	if parseLead(tb.Rows[1][2]) <= parseLead(tb.Rows[0][2]) {
+		t.Fatalf("partitioned AUR did not improve: %v", tb.Rows)
+	}
+}
+
+func TestLockDisciplinesOrdering(t *testing.T) {
+	ts, err := LockDisciplines(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := ts[0].Rows[0]
+	lockfree := parseLead(row[4])
+	edf := parseLead(row[1])
+	if lockfree <= edf {
+		t.Fatalf("lock-free RUA %v not above naive lock-based EDF %v", lockfree, edf)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := &Table{ID: "x", Title: "demo", Columns: []string{"a", "b"}}
+	tb.AddRow(1, "two, with comma")
+	out := tb.RenderCSV()
+	if !strings.Contains(out, "# x,demo") {
+		t.Fatalf("missing header record: %q", out)
+	}
+	if !strings.Contains(out, `"two, with comma"`) {
+		t.Fatalf("comma cell not quoted: %q", out)
+	}
+}

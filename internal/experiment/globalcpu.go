@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"repro/internal/gsim"
+	"repro/internal/metrics"
+	"repro/internal/multi"
+	"repro/internal/rtime"
+	"repro/internal/rua"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/uam"
+)
+
+// GlobalCPU contrasts the two §7 multiprocessor disciplines on the same
+// overloaded, object-sharing workload: GLOBAL scheduling (one ready
+// queue, migration, true parallel conflicts with commit-time validation
+// — internal/gsim) versus PARTITIONED (object-aware static assignment,
+// each partition a paper-model uniprocessor — internal/multi). Two
+// shapes matter: aggregate AUR climbs with CPUs either way, and global
+// scheduling's retries GROW with CPUs because parallel commits conflict
+// without any preemption — the regime where the paper's uniprocessor
+// Theorem 2 no longer applies, which is exactly why it is future work.
+func GlobalCPU(p Profile) ([]*Table, error) {
+	t := &Table{
+		ID:      "globalcpu",
+		Title:   "global vs partitioned multiprocessor RUA (total load ≈ 2.2)",
+		Note:    "16 tasks, pairs sharing an object; lock-free RUA; retries are totals over the run",
+		Columns: []string{"cpus", "AUR_global", "AUR_partitioned", "retries_global", "retries_partitioned"},
+	}
+	cpuCounts := []int{1, 2, 4, 8}
+	if p.Name == Quick.Name {
+		cpuCounts = []int{1, 4}
+	}
+	mkTasks := func() ([]*task.Task, error) {
+		w := WorkloadSpec{
+			NumTasks: 16, NumObjects: 8, AccessesPerJob: 2,
+			MeanExec: 500 * rtime.Microsecond, TargetAL: 2.2,
+			Class: StepTUFs, MaxArrivals: 2,
+		}
+		tasks, err := w.Build()
+		if err != nil {
+			return nil, err
+		}
+		for i, tk := range tasks {
+			obj := i / 2
+			for si, seg := range tk.Segments {
+				if seg.Kind == task.Access {
+					tk.Segments[si].Object = obj
+				}
+			}
+		}
+		return tasks, nil
+	}
+	for _, cpus := range cpuCounts {
+		var gAUR, pAUR []float64
+		var gRetries, pRetries int64
+		for _, seed := range p.Seeds {
+			tasks, err := mkTasks()
+			if err != nil {
+				return nil, err
+			}
+			horizon := horizonFor(tasks, p)
+			gRes, err := gsim.Run(gsim.Config{
+				CPUs: cpus, Tasks: tasks, Scheduler: rua.NewLockFree(),
+				Mode: sim.LockFree, R: DefaultR, S: DefaultS, OpCost: 0,
+				Horizon: horizon, ArrivalKind: uam.KindJittered, Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			gStats := metrics.Analyze(gRes)
+			gAUR = append(gAUR, gStats.AUR)
+			gRetries += gRes.Retries
+
+			tasks2, err := mkTasks()
+			if err != nil {
+				return nil, err
+			}
+			pRes, err := multi.Run(multi.Config{
+				CPUs: cpus, Tasks: tasks2, Mode: sim.LockFree,
+				R: DefaultR, S: DefaultS, OpCost: 0,
+				Horizon: horizon, ArrivalKind: uam.KindJittered, Seed: seed,
+				ConservativeRetry: false,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pAUR = append(pAUR, pRes.Stats.AUR)
+			pRetries += pRes.Stats.Retries
+		}
+		t.AddRow(cpus,
+			metrics.Summarize(gAUR).String(),
+			metrics.Summarize(pAUR).String(),
+			gRetries, pRetries)
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/rtime"
+	"repro/internal/rua"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/uam"
+)
+
+// LockDisciplines lines up the synchronization disciplines of §1.1 on
+// one sharing-heavy workload: naive lock-based EDF (unbounded priority
+// inversion), EDF with priority inheritance (inversion bounded, but
+// urgency-only), lock-based RUA (dependency-chain UA scheduling), and
+// lock-free RUA (the paper's answer). Under load the UA schedulers
+// dominate decisively; between the two deadline schedulers the access
+// costs saturate the processor so thoroughly that bounding inversion
+// (PIP) cannot rescue either — neither sheds load, which is the paper's
+// §1 point about deadline scheduling during overloads.
+func LockDisciplines(p Profile) ([]*Table, error) {
+	t := &Table{
+		ID:      "lockdisc",
+		Title:   "synchronization disciplines under sharing-heavy load",
+		Note:    "10 tasks, 6 accesses over 2 objects; AUR mean ± 95% CI",
+		Columns: []string{"AL", "AUR_edf_locks", "AUR_pip_locks", "AUR_rua_locks", "AUR_rua_lockfree"},
+	}
+	type variant struct {
+		sched func() sched.Scheduler
+		mode  sim.Mode
+	}
+	variants := []variant{
+		{func() sched.Scheduler { return sched.EDF{} }, sim.LockBased},
+		{func() sched.Scheduler { return sched.PIP{} }, sim.LockBased},
+		{func() sched.Scheduler { return rua.NewLockBased() }, sim.LockBased},
+		{func() sched.Scheduler { return rua.NewLockFree() }, sim.LockFree},
+	}
+	loads := []float64{0.3, 0.6, 0.9}
+	if p.Name == Quick.Name {
+		loads = []float64{0.6}
+	}
+	for _, al := range loads {
+		aurs := make([][]float64, len(variants))
+		for _, seed := range p.Seeds {
+			for vi, v := range variants {
+				w := WorkloadSpec{
+					NumTasks: 10, NumObjects: 2, AccessesPerJob: 6,
+					MeanExec: 500 * rtime.Microsecond, TargetAL: al,
+					Class: StepTUFs, MaxArrivals: 2,
+				}
+				tasks, err := w.Build()
+				if err != nil {
+					return nil, err
+				}
+				res, err := sim.Run(sim.Config{
+					Tasks: tasks, Scheduler: v.sched(), Mode: v.mode,
+					R: DefaultR, S: DefaultS, OpCost: DefaultOpCost,
+					Horizon:     horizonFor(tasks, p),
+					ArrivalKind: uam.KindJittered, Seed: seed, ConservativeRetry: true,
+				})
+				if err != nil {
+					return nil, err
+				}
+				aurs[vi] = append(aurs[vi], metrics.Analyze(res).AUR)
+			}
+		}
+		t.AddRow(al,
+			metrics.Summarize(aurs[0]).String(),
+			metrics.Summarize(aurs[1]).String(),
+			metrics.Summarize(aurs[2]).String(),
+			metrics.Summarize(aurs[3]).String(),
+		)
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment artifact: one per paper table or figure
+// panel. Rows are pre-formatted strings so each experiment controls its
+// own precision.
+type Table struct {
+	ID      string // experiment id, e.g. "fig9"
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render produces an aligned text table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// RenderCSV produces the table as CSV with a leading header row. The
+// experiment id and title travel in a comment-style first record so
+// concatenated outputs stay self-describing.
+func (t *Table) RenderCSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	w.Write(append([]string{"# " + t.ID}, t.Title))
+	w.Write(t.Columns)
+	for _, r := range t.Rows {
+		w.Write(r)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,170 @@
+// Package experiment builds the paper's evaluation workloads and
+// regenerates every table and figure of §6 (plus validation experiments
+// for Theorems 2–3 and Lemmas 4–5). Each experiment returns text Tables
+// whose rows mirror the series the paper plots; cmd/rtsim prints them,
+// and EXPERIMENTS.md records paper-vs-measured shapes.
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/rtime"
+	"repro/internal/task"
+	"repro/internal/tuf"
+	"repro/internal/uam"
+)
+
+// TUFClass selects the paper's two TUF populations (§6.2).
+type TUFClass int
+
+// TUF classes.
+const (
+	// StepTUFs is the homogeneous class: downward steps only.
+	StepTUFs TUFClass = iota
+	// HeterogeneousTUFs cycles step, parabolic, and linearly-decreasing
+	// shapes across the task set.
+	HeterogeneousTUFs
+)
+
+func (c TUFClass) String() string {
+	if c == HeterogeneousTUFs {
+		return "heterogeneous"
+	}
+	return "step"
+}
+
+// WorkloadSpec parameterizes the canonical evaluation workload: N tasks
+// sharing NumObjects queues "arbitrarily", sized to an approximate load
+// AL (§6.1's Σ u_i/C_i), with per-task UAM arrival bands.
+type WorkloadSpec struct {
+	NumTasks   int
+	NumObjects int
+	// AccessesPerJob is m_i for every task (the x-axis of Figs 10–13 is
+	// driven by raising this together with NumObjects).
+	AccessesPerJob int
+	// MeanExec is the average per-job compute time u_i (excluding object
+	// accesses), the x-axis of Fig 9.
+	MeanExec rtime.Duration
+	// TargetAL is the approximate load Σ u_i/C_i the set is sized to.
+	TargetAL float64
+	// Class picks the TUF population.
+	Class TUFClass
+	// MaxArrivals is the per-window UAM burst bound a_i (≥ 1).
+	MaxArrivals int
+	// AbortCost is the exception-handler execution time (§3.5).
+	AbortCost rtime.Duration
+}
+
+// Build materializes the workload. Task i gets compute time spread around
+// MeanExec (0.5×…1.5×), critical time C_i = N·u_i/AL so that the set's AL
+// matches TargetAL exactly, utility 10·(i+1) (so importance and urgency
+// are uncorrelated, as the TUF model intends), and accesses cycling over
+// the shared objects starting at an offset — the paper's "accessing 10
+// shared queues, arbitrarily".
+//
+// The UAM window is derived so the band's MEAN arrival rate makes the
+// long-run processor utilization equal TargetAL: the jittered generator
+// paces at (l+a)/(2W) jobs per tick, so W_i = (l_i+a_i)·C_i/2 with
+// l_i = max(0, 2−a_i) keeps rate·u summing to AL while honouring the §2
+// constraint C_i ≤ W_i. AL therefore reads as real load, as in Fig 9's
+// CML axis.
+func (w WorkloadSpec) Build() ([]*task.Task, error) {
+	if w.NumTasks <= 0 {
+		return nil, fmt.Errorf("experiment: NumTasks %d must be positive", w.NumTasks)
+	}
+	if w.TargetAL <= 0 {
+		return nil, fmt.Errorf("experiment: TargetAL %v must be positive", w.TargetAL)
+	}
+	if w.MeanExec <= 0 {
+		return nil, fmt.Errorf("experiment: MeanExec %v must be positive", w.MeanExec)
+	}
+	if w.AccessesPerJob > 0 && w.NumObjects <= 0 {
+		return nil, fmt.Errorf("experiment: accesses requested with no objects")
+	}
+	a := w.MaxArrivals
+	if a < 1 {
+		a = 1
+	}
+	tasks := make([]*task.Task, w.NumTasks)
+	for i := range tasks {
+		// Spread compute times deterministically in [0.5, 1.5]·MeanExec.
+		frac := 0.5 + float64(i)/float64(maxInt(w.NumTasks-1, 1))
+		u := rtime.Duration(float64(w.MeanExec) * frac)
+		if u < 1 {
+			u = 1
+		}
+		// Per-task load share AL/N ⇒ C_i = u_i·N/AL.
+		c := rtime.Duration(float64(u) * float64(w.NumTasks) / w.TargetAL)
+		if c <= u {
+			c = u + 1
+		}
+		util := 10 * float64(i+1)
+		var f tuf.TUF
+		if w.Class == HeterogeneousTUFs {
+			switch i % 3 {
+			case 0:
+				f = tuf.MustStep(util, c)
+			case 1:
+				f = tuf.MustParabolic(util, c)
+			default:
+				f = tuf.MustLinear(util, c)
+			}
+		} else {
+			f = tuf.MustStep(util, c)
+		}
+		objs := make([]int, maxInt(w.AccessesPerJob, 1))
+		for k := range objs {
+			objs[k] = (i + k) % maxInt(w.NumObjects, 1)
+		}
+		l := maxInt(0, 2-a)
+		win := rtime.Duration(int64(l+a) * int64(c) / 2)
+		if win < c {
+			win = c
+		}
+		tasks[i] = &task.Task{
+			ID:        i,
+			Name:      fmt.Sprintf("T%d", i),
+			TUF:       f,
+			Arrival:   uam.Spec{L: l, A: a, W: win},
+			Segments:  task.InterleavedSegments(u, w.AccessesPerJob, objs),
+			AbortCost: w.AbortCost,
+		}
+		if err := tasks[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return tasks, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Profile scales experiment sizes: Quick for tests, Full for the CLI and
+// EXPERIMENTS.md numbers.
+type Profile struct {
+	Name        string
+	HorizonMult int // horizon = mult · max critical time
+	Seeds       []int64
+}
+
+// Quick is a small profile for unit tests (one seed, short horizon).
+var Quick = Profile{Name: "quick", HorizonMult: 30, Seeds: []int64{1}}
+
+// Full matches the paper's ≥ 5000-arrival scale (long horizon, five
+// seeds for the 95 % CI error bars).
+var Full = Profile{Name: "full", HorizonMult: 400, Seeds: []int64{1, 2, 3, 4, 5}}
+
+// horizonFor sizes the horizon from the workload's largest critical time.
+func horizonFor(tasks []*task.Task, p Profile) rtime.Time {
+	var maxC rtime.Duration
+	for _, t := range tasks {
+		if c := t.CriticalTime(); c > maxC {
+			maxC = c
+		}
+	}
+	return rtime.Time(int64(maxC) * int64(p.HorizonMult))
+}

@@ -1,0 +1,546 @@
+// Package gsim is the GLOBAL multiprocessor extension of the simulator —
+// the second half of the paper's §7 future work (internal/multi covers
+// the partitioned half). M identical processors share one ready queue; at
+// every scheduling event the scheduler ranks all live jobs (sched.TopK)
+// and the M highest-priority runnable jobs execute in parallel, with
+// migration allowed.
+//
+// The interesting new physics is true parallel object conflict, which
+// cannot happen on one processor: two jobs can be INSIDE the same
+// lock-free object's access simultaneously, so optimistic execution must
+// validate at commit time — a job reaching the end of its access re-runs
+// it if any conflicting commit landed on the object since the access
+// began (exactly a failed CAS). Retries therefore occur without any
+// preemption, which is why the paper's uniprocessor Theorem 2 bound does
+// not transfer to global scheduling and why the paper leaves
+// multiprocessors as future work; the gsim experiment quantifies that
+// gap empirically.
+//
+// Model simplifications relative to internal/sim (documented, validated):
+// abort handlers are instantaneous (AbortCost must be 0), and scheduler
+// overhead is modelled as a global dispatch latency.
+package gsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/resource"
+	"repro/internal/rtime"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/uam"
+)
+
+// ErrConfig reports an invalid configuration.
+var ErrConfig = errors.New("gsim: invalid config")
+
+// Config describes a global multiprocessor run.
+type Config struct {
+	CPUs      int
+	Tasks     []*task.Task
+	Scheduler sched.TopK
+	Mode      sim.Mode
+	R, S      rtime.Duration
+	OpCost    float64
+	Horizon   rtime.Time
+
+	ArrivalKind uam.Kind
+	Seed        int64
+	Arrivals    []uam.Trace
+}
+
+func (c *Config) validate() error {
+	if c.CPUs < 1 {
+		return fmt.Errorf("%w: %d CPUs", ErrConfig, c.CPUs)
+	}
+	if len(c.Tasks) == 0 {
+		return fmt.Errorf("%w: no tasks", ErrConfig)
+	}
+	if c.Scheduler == nil {
+		return fmt.Errorf("%w: no scheduler", ErrConfig)
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("%w: horizon %v", ErrConfig, c.Horizon)
+	}
+	if c.R <= 0 || c.S <= 0 {
+		return fmt.Errorf("%w: access costs R=%v S=%v", ErrConfig, c.R, c.S)
+	}
+	if c.OpCost < 0 || math.IsNaN(c.OpCost) || math.IsInf(c.OpCost, 0) {
+		return fmt.Errorf("%w: op cost %v", ErrConfig, c.OpCost)
+	}
+	for _, t := range c.Tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if t.AbortCost != 0 {
+			return fmt.Errorf("%w: task %d has AbortCost %v; gsim models instantaneous handlers", ErrConfig, t.ID, t.AbortCost)
+		}
+		if t.UsesExplicitSections() {
+			return fmt.Errorf("%w: task %d uses explicit Lock/Unlock sections (unsupported in gsim)", ErrConfig, t.ID)
+		}
+	}
+	return nil
+}
+
+type evKind int
+
+const (
+	evArrival evKind = iota
+	evCritical
+	evInternal
+	evDispatch
+)
+
+type event struct {
+	at   rtime.Time
+	seq  int64
+	kind evKind
+	job  *task.Job
+	cpu  int
+	gen  int64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type jobState struct {
+	accessStart rtime.Time
+	midAccess   bool
+}
+
+// Engine executes one global multiprocessor run.
+type Engine struct {
+	cfg Config
+	acc rtime.Duration
+
+	now    rtime.Time
+	events eventHeap
+	seq    int64
+	res    *resource.Map
+	live   []*task.Job
+	all    []*task.Job
+
+	running     []*task.Job // per CPU
+	runPos      []rtime.Time
+	internalGen []int64
+
+	dispatchGen int64
+	pendingRun  []*task.Job
+	busyUntil   rtime.Time
+
+	states map[*task.Job]*jobState
+
+	res1 sim.Result
+	fail error
+}
+
+// New builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:         cfg,
+		res:         resource.NewMap(),
+		running:     make([]*task.Job, cfg.CPUs),
+		runPos:      make([]rtime.Time, cfg.CPUs),
+		internalGen: make([]int64, cfg.CPUs),
+		states:      map[*task.Job]*jobState{},
+	}
+	if cfg.Mode == sim.LockBased {
+		e.acc = cfg.R
+	} else {
+		e.acc = cfg.S
+	}
+	for i, t := range cfg.Tasks {
+		var tr uam.Trace
+		if cfg.Arrivals != nil {
+			if i < len(cfg.Arrivals) {
+				tr = cfg.Arrivals[i]
+			}
+		} else {
+			g, err := uam.NewGenerator(t.Arrival, cfg.Seed+int64(i)*7919)
+			if err != nil {
+				return nil, err
+			}
+			tr = g.Generate(cfg.ArrivalKind, cfg.Horizon)
+		}
+		for k, at := range tr {
+			e.push(event{at: at, kind: evArrival, job: task.NewJob(t, k, at)})
+		}
+	}
+	return e, nil
+}
+
+func (e *Engine) push(ev event) {
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.events, ev)
+}
+
+func (e *Engine) st(j *task.Job) *jobState {
+	s := e.states[j]
+	if s == nil {
+		s = &jobState{}
+		e.states[j] = s
+	}
+	return s
+}
+
+func (e *Engine) pushInternal(cpu int, at rtime.Time) {
+	e.internalGen[cpu]++
+	e.push(event{at: at, kind: evInternal, cpu: cpu, gen: e.internalGen[cpu]})
+}
+
+func (e *Engine) failWith(err error) {
+	if e.fail == nil {
+		e.fail = err
+	}
+}
+
+// Run executes to the horizon.
+func (e *Engine) Run() sim.Result {
+	for e.events.Len() > 0 && e.fail == nil {
+		ev := heap.Pop(&e.events).(event)
+		if ev.at > e.cfg.Horizon {
+			break
+		}
+		if ev.kind == evInternal && ev.gen != e.internalGen[ev.cpu] {
+			continue
+		}
+		if ev.kind == evDispatch && ev.gen != e.dispatchGen {
+			continue
+		}
+		e.now = ev.at
+		needResched := false
+		switch ev.kind {
+		case evArrival:
+			needResched = e.settleAll()
+			j := ev.job
+			e.live = append(e.live, j)
+			e.all = append(e.all, j)
+			e.res1.Arrivals++
+			e.push(event{at: j.AbsoluteCriticalTime(), kind: evCritical, job: j})
+			needResched = true
+		case evCritical:
+			needResched = e.settleAll()
+			if !ev.job.Done() {
+				e.abort(ev.job)
+				needResched = true
+			}
+		case evInternal:
+			needResched = e.settleCPU(ev.cpu)
+		case evDispatch:
+			needResched = e.settleAll()
+			e.applyAssignment(e.pendingRun)
+		}
+		if needResched && e.fail == nil {
+			e.reschedule()
+		}
+	}
+	e.res1.Jobs = e.all
+	e.res1.Horizon = e.cfg.Horizon
+	e.res1.Err = e.fail
+	var retries int64
+	for _, j := range e.all {
+		retries += j.Retries
+	}
+	e.res1.Retries = retries
+	return e.res1
+}
+
+// settleAll advances every CPU to e.now and reports whether any of them
+// hit a scheduling-event boundary (lock traffic, completion) exactly
+// there.
+func (e *Engine) settleAll() bool {
+	any := false
+	for cpu := range e.running {
+		if e.settleCPU(cpu) {
+			any = true
+		}
+	}
+	return any
+}
+
+func (e *Engine) settleCPU(cpu int) bool {
+	j := e.running[cpu]
+	if j == nil {
+		return false
+	}
+	resched := false
+	delta := e.now.Sub(e.runPos[cpu])
+	for {
+		used, stepEv := j.Step(delta, e.acc)
+		delta -= used
+		e.runPos[cpu] = e.runPos[cpu].Add(used)
+		e.res1.ExecTime += used
+		switch stepEv {
+		case task.StepBudget:
+			return resched
+		case task.StepAccessStart:
+			obj, _ := j.AtAccessStart()
+			if e.cfg.Mode == sim.LockFree {
+				e.st(j).accessStart = e.runPos[cpu]
+				e.pushInternal(cpu, e.runPos[cpu].Add(j.TimeToBoundary(e.acc)))
+				continue
+			}
+			granted, _, err := e.res.TryAcquire(j, obj)
+			if err != nil {
+				e.failWith(err)
+				return false
+			}
+			e.res1.LockEvents++
+			if !granted {
+				j.State = task.Blocked
+			}
+			e.stopCPU(cpu)
+			return true
+		case task.StepAccessEnd:
+			obj := j.Task.Segments[j.SegIdx-1].Object
+			if e.cfg.Mode == sim.LockFree {
+				// Commit-time validation: a conflicting commit since this
+				// access began fails the CAS; re-run the access.
+				if e.res.CommittedAfter(obj, e.st(j).accessStart) {
+					j.SegIdx--
+					j.SegDone = 0
+					j.Retries++
+					e.st(j).accessStart = e.runPos[cpu]
+					e.pushInternal(cpu, e.runPos[cpu].Add(j.TimeToBoundary(e.acc)))
+					continue
+				}
+				e.res.RecordCommit(obj, e.runPos[cpu])
+				e.pushInternal(cpu, e.runPos[cpu].Add(j.TimeToBoundary(e.acc)))
+				continue
+			}
+			if err := e.res.Release(j, obj); err != nil {
+				e.failWith(err)
+				return false
+			}
+			e.res1.LockEvents++
+			e.stopCPU(cpu)
+			return true
+		case task.StepCompleted:
+			j.State = task.Completed
+			j.Completion = e.runPos[cpu]
+			e.res.ReleaseAll(j)
+			e.res1.Completions++
+			e.removeLive(j)
+			e.running[cpu] = nil
+			return true
+		case task.StepLock, task.StepUnlock:
+			e.failWith(fmt.Errorf("gsim: explicit lock boundaries unsupported"))
+			return false
+		}
+	}
+}
+
+func (e *Engine) stopCPU(cpu int) {
+	j := e.running[cpu]
+	if j == nil {
+		return
+	}
+	if _, in := j.InAccess(); in && e.cfg.Mode == sim.LockFree {
+		e.st(j).midAccess = true
+	}
+	if j.State == task.Running {
+		j.State = task.Ready
+	}
+	e.running[cpu] = nil
+}
+
+func (e *Engine) abort(j *task.Job) {
+	for cpu, r := range e.running {
+		if r == j {
+			e.stopCPU(cpu)
+		}
+	}
+	j.State = task.Aborted
+	j.AbortedAt = e.now
+	e.res.ReleaseAll(j)
+	e.removeLive(j)
+	e.res1.Aborts++
+}
+
+func (e *Engine) removeLive(j *task.Job) {
+	for i, x := range e.live {
+		if x == j {
+			e.live = append(e.live[:i], e.live[i+1:]...)
+			return
+		}
+	}
+}
+
+func (e *Engine) reschedule() {
+	w := sched.World{
+		Now:       e.now,
+		Jobs:      e.live,
+		Res:       e.res,
+		Acc:       e.acc,
+		LockBased: e.cfg.Mode == sim.LockBased,
+	}
+	ranked, ops := e.cfg.Scheduler.SelectTopK(w, len(e.live))
+	e.res1.SchedInvocations++
+	e.res1.SchedOps += ops
+	overhead := rtime.Duration(math.Round(float64(ops) * e.cfg.OpCost))
+	e.res1.Overhead += overhead
+	e.dispatchGen++
+	e.pendingRun = ranked
+	start := rtime.MaxTime(e.busyUntil, e.now)
+	e.busyUntil = start.Add(overhead)
+	if e.busyUntil.After(e.now) {
+		e.push(event{at: e.busyUntil, kind: evDispatch, gen: e.dispatchGen})
+		return
+	}
+	e.applyAssignment(ranked)
+}
+
+// applyAssignment maps the ranked job list onto the CPUs: jobs keep their
+// CPU if re-selected in the top slots (affinity); remaining CPUs fill
+// from the ranked list in priority order. A dispatch can fail benignly —
+// an earlier dispatch in the same round may have taken the lock a later
+// candidate needs, blocking it at its boundary — in which case the next
+// ranked job backfills.
+func (e *Engine) applyAssignment(ranked []*task.Job) {
+	selected := make(map[*task.Job]bool, e.cfg.CPUs)
+	count := 0
+	for _, j := range ranked {
+		if count == e.cfg.CPUs {
+			break
+		}
+		if j.Done() || j.State == task.Aborting || selected[j] || !e.runnableNow(j) {
+			continue
+		}
+		selected[j] = true
+		count++
+	}
+	// Stop de-selected runners.
+	for cpu, r := range e.running {
+		if r != nil && !selected[r] {
+			e.stopCPU(cpu)
+		}
+	}
+	placed := make(map[*task.Job]bool, e.cfg.CPUs)
+	for _, r := range e.running {
+		if r != nil {
+			placed[r] = true
+		}
+	}
+	// Fill free CPUs from the ranked list, skipping jobs that block at
+	// dispatch time.
+	for _, j := range ranked {
+		cpu := e.freeCPU()
+		if cpu < 0 || e.fail != nil {
+			break
+		}
+		if j.Done() || j.State == task.Aborting || placed[j] {
+			continue
+		}
+		if e.tryDispatch(cpu, j) {
+			placed[j] = true
+		}
+	}
+}
+
+func (e *Engine) freeCPU() int {
+	for cpu, r := range e.running {
+		if r == nil {
+			return cpu
+		}
+	}
+	return -1
+}
+
+// runnableNow mirrors sched.Runnable plus "not already running" checks
+// handled by the caller.
+func (e *Engine) runnableNow(j *task.Job) bool {
+	if e.cfg.Mode != sim.LockBased {
+		return true
+	}
+	if obj, ok := j.AtAccessStart(); ok {
+		if owner := e.res.Owner(obj); owner != nil && owner != j {
+			return false
+		}
+	}
+	if obj, ok := e.res.WaitingFor(j); ok {
+		if owner := e.res.Owner(obj); owner != nil && owner != j {
+			return false
+		}
+	}
+	return true
+}
+
+// tryDispatch attempts to start j on cpu; it reports false when the job
+// blocks at its lock boundary instead of running (a benign outcome of
+// same-round lock acquisition by a higher-priority job).
+func (e *Engine) tryDispatch(cpu int, j *task.Job) bool {
+	st := e.st(j)
+	if st.midAccess {
+		st.midAccess = false
+		if obj, in := j.InAccess(); in && e.res.CommittedAfter(obj, st.accessStart) {
+			j.RestartAccess()
+		}
+	}
+	if e.cfg.Mode == sim.LockBased {
+		if obj, ok := j.AtAccessStart(); ok {
+			switch owner := e.res.Owner(obj); {
+			case owner == j:
+			case owner == nil:
+				if _, _, err := e.res.TryAcquire(j, obj); err != nil {
+					e.failWith(err)
+					return false
+				}
+				e.res1.LockEvents++
+			default:
+				// Lock taken earlier in this same assignment round:
+				// register the wait and leave the CPU for the next
+				// candidate.
+				if _, _, err := e.res.TryAcquire(j, obj); err != nil {
+					e.failWith(err)
+					return false
+				}
+				e.res1.LockEvents++
+				j.State = task.Blocked
+				return false
+			}
+		}
+	} else if _, ok := j.AtAccessStart(); ok {
+		st.accessStart = e.now
+	}
+	j.State = task.Running
+	j.Disp++
+	e.running[cpu] = j
+	e.runPos[cpu] = e.now
+	e.res1.CtxSwitches++
+	e.pushInternal(cpu, e.now.Add(j.TimeToBoundary(e.acc)))
+	return true
+}
+
+// Run is a convenience wrapper.
+func Run(cfg Config) (sim.Result, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	r := e.Run()
+	return r, r.Err
+}

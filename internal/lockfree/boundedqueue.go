@@ -1,0 +1,106 @@
+package lockfree
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// BoundedQueue is an array-based multi-producer/multi-consumer lock-free
+// queue (the per-cell sequence-number design): each slot carries a
+// sequence counter that tells producers and consumers whose turn it is,
+// so an operation claims its slot with one CAS on the ticket counter and
+// then publishes with a release store. Unlike the linked Michael–Scott
+// queue it allocates nothing per operation and rejects when full —
+// the bounded-memory profile embedded systems want, at the price of a
+// fixed capacity. Retry accounting matches the other objects: every
+// failed claim increments the counter.
+type BoundedQueue[T any] struct {
+	buf     []bqCell[T]
+	mask    uint64
+	enq     atomic.Uint64
+	deq     atomic.Uint64
+	retries atomic.Int64
+}
+
+type bqCell[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// NewBoundedQueue returns a queue with the given capacity, which must be
+// a positive power of two.
+func NewBoundedQueue[T any](capacity int) (*BoundedQueue[T], error) {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("lockfree: bounded queue capacity %d must be a positive power of two", capacity)
+	}
+	q := &BoundedQueue[T]{buf: make([]bqCell[T], capacity), mask: uint64(capacity - 1)}
+	for i := range q.buf {
+		q.buf[i].seq.Store(uint64(i))
+	}
+	return q, nil
+}
+
+// Enqueue appends v; it reports false when the queue is full.
+func (q *BoundedQueue[T]) Enqueue(v T) bool {
+	for {
+		pos := q.enq.Load()
+		c := &q.buf[pos&q.mask]
+		seq := c.seq.Load()
+		switch {
+		case seq == pos:
+			if q.enq.CompareAndSwap(pos, pos+1) {
+				c.val = v
+				c.seq.Store(pos + 1)
+				return true
+			}
+			q.retries.Add(1)
+		case seq < pos:
+			// The slot still holds an unconsumed element: full.
+			return false
+		default:
+			// Another producer claimed this ticket; reload.
+			q.retries.Add(1)
+		}
+	}
+}
+
+// Dequeue removes the oldest element; ok is false when the queue is
+// observed empty.
+func (q *BoundedQueue[T]) Dequeue() (v T, ok bool) {
+	for {
+		pos := q.deq.Load()
+		c := &q.buf[pos&q.mask]
+		seq := c.seq.Load()
+		switch {
+		case seq == pos+1:
+			if q.deq.CompareAndSwap(pos, pos+1) {
+				v = c.val
+				var zero T
+				c.val = zero // release references for the GC
+				c.seq.Store(pos + q.mask + 1)
+				return v, true
+			}
+			q.retries.Add(1)
+		case seq < pos+1:
+			var zero T
+			return zero, false
+		default:
+			q.retries.Add(1)
+		}
+	}
+}
+
+// Len returns the approximate number of elements (exact when quiescent).
+func (q *BoundedQueue[T]) Len() int {
+	n := int64(q.enq.Load()) - int64(q.deq.Load())
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Cap returns the queue capacity.
+func (q *BoundedQueue[T]) Cap() int { return len(q.buf) }
+
+// Retries returns the cumulative claim-retry count.
+func (q *BoundedQueue[T]) Retries() int64 { return q.retries.Load() }

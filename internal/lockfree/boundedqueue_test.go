@@ -1,0 +1,153 @@
+package lockfree
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundedQueueRejectsBadCapacity(t *testing.T) {
+	for _, c := range []int{0, -4, 3, 12} {
+		if _, err := NewBoundedQueue[int](c); err == nil {
+			t.Errorf("capacity %d accepted", c)
+		}
+	}
+	if _, err := NewBoundedQueue[int](16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedQueueFIFOAndBounds(t *testing.T) {
+	q, _ := NewBoundedQueue[int](4)
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("empty queue dequeued")
+	}
+	for i := 0; i < 4; i++ {
+		if !q.Enqueue(i) {
+			t.Fatalf("Enqueue %d failed", i)
+		}
+	}
+	if q.Enqueue(99) {
+		t.Fatal("full queue accepted an element")
+	}
+	if q.Len() != 4 || q.Cap() != 4 {
+		t.Fatalf("Len,Cap = %d,%d", q.Len(), q.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("drained queue dequeued")
+	}
+}
+
+func TestBoundedQueueWrapsManyTimes(t *testing.T) {
+	q, _ := NewBoundedQueue[int](2)
+	for round := 0; round < 1000; round++ {
+		if !q.Enqueue(round) {
+			t.Fatalf("round %d enqueue failed", round)
+		}
+		v, ok := q.Dequeue()
+		if !ok || v != round {
+			t.Fatalf("round %d: (%d,%v)", round, v, ok)
+		}
+	}
+}
+
+func TestBoundedQueueConcurrentMPMC(t *testing.T) {
+	const producers, consumers, per = 4, 4, 600
+	q, _ := NewBoundedQueue[int](64)
+	var wg, cwg sync.WaitGroup
+	results := make(chan int, producers*per)
+	done := make(chan struct{})
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; {
+				if q.Enqueue(p*per + i) {
+					i++
+				}
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				if v, ok := q.Dequeue(); ok {
+					results <- v
+					continue
+				}
+				select {
+				case <-done:
+					for {
+						v, ok := q.Dequeue()
+						if !ok {
+							return
+						}
+						results <- v
+					}
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cwg.Wait()
+	close(results)
+	seen := make(map[int]bool, producers*per)
+	for v := range results {
+		if seen[v] {
+			t.Fatalf("value %d delivered twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*per {
+		t.Fatalf("delivered %d, want %d", len(seen), producers*per)
+	}
+}
+
+// Property: bounded queue matches a bounded model FIFO single-threaded.
+func TestQuickBoundedQueueMatchesModel(t *testing.T) {
+	f := func(capPow uint8, ops []int16) bool {
+		capacity := 1 << (capPow%4 + 1) // 2..16
+		q, err := NewBoundedQueue[int16](capacity)
+		if err != nil {
+			return false
+		}
+		var model []int16
+		for _, op := range ops {
+			if op >= 0 {
+				want := len(model) < capacity
+				if q.Enqueue(op) != want {
+					return false
+				}
+				if want {
+					model = append(model, op)
+				}
+			} else {
+				v, ok := q.Dequeue()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+		}
+		return q.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package lockfree
+
+import "sync/atomic"
+
+// List is a lock-free sorted set of int64 keys in the lineage of Valois's
+// CAS-based linked lists [26], implemented with Harris-style two-phase
+// deletion: a delete first marks the victim's link (logical removal), then
+// unlinks it (physical removal); traversals help finish physical removals
+// they encounter. The (next, marked) pair is kept in a single immutable
+// link cell swapped by CAS, which makes the mark and the successor update
+// atomic without bit-stealing — safe under Go's garbage collector.
+type List struct {
+	head    *lnode
+	retries atomic.Int64
+	length  atomic.Int64
+}
+
+type lnode struct {
+	key  int64
+	link atomic.Pointer[llink]
+}
+
+type llink struct {
+	next   *lnode
+	marked bool
+}
+
+// NewList returns an empty sorted set.
+func NewList() *List {
+	l := &List{head: &lnode{key: -1 << 62}}
+	l.head.link.Store(&llink{})
+	return l
+}
+
+// search returns adjacent nodes (pred, curr) such that pred.key < key and
+// curr is the first unmarked node with curr.key ≥ key (curr may be nil at
+// the tail). It physically removes marked nodes it passes.
+func (l *List) search(key int64) (pred, curr *lnode) {
+retry:
+	for {
+		pred = l.head
+		plink := pred.link.Load()
+		curr = plink.next
+		for curr != nil {
+			clink := curr.link.Load()
+			if clink.marked {
+				// Help unlink the logically deleted node.
+				if !pred.link.CompareAndSwap(plink, &llink{next: clink.next}) {
+					l.retries.Add(1)
+					continue retry
+				}
+				plink = pred.link.Load()
+				curr = plink.next
+				continue
+			}
+			if curr.key >= key {
+				return pred, curr
+			}
+			pred = curr
+			plink = clink
+			curr = clink.next
+		}
+		return pred, nil
+	}
+}
+
+// Insert adds key to the set; it reports false if the key was already
+// present.
+func (l *List) Insert(key int64) bool {
+	for {
+		pred, curr := l.search(key)
+		if curr != nil && curr.key == key {
+			return false
+		}
+		n := &lnode{key: key}
+		n.link.Store(&llink{next: curr})
+		plink := pred.link.Load()
+		if plink.marked || plink.next != curr {
+			l.retries.Add(1)
+			continue
+		}
+		if pred.link.CompareAndSwap(plink, &llink{next: n}) {
+			l.length.Add(1)
+			return true
+		}
+		l.retries.Add(1)
+	}
+}
+
+// Delete removes key from the set; it reports false if absent.
+func (l *List) Delete(key int64) bool {
+	for {
+		_, curr := l.search(key)
+		if curr == nil || curr.key != key {
+			return false
+		}
+		clink := curr.link.Load()
+		if clink.marked {
+			l.retries.Add(1)
+			continue
+		}
+		// Logical removal: mark the victim.
+		if !curr.link.CompareAndSwap(clink, &llink{next: clink.next, marked: true}) {
+			l.retries.Add(1)
+			continue
+		}
+		l.length.Add(-1)
+		// Physical removal is best-effort; search() will finish it.
+		l.search(key)
+		return true
+	}
+}
+
+// Contains reports whether key is in the set. It does not modify the list
+// and never retries — a wait-free read.
+func (l *List) Contains(key int64) bool {
+	curr := l.head.link.Load().next
+	for curr != nil && curr.key < key {
+		curr = curr.link.Load().next
+	}
+	if curr == nil || curr.key != key {
+		return false
+	}
+	return !curr.link.Load().marked
+}
+
+// Keys returns a snapshot of the unmarked keys in ascending order. Like
+// any lock-free snapshot it is only guaranteed exact when quiescent.
+func (l *List) Keys() []int64 {
+	var out []int64
+	curr := l.head.link.Load().next
+	for curr != nil {
+		cl := curr.link.Load()
+		if !cl.marked {
+			out = append(out, curr.key)
+		}
+		curr = cl.next
+	}
+	return out
+}
+
+// Len returns the approximate number of keys (exact when quiescent).
+func (l *List) Len() int { return int(l.length.Load()) }
+
+// Retries returns the cumulative CAS-retry count.
+func (l *List) Retries() int64 { return l.retries.Load() }
+
+// ResetRetries zeroes the retry counter and returns the previous value.
+func (l *List) ResetRetries() int64 { return l.retries.Swap(0) }

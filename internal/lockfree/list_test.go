@@ -1,0 +1,173 @@
+package lockfree
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestListBasic(t *testing.T) {
+	l := NewList()
+	if l.Contains(5) {
+		t.Fatal("empty list contains 5")
+	}
+	if !l.Insert(5) || !l.Insert(3) || !l.Insert(9) {
+		t.Fatal("insert of fresh keys failed")
+	}
+	if l.Insert(5) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if got := l.Keys(); len(got) != 3 || got[0] != 3 || got[1] != 5 || got[2] != 9 {
+		t.Fatalf("Keys = %v, want [3 5 9]", got)
+	}
+	if !l.Contains(3) || !l.Contains(5) || !l.Contains(9) || l.Contains(4) {
+		t.Fatal("Contains wrong")
+	}
+	if !l.Delete(5) {
+		t.Fatal("delete of present key failed")
+	}
+	if l.Delete(5) {
+		t.Fatal("double delete succeeded")
+	}
+	if l.Contains(5) {
+		t.Fatal("deleted key still present")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+}
+
+func TestListSortedAfterRandomOps(t *testing.T) {
+	l := NewList()
+	keys := []int64{42, 7, 19, 3, 88, 54, 21, 0, -5, 100}
+	for _, k := range keys {
+		l.Insert(k)
+	}
+	got := l.Keys()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("Keys not sorted: %v", got)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("len = %d, want %d", len(got), len(keys))
+	}
+}
+
+func TestListConcurrentDisjointInserts(t *testing.T) {
+	l := NewList()
+	const goroutines, per = 4, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if !l.Insert(int64(g*per + i)) {
+					t.Errorf("disjoint insert %d failed", g*per+i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() != goroutines*per {
+		t.Fatalf("Len = %d, want %d", l.Len(), goroutines*per)
+	}
+	keys := l.Keys()
+	if len(keys) != goroutines*per {
+		t.Fatalf("Keys len = %d", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys out of order at %d: %d ≥ %d", i, keys[i-1], keys[i])
+		}
+	}
+}
+
+func TestListConcurrentInsertDeleteSameKeys(t *testing.T) {
+	l := NewList()
+	const keys = 64
+	var inserted, deleted [keys]int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var ins, del [keys]int64
+			for i := 0; i < 1500; i++ {
+				k := int64((i*7 + g*13) % keys)
+				if i%2 == 0 {
+					if l.Insert(k) {
+						ins[k]++
+					}
+				} else {
+					if l.Delete(k) {
+						del[k]++
+					}
+				}
+			}
+			mu.Lock()
+			for k := 0; k < keys; k++ {
+				inserted[k] += ins[k]
+				deleted[k] += del[k]
+			}
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	// Invariant: for each key, inserts − deletes == 1 if present, 0 if not.
+	final := map[int64]bool{}
+	for _, k := range l.Keys() {
+		final[k] = true
+	}
+	for k := int64(0); k < keys; k++ {
+		diff := inserted[k] - deleted[k]
+		want := int64(0)
+		if final[k] {
+			want = 1
+		}
+		if diff != want {
+			t.Errorf("key %d: inserts-deletes = %d, present=%v", k, diff, final[k])
+		}
+	}
+}
+
+// Property: list mirrors a model set under arbitrary op sequences.
+func TestQuickListMatchesModelSet(t *testing.T) {
+	f := func(ops []int8) bool {
+		l := NewList()
+		model := map[int64]bool{}
+		for _, op := range ops {
+			k := int64(op % 16)
+			if op >= 0 {
+				want := !model[k]
+				if l.Insert(k) != want {
+					return false
+				}
+				model[k] = true
+			} else {
+				want := model[k]
+				if l.Delete(k) != want {
+					return false
+				}
+				delete(model, k)
+			}
+			if l.Contains(k) != model[k] {
+				return false
+			}
+		}
+		keys := l.Keys()
+		if len(keys) != len(model) {
+			return false
+		}
+		for _, k := range keys {
+			if !model[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package lockfree
+
+import "sync/atomic"
+
+// Queue is the lock-free FIFO queue of Michael and Scott — the object the
+// paper's QNX evaluation shares among its 10 tasks. Enqueue swings the
+// tail forward with CAS; dequeue swings the head. Operations that lose a
+// CAS race retry from a fresh read, and each such restart increments the
+// retry counter.
+//
+// The zero value is not usable; call NewQueue.
+type Queue[T any] struct {
+	head    atomic.Pointer[qnode[T]]
+	tail    atomic.Pointer[qnode[T]]
+	retries atomic.Int64
+	length  atomic.Int64
+}
+
+type qnode[T any] struct {
+	val  T
+	next atomic.Pointer[qnode[T]]
+}
+
+// NewQueue returns an empty queue with a sentinel node installed.
+func NewQueue[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	sentinel := &qnode[T]{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Enqueue appends v to the tail.
+func (q *Queue[T]) Enqueue(v T) {
+	n := &qnode[T]{val: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			q.retries.Add(1)
+			continue
+		}
+		if next != nil {
+			// Tail is lagging; help swing it and retry.
+			q.tail.CompareAndSwap(tail, next)
+			q.retries.Add(1)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, n) {
+			q.tail.CompareAndSwap(tail, n)
+			q.length.Add(1)
+			return
+		}
+		q.retries.Add(1)
+	}
+}
+
+// Dequeue removes and returns the head element. ok is false if the queue
+// was observed empty.
+func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			q.retries.Add(1)
+			continue
+		}
+		if next == nil {
+			var zero T
+			return zero, false
+		}
+		if head == tail {
+			// Tail is lagging behind a concurrent enqueue; help it.
+			q.tail.CompareAndSwap(tail, next)
+			q.retries.Add(1)
+			continue
+		}
+		val := next.val
+		if q.head.CompareAndSwap(head, next) {
+			q.length.Add(-1)
+			return val, true
+		}
+		q.retries.Add(1)
+	}
+}
+
+// Len returns the approximate number of elements (exact when quiescent).
+func (q *Queue[T]) Len() int { return int(q.length.Load()) }
+
+// Retries returns the cumulative CAS-retry count across all operations.
+func (q *Queue[T]) Retries() int64 { return q.retries.Load() }
+
+// ResetRetries zeroes the retry counter and returns the previous value.
+func (q *Queue[T]) ResetRetries() int64 { return q.retries.Swap(0) }

@@ -1,0 +1,206 @@
+package lockfree
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int]()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("empty queue dequeued something")
+	}
+	for i := 0; i < 10; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", q.Len())
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue %d = (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("drained queue dequeued something")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after drain = %d", q.Len())
+	}
+}
+
+func TestQueueInterleaved(t *testing.T) {
+	q := NewQueue[string]()
+	q.Enqueue("a")
+	q.Enqueue("b")
+	if v, _ := q.Dequeue(); v != "a" {
+		t.Fatalf("got %q, want a", v)
+	}
+	q.Enqueue("c")
+	if v, _ := q.Dequeue(); v != "b" {
+		t.Fatalf("got %q, want b", v)
+	}
+	if v, _ := q.Dequeue(); v != "c" {
+		t.Fatalf("got %q, want c", v)
+	}
+}
+
+func TestQueueConcurrentMPMC(t *testing.T) {
+	const producers, consumers, perProducer = 4, 4, 500
+	q := NewQueue[int]()
+	var wg sync.WaitGroup
+	results := make(chan int, producers*perProducer)
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(p*perProducer + i)
+			}
+		}(p)
+	}
+	var cwg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				if v, ok := q.Dequeue(); ok {
+					results <- v
+					continue
+				}
+				select {
+				case <-done:
+					// Final drain after producers stop.
+					for {
+						v, ok := q.Dequeue()
+						if !ok {
+							return
+						}
+						results <- v
+					}
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cwg.Wait()
+	close(results)
+
+	seen := make(map[int]bool, producers*perProducer)
+	for v := range results {
+		if seen[v] {
+			t.Fatalf("value %d delivered twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("delivered %d values, want %d", len(seen), producers*perProducer)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty at the end: %d", q.Len())
+	}
+}
+
+func TestQueuePerProducerOrderPreserved(t *testing.T) {
+	// FIFO per producer: values from one producer must come out in order.
+	const producers, perProducer = 4, 1000
+	q := NewQueue[[2]int]()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue([2]int{p, i})
+			}
+		}(p)
+	}
+	wg.Wait()
+	last := make([]int, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		if v[1] <= last[v[0]] {
+			t.Fatalf("producer %d out of order: %d after %d", v[0], v[1], last[v[0]])
+		}
+		last[v[0]] = v[1]
+	}
+	for p, l := range last {
+		if l != perProducer-1 {
+			t.Fatalf("producer %d: last seen %d", p, l)
+		}
+	}
+}
+
+func TestQueueRetriesUnderContention(t *testing.T) {
+	q := NewQueue[int]()
+	q.ResetRetries()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1500; i++ {
+				q.Enqueue(i)
+				q.Dequeue()
+			}
+		}()
+	}
+	wg.Wait()
+	// Retries are probabilistic, but with 8 goroutines hammering a single
+	// queue on a multicore box, zero retries would indicate the counter is
+	// disconnected. Only assert non-negativity plus reset semantics to stay
+	// robust on single-core CI.
+	r := q.Retries()
+	if r < 0 {
+		t.Fatalf("negative retries %d", r)
+	}
+	if got := q.ResetRetries(); got != r && got < r {
+		t.Fatalf("ResetRetries returned %d, counter was %d", got, r)
+	}
+	if q.Retries() != 0 {
+		t.Fatal("retries not reset")
+	}
+}
+
+// Property: any sequence of enqueues/dequeues behaves like a model slice.
+func TestQuickQueueMatchesModel(t *testing.T) {
+	f := func(ops []int16) bool {
+		q := NewQueue[int16]()
+		var model []int16
+		for _, op := range ops {
+			if op >= 0 {
+				q.Enqueue(op)
+				model = append(model, op)
+			} else {
+				v, ok := q.Dequeue()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+		}
+		return q.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+package lockfree
+
+import "sync/atomic"
+
+// Register is a multi-writer/multi-reader atomic register — the
+// abstraction behind the paper's "multi-writer/multi-reader problem"
+// (§7). Reads are wait-free (a single pointer load). Plain writes are
+// wait-free too (a pointer swap); read-modify-write updates are
+// lock-free, retrying when a concurrent update lands between the read
+// and the CAS.
+type Register[T any] struct {
+	cell    atomic.Pointer[regCell[T]]
+	retries atomic.Int64
+}
+
+type regCell[T any] struct {
+	val T
+	ver uint64
+}
+
+// NewRegister returns a register holding initial.
+func NewRegister[T any](initial T) *Register[T] {
+	r := &Register[T]{}
+	r.cell.Store(&regCell[T]{val: initial, ver: 0})
+	return r
+}
+
+// Read returns the current value and its version. Wait-free.
+func (r *Register[T]) Read() (v T, version uint64) {
+	c := r.cell.Load()
+	return c.val, c.ver
+}
+
+// Write unconditionally installs v, bumping the version. Wait-free in the
+// sense of a bounded number of steps per call: the CAS loop here can only
+// retry as many times as other writers commit, and each retry increments
+// the retry counter, which is the quantity under study.
+func (r *Register[T]) Write(v T) uint64 {
+	for {
+		old := r.cell.Load()
+		n := &regCell[T]{val: v, ver: old.ver + 1}
+		if r.cell.CompareAndSwap(old, n) {
+			return n.ver
+		}
+		r.retries.Add(1)
+	}
+}
+
+// Update applies f to the current value atomically (lock-free RMW),
+// returning the new version. f may be invoked multiple times and must be
+// pure.
+func (r *Register[T]) Update(f func(T) T) uint64 {
+	for {
+		old := r.cell.Load()
+		n := &regCell[T]{val: f(old.val), ver: old.ver + 1}
+		if r.cell.CompareAndSwap(old, n) {
+			return n.ver
+		}
+		r.retries.Add(1)
+	}
+}
+
+// Retries returns the cumulative CAS-retry count.
+func (r *Register[T]) Retries() int64 { return r.retries.Load() }
+
+// ResetRetries zeroes the retry counter and returns the previous value.
+func (r *Register[T]) ResetRetries() int64 { return r.retries.Swap(0) }

@@ -1,0 +1,116 @@
+package lockfree
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRegisterReadWrite(t *testing.T) {
+	r := NewRegister(10)
+	v, ver := r.Read()
+	if v != 10 || ver != 0 {
+		t.Fatalf("Read = (%d,%d), want (10,0)", v, ver)
+	}
+	if got := r.Write(20); got != 1 {
+		t.Fatalf("Write version = %d, want 1", got)
+	}
+	v, ver = r.Read()
+	if v != 20 || ver != 1 {
+		t.Fatalf("Read = (%d,%d), want (20,1)", v, ver)
+	}
+}
+
+func TestRegisterUpdate(t *testing.T) {
+	r := NewRegister(0)
+	r.Update(func(v int) int { return v + 5 })
+	r.Update(func(v int) int { return v * 2 })
+	v, ver := r.Read()
+	if v != 10 || ver != 2 {
+		t.Fatalf("Read = (%d,%d), want (10,2)", v, ver)
+	}
+}
+
+func TestRegisterConcurrentUpdatesAllApply(t *testing.T) {
+	// Atomicity: N concurrent increments must all land.
+	r := NewRegister(0)
+	const goroutines, per = 4, 1500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Update(func(v int) int { return v + 1 })
+			}
+		}()
+	}
+	wg.Wait()
+	v, ver := r.Read()
+	if v != goroutines*per {
+		t.Fatalf("value = %d, want %d", v, goroutines*per)
+	}
+	if ver != uint64(goroutines*per) {
+		t.Fatalf("version = %d, want %d", ver, goroutines*per)
+	}
+}
+
+func TestRegisterVersionMonotone(t *testing.T) {
+	r := NewRegister("a")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	bad := make(chan uint64, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, ver := r.Read()
+			if ver < last {
+				select {
+				case bad <- ver:
+				default:
+				}
+				return
+			}
+			last = ver
+		}
+	}()
+	for i := 0; i < 8000; i++ {
+		r.Write("b")
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case v := <-bad:
+		t.Fatalf("version went backwards to %d", v)
+	default:
+	}
+}
+
+func TestRegisterRetriesResettable(t *testing.T) {
+	r := NewRegister(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Update(func(v int) int { return v + 1 })
+			}
+		}()
+	}
+	wg.Wait()
+	got := r.Retries()
+	if got < 0 {
+		t.Fatalf("negative retries %d", got)
+	}
+	r.ResetRetries()
+	if r.Retries() != 0 {
+		t.Fatal("retries not reset")
+	}
+}

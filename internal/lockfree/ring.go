@@ -1,0 +1,59 @@
+package lockfree
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Ring is a bounded single-producer/single-consumer ring buffer in the
+// style of Kopetz and Reisinger's NBW protocol lineage [16]: the producer
+// and consumer each own one index, so operations are WAIT-free (no CAS,
+// no retries) as long as the single-writer discipline is respected. It is
+// included as the wait-free point of comparison the paper discusses in
+// §1.1 — bounded steps, but bought with a priori buffer space.
+type Ring[T any] struct {
+	buf  []T
+	mask uint64
+	head atomic.Uint64 // next slot to read  (consumer-owned)
+	tail atomic.Uint64 // next slot to write (producer-owned)
+}
+
+// NewRing returns a ring with the given capacity, which must be a power
+// of two.
+func NewRing[T any](capacity int) (*Ring[T], error) {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("lockfree: ring capacity %d must be a positive power of two", capacity)
+	}
+	return &Ring[T]{buf: make([]T, capacity), mask: uint64(capacity - 1)}, nil
+}
+
+// Offer appends v; it reports false when the ring is full. Producer-side
+// only.
+func (r *Ring[T]) Offer(v T) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() > r.mask {
+		return false
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1)
+	return true
+}
+
+// Poll removes the oldest element; ok is false when the ring is empty.
+// Consumer-side only.
+func (r *Ring[T]) Poll() (v T, ok bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		var zero T
+		return zero, false
+	}
+	v = r.buf[h&r.mask]
+	r.head.Store(h + 1)
+	return v, true
+}
+
+// Len returns the number of buffered elements.
+func (r *Ring[T]) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Cap returns the ring capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }

@@ -1,0 +1,87 @@
+package lockfree
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingRejectsBadCapacity(t *testing.T) {
+	for _, c := range []int{0, -1, 3, 6, 100} {
+		if _, err := NewRing[int](c); err == nil {
+			t.Errorf("capacity %d accepted", c)
+		}
+	}
+	if _, err := NewRing[int](8); err != nil {
+		t.Fatalf("capacity 8 rejected: %v", err)
+	}
+}
+
+func TestRingFIFOAndBounds(t *testing.T) {
+	r, _ := NewRing[int](4)
+	if _, ok := r.Poll(); ok {
+		t.Fatal("empty ring polled something")
+	}
+	for i := 0; i < 4; i++ {
+		if !r.Offer(i) {
+			t.Fatalf("Offer %d failed", i)
+		}
+	}
+	if r.Offer(99) {
+		t.Fatal("full ring accepted an element")
+	}
+	if r.Len() != 4 || r.Cap() != 4 {
+		t.Fatalf("Len,Cap = %d,%d", r.Len(), r.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := r.Poll()
+		if !ok || v != i {
+			t.Fatalf("Poll = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := r.Poll(); ok {
+		t.Fatal("drained ring polled something")
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r, _ := NewRing[int](2)
+	for round := 0; round < 100; round++ {
+		if !r.Offer(round) {
+			t.Fatalf("Offer failed at round %d", round)
+		}
+		v, ok := r.Poll()
+		if !ok || v != round {
+			t.Fatalf("round %d: Poll = (%d,%v)", round, v, ok)
+		}
+	}
+}
+
+func TestRingSPSCConcurrent(t *testing.T) {
+	const n = 30000
+	r, _ := NewRing[int](64)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; {
+			if r.Offer(i) {
+				i++
+			}
+		}
+	}()
+	var got []int
+	go func() {
+		defer wg.Done()
+		for len(got) < n {
+			if v, ok := r.Poll(); ok {
+				got = append(got, v)
+			}
+		}
+	}()
+	wg.Wait()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("element %d = %d (order violated)", i, v)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package lockfree
+
+import "sync/atomic"
+
+// Stack is Treiber's lock-free LIFO stack: a single CAS on the top
+// pointer per operation, retried on contention.
+//
+// The zero value is an empty, ready-to-use stack.
+type Stack[T any] struct {
+	top     atomic.Pointer[snode[T]]
+	retries atomic.Int64
+	length  atomic.Int64
+}
+
+type snode[T any] struct {
+	val  T
+	next *snode[T]
+}
+
+// Push adds v on top.
+func (s *Stack[T]) Push(v T) {
+	n := &snode[T]{val: v}
+	for {
+		old := s.top.Load()
+		n.next = old
+		if s.top.CompareAndSwap(old, n) {
+			s.length.Add(1)
+			return
+		}
+		s.retries.Add(1)
+	}
+}
+
+// Pop removes and returns the top element; ok is false if the stack was
+// observed empty.
+func (s *Stack[T]) Pop() (v T, ok bool) {
+	for {
+		old := s.top.Load()
+		if old == nil {
+			var zero T
+			return zero, false
+		}
+		if s.top.CompareAndSwap(old, old.next) {
+			s.length.Add(-1)
+			return old.val, true
+		}
+		s.retries.Add(1)
+	}
+}
+
+// Peek returns the top element without removing it.
+func (s *Stack[T]) Peek() (v T, ok bool) {
+	old := s.top.Load()
+	if old == nil {
+		var zero T
+		return zero, false
+	}
+	return old.val, true
+}
+
+// Len returns the approximate number of elements (exact when quiescent).
+func (s *Stack[T]) Len() int { return int(s.length.Load()) }
+
+// Retries returns the cumulative CAS-retry count.
+func (s *Stack[T]) Retries() int64 { return s.retries.Load() }
+
+// ResetRetries zeroes the retry counter and returns the previous value.
+func (s *Stack[T]) ResetRetries() int64 { return s.retries.Swap(0) }

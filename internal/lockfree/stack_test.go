@@ -1,0 +1,137 @@
+package lockfree
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestStackLIFO(t *testing.T) {
+	var s Stack[int]
+	if _, ok := s.Pop(); ok {
+		t.Fatal("empty stack popped something")
+	}
+	if _, ok := s.Peek(); ok {
+		t.Fatal("empty stack peeked something")
+	}
+	for i := 0; i < 5; i++ {
+		s.Push(i)
+	}
+	if v, ok := s.Peek(); !ok || v != 4 {
+		t.Fatalf("Peek = (%d,%v), want (4,true)", v, ok)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i := 4; i >= 0; i-- {
+		v, ok := s.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len after drain = %d", s.Len())
+	}
+}
+
+func TestStackConcurrentNoLossNoDup(t *testing.T) {
+	const goroutines, per = 4, 1000
+	var s Stack[int]
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Push(g*per + i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[int]bool, goroutines*per)
+	for {
+		v, ok := s.Pop()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("value %d popped twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != goroutines*per {
+		t.Fatalf("popped %d values, want %d", len(seen), goroutines*per)
+	}
+}
+
+func TestStackConcurrentMixed(t *testing.T) {
+	var s Stack[int]
+	var wg sync.WaitGroup
+	var popped sync.Map
+	var pushCount, popCount int64
+	var mu sync.Mutex
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			myPush, myPop := int64(0), int64(0)
+			for i := 0; i < 1500; i++ {
+				if i%2 == 0 {
+					s.Push(g*10000 + i)
+					myPush++
+				} else if v, ok := s.Pop(); ok {
+					if _, dup := popped.LoadOrStore(v, true); dup {
+						t.Errorf("value %d popped twice", v)
+					}
+					myPop++
+				}
+			}
+			mu.Lock()
+			pushCount += myPush
+			popCount += myPop
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	rest := 0
+	for {
+		if _, ok := s.Pop(); !ok {
+			break
+		}
+		rest++
+	}
+	if popCount+int64(rest) != pushCount {
+		t.Fatalf("pushed %d, popped %d + %d remaining", pushCount, popCount, rest)
+	}
+}
+
+// Property: a stack mirrors a model slice under arbitrary op sequences.
+func TestQuickStackMatchesModel(t *testing.T) {
+	f := func(ops []int16) bool {
+		var s Stack[int16]
+		var model []int16
+		for _, op := range ops {
+			if op >= 0 {
+				s.Push(op)
+				model = append(model, op)
+			} else {
+				v, ok := s.Pop()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				want := model[len(model)-1]
+				model = model[:len(model)-1]
+				if !ok || v != want {
+					return false
+				}
+			}
+		}
+		return s.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

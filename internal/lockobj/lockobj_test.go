@@ -1,0 +1,229 @@
+package lockobj
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int]()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("empty queue dequeued")
+	}
+	for i := 0; i < 5; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if v, ok := q.Dequeue(); !ok || v != i {
+			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+}
+
+func TestQueueConcurrent(t *testing.T) {
+	q := NewQueue[int]()
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enqueue(g*per + i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := map[int]bool{}
+	for {
+		v, ok := q.Dequeue()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("dup %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != goroutines*per {
+		t.Fatalf("got %d values", len(seen))
+	}
+	if q.Blockings() < 0 {
+		t.Fatal("negative blockings")
+	}
+}
+
+func TestStackLIFO(t *testing.T) {
+	var s Stack[int]
+	if _, ok := s.Pop(); ok {
+		t.Fatal("empty stack popped")
+	}
+	s.Push(1)
+	s.Push(2)
+	if v, ok := s.Peek(); !ok || v != 2 {
+		t.Fatalf("Peek = (%d,%v)", v, ok)
+	}
+	if v, _ := s.Pop(); v != 2 {
+		t.Fatalf("Pop = %d, want 2", v)
+	}
+	if v, _ := s.Pop(); v != 1 {
+		t.Fatalf("Pop = %d, want 1", v)
+	}
+	if s.Len() != 0 {
+		t.Fatal("not empty")
+	}
+}
+
+func TestRegister(t *testing.T) {
+	r := NewRegister(5)
+	if v, ver := r.Read(); v != 5 || ver != 0 {
+		t.Fatalf("Read = (%d,%d)", v, ver)
+	}
+	r.Write(7)
+	r.Update(func(v int) int { return v * 3 })
+	if v, ver := r.Read(); v != 21 || ver != 2 {
+		t.Fatalf("Read = (%d,%d), want (21,2)", v, ver)
+	}
+}
+
+func TestRegisterConcurrentIncrements(t *testing.T) {
+	r := NewRegister(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.Update(func(v int) int { return v + 1 })
+			}
+		}()
+	}
+	wg.Wait()
+	if v, _ := r.Read(); v != 16000 {
+		t.Fatalf("value = %d, want 16000", v)
+	}
+}
+
+func TestListSetSemantics(t *testing.T) {
+	l := NewList()
+	if !l.Insert(4) || l.Insert(4) {
+		t.Fatal("insert semantics wrong")
+	}
+	l.Insert(2)
+	l.Insert(9)
+	keys := l.Keys()
+	want := []int64{2, 4, 9}
+	for i, k := range want {
+		if keys[i] != k {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+	if !l.Delete(4) || l.Delete(4) || l.Contains(4) {
+		t.Fatal("delete semantics wrong")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+}
+
+func TestRing(t *testing.T) {
+	if _, err := NewRing[int](0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	r, err := NewRing[int](3) // non-power-of-two is fine for the mutex ring
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !r.Offer(i) {
+			t.Fatalf("Offer %d failed", i)
+		}
+	}
+	if r.Offer(9) {
+		t.Fatal("full ring accepted")
+	}
+	for i := 0; i < 3; i++ {
+		if v, ok := r.Poll(); !ok || v != i {
+			t.Fatalf("Poll = (%d,%v)", v, ok)
+		}
+	}
+	if _, ok := r.Poll(); ok {
+		t.Fatal("empty ring polled")
+	}
+	if r.Cap() != 3 {
+		t.Fatalf("Cap = %d", r.Cap())
+	}
+}
+
+// Property: the mutex list matches a model set (same test as the
+// lock-free one — the two implementations must be observationally
+// equivalent single-threaded).
+func TestQuickListMatchesModelSet(t *testing.T) {
+	f := func(ops []int8) bool {
+		l := NewList()
+		model := map[int64]bool{}
+		for _, op := range ops {
+			k := int64(op % 16)
+			if op >= 0 {
+				want := !model[k]
+				if l.Insert(k) != want {
+					return false
+				}
+				model[k] = true
+			} else {
+				want := model[k]
+				if l.Delete(k) != want {
+					return false
+				}
+				delete(model, k)
+			}
+		}
+		return l.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mutex ring behaves like a bounded model FIFO.
+func TestQuickRingMatchesModel(t *testing.T) {
+	f := func(capRaw uint8, ops []int16) bool {
+		capacity := int(capRaw%7) + 1
+		r, err := NewRing[int16](capacity)
+		if err != nil {
+			return false
+		}
+		var model []int16
+		for _, op := range ops {
+			if op >= 0 {
+				want := len(model) < capacity
+				if r.Offer(op) != want {
+					return false
+				}
+				if want {
+					model = append(model, op)
+				}
+			} else {
+				v, ok := r.Poll()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || v != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+		}
+		return r.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package multi extends the reproduction toward the paper's §7 future
+// work: multiprocessor scheduling. It implements the PARTITIONED
+// discipline — tasks are statically assigned to processors and each
+// processor runs its own single-CPU RUA instance — which preserves every
+// single-processor result (Theorem 2's retry bound, the sojourn and AUR
+// analyses) per partition, because each partition IS the paper's model.
+//
+// The partitioner is object-aware: tasks that share objects are grouped
+// into connected components (union-find over shared-object ids) and each
+// component is placed whole, so no object is ever shared across
+// processors — cross-CPU object sharing would reintroduce true parallel
+// conflicts, which the paper's uniprocessor retry analysis does not
+// cover, so the partitioned model deliberately avoids it. Components are
+// placed by first-fit on decreasing utilization.
+package multi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/rtime"
+	"repro/internal/rua"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/uam"
+)
+
+// ErrConfig reports an invalid multiprocessor configuration.
+var ErrConfig = errors.New("multi: invalid config")
+
+// Config describes a partitioned multiprocessor run. The per-CPU engine
+// knobs mirror sim.Config.
+type Config struct {
+	CPUs  int
+	Tasks []*task.Task
+
+	// NewScheduler builds one scheduler instance per CPU (schedulers are
+	// stateful in principle, so they must not be shared). Nil means
+	// lock-free RUA for LockFree mode and lock-based RUA otherwise.
+	NewScheduler func() sched.Scheduler
+
+	Mode              sim.Mode
+	R, S              rtime.Duration
+	OpCost            float64
+	Horizon           rtime.Time
+	ArrivalKind       uam.Kind
+	Seed              int64
+	ConservativeRetry bool
+}
+
+// Result aggregates a partitioned run.
+type Result struct {
+	Assignment []int // task index → CPU
+	PerCPU     []sim.Result
+	Stats      metrics.RunStats // merged over all CPUs
+}
+
+// utilization estimates a task's long-run processor demand.
+func utilization(t *task.Task, acc rtime.Duration) float64 {
+	return t.Arrival.MeanRate() * float64(t.Demand(acc))
+}
+
+// components groups task indices into shared-object connected components
+// using union-find.
+func components(tasks []*task.Task) [][]int {
+	parent := make([]int, len(tasks))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	byObject := map[int]int{} // object id → first task index seen
+	for i, t := range tasks {
+		for _, obj := range t.Objects() {
+			if first, ok := byObject[obj]; ok {
+				union(i, first)
+			} else {
+				byObject[obj] = i
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i := range tasks {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	// Deterministic order: by first member.
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// Partition assigns tasks to cpus: shared-object components stay whole;
+// components are placed largest-utilization-first onto the least-loaded
+// CPU (a first-fit-decreasing/worst-fit hybrid that balances load while
+// keeping the assignment deterministic). It returns the per-task CPU
+// index.
+func Partition(tasks []*task.Task, cpus int, acc rtime.Duration) ([]int, error) {
+	if cpus < 1 {
+		return nil, fmt.Errorf("%w: %d CPUs", ErrConfig, cpus)
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("%w: no tasks", ErrConfig)
+	}
+	comps := components(tasks)
+	type comp struct {
+		members []int
+		util    float64
+	}
+	cs := make([]comp, len(comps))
+	for i, members := range comps {
+		u := 0.0
+		for _, ti := range members {
+			u += utilization(tasks[ti], acc)
+		}
+		cs[i] = comp{members: members, util: u}
+	}
+	sort.SliceStable(cs, func(a, b int) bool { return cs[a].util > cs[b].util })
+
+	load := make([]float64, cpus)
+	assign := make([]int, len(tasks))
+	for _, c := range cs {
+		best := 0
+		for cpu := 1; cpu < cpus; cpu++ {
+			if load[cpu] < load[best] {
+				best = cpu
+			}
+		}
+		for _, ti := range c.members {
+			assign[ti] = best
+		}
+		load[best] += c.util
+	}
+	return assign, nil
+}
+
+// Run partitions the task set and executes one independent engine per
+// CPU. Task IDs are preserved, so per-task analysis (retry bounds etc.)
+// applies within each partition.
+func Run(cfg Config) (Result, error) {
+	if cfg.CPUs < 1 {
+		return Result{}, fmt.Errorf("%w: %d CPUs", ErrConfig, cfg.CPUs)
+	}
+	acc := cfg.S
+	if cfg.Mode == sim.LockBased {
+		acc = cfg.R
+	}
+	assign, err := Partition(cfg.Tasks, cfg.CPUs, acc)
+	if err != nil {
+		return Result{}, err
+	}
+	newSched := cfg.NewScheduler
+	if newSched == nil {
+		if cfg.Mode == sim.LockFree {
+			newSched = func() sched.Scheduler { return rua.NewLockFree() }
+		} else {
+			newSched = func() sched.Scheduler { return rua.NewLockBased() }
+		}
+	}
+	res := Result{Assignment: assign, PerCPU: make([]sim.Result, cfg.CPUs)}
+	merged := sim.Result{Horizon: cfg.Horizon}
+	for cpu := 0; cpu < cfg.CPUs; cpu++ {
+		var part []*task.Task
+		for ti, t := range cfg.Tasks {
+			if assign[ti] == cpu {
+				part = append(part, t)
+			}
+		}
+		if len(part) == 0 {
+			res.PerCPU[cpu] = sim.Result{Horizon: cfg.Horizon}
+			continue
+		}
+		r, err := sim.Run(sim.Config{
+			Tasks:             part,
+			Scheduler:         newSched(),
+			Mode:              cfg.Mode,
+			R:                 cfg.R,
+			S:                 cfg.S,
+			OpCost:            cfg.OpCost,
+			Horizon:           cfg.Horizon,
+			ArrivalKind:       cfg.ArrivalKind,
+			Seed:              cfg.Seed + int64(cpu)*104729,
+			ConservativeRetry: cfg.ConservativeRetry,
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("multi: cpu %d: %w", cpu, err)
+		}
+		res.PerCPU[cpu] = r
+		merged.Jobs = append(merged.Jobs, r.Jobs...)
+		merged.Arrivals += r.Arrivals
+		merged.Completions += r.Completions
+		merged.Aborts += r.Aborts
+		merged.Retries += r.Retries
+		merged.SchedInvocations += r.SchedInvocations
+		merged.SchedOps += r.SchedOps
+		merged.Overhead += r.Overhead
+		merged.ExecTime += r.ExecTime
+	}
+	res.Stats = metrics.Analyze(merged)
+	return res, nil
+}

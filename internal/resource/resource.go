@@ -1,0 +1,179 @@
+// Package resource models the shared-object state the schedulers and the
+// simulator reason about: which job holds which lock (lock-based mode),
+// who is waiting on what (the raw material of RUA's dependency chains,
+// §3.1), and — in lock-free mode — which commits have landed on which
+// object (the raw material of retry accounting, §4).
+//
+// The simulator runs on one goroutine, so this package is deliberately
+// unsynchronized; the *real* concurrent objects live in internal/lockfree
+// and internal/lockobj.
+package resource
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rtime"
+	"repro/internal/task"
+)
+
+// ErrState reports an impossible lock-state transition — a simulator bug
+// if it ever surfaces.
+var ErrState = errors.New("resource: inconsistent state")
+
+// Map tracks the lock and access state of all shared objects.
+type Map struct {
+	owners  map[int]*task.Job   // object id → holder (lock-based)
+	waiting map[*task.Job]int   // job → object it is waiting for
+	held    map[*task.Job][]int // holder → objects it holds (LIFO of acquisition)
+
+	// lastCommit records, per object, the virtual time of the most recent
+	// committed lock-free access. Conflict-precise retry accounting
+	// compares a preempted job's access start against this.
+	lastCommit map[int]rtime.Time
+
+	// Counters for experiment reporting.
+	Acquisitions int64
+	Contentions  int64
+	Commits      int64
+}
+
+// NewMap returns an empty resource map.
+func NewMap() *Map {
+	return &Map{
+		owners:     map[int]*task.Job{},
+		waiting:    map[*task.Job]int{},
+		held:       map[*task.Job][]int{},
+		lastCommit: map[int]rtime.Time{},
+	}
+}
+
+// Owner returns the job holding obj, or nil.
+func (m *Map) Owner(obj int) *task.Job { return m.owners[obj] }
+
+// WaitingFor returns the object j is waiting on, if any.
+func (m *Map) WaitingFor(j *task.Job) (obj int, ok bool) {
+	obj, ok = m.waiting[j]
+	return obj, ok
+}
+
+// Held returns the objects j currently holds, in acquisition order.
+func (m *Map) Held(j *task.Job) []int { return m.held[j] }
+
+// TryAcquire attempts to take obj for j. If obj is free (or already held
+// by j, which the no-nesting model forbids and therefore rejects), the
+// lock is granted. Otherwise j is recorded as waiting and the holder is
+// returned.
+func (m *Map) TryAcquire(j *task.Job, obj int) (granted bool, holder *task.Job, err error) {
+	if cur := m.owners[obj]; cur != nil {
+		if cur == j {
+			return false, nil, fmt.Errorf("%w: %s re-acquiring object %d it already holds (nested sections are excluded)", ErrState, j.Name(), obj)
+		}
+		m.waiting[j] = obj
+		m.Contentions++
+		j.Blockings++
+		return false, cur, nil
+	}
+	m.owners[obj] = j
+	m.held[j] = append(m.held[j], obj)
+	delete(m.waiting, j)
+	m.Acquisitions++
+	return true, nil, nil
+}
+
+// Release frees obj, which must be held by j.
+func (m *Map) Release(j *task.Job, obj int) error {
+	if m.owners[obj] != j {
+		return fmt.Errorf("%w: %s releasing object %d it does not hold", ErrState, j.Name(), obj)
+	}
+	delete(m.owners, obj)
+	hs := m.held[j]
+	for i := len(hs) - 1; i >= 0; i-- {
+		if hs[i] == obj {
+			m.held[j] = append(hs[:i], hs[i+1:]...)
+			break
+		}
+	}
+	if len(m.held[j]) == 0 {
+		delete(m.held, j)
+	}
+	return nil
+}
+
+// ReleaseAll frees everything j holds and clears its wait record — used
+// when a job's abort handler finishes (the handler rolls held resources
+// back to safe states, §3.5).
+func (m *Map) ReleaseAll(j *task.Job) {
+	for _, obj := range append([]int(nil), m.held[j]...) {
+		delete(m.owners, obj)
+	}
+	delete(m.held, j)
+	delete(m.waiting, j)
+}
+
+// Forget drops any wait record for j (e.g. the job got the CPU back and
+// will re-attempt the acquisition as a fresh scheduling decision).
+func (m *Map) Forget(j *task.Job) { delete(m.waiting, j) }
+
+// RecordCommit notes that a lock-free access to obj committed at t.
+func (m *Map) RecordCommit(obj int, t rtime.Time) {
+	m.lastCommit[obj] = t
+	m.Commits++
+}
+
+// CommittedSince reports whether any lock-free access to obj committed at
+// or after t.
+func (m *Map) CommittedSince(obj int, t rtime.Time) bool {
+	c, ok := m.lastCommit[obj]
+	return ok && c >= t
+}
+
+// CommittedAfter reports whether any lock-free access to obj committed
+// STRICTLY after t. Commit-time validation in parallel execution must use
+// the strict form: a commit at exactly the instant a fresh attempt began
+// is ordered before it, and counting it would retry forever when two
+// processors interleave at the same tick.
+func (m *Map) CommittedAfter(obj int, t rtime.Time) bool {
+	c, ok := m.lastCommit[obj]
+	return ok && c > t
+}
+
+// DependencyChain computes j's dependency chain (§3.1): the sequence
+// ⟨T_k, …, T_2, J⟩ obtained by following "waiting-for → holder" links,
+// head first (the job that must execute first) and ending with j itself.
+// If the links form a cycle — only possible with nested critical sections
+// — the second return is true and the returned chain is the cycle
+// participants up to the repeat, which the deadlock resolver inspects.
+func (m *Map) DependencyChain(j *task.Job) (chain []*task.Job, cycle bool) {
+	seen := map[*task.Job]bool{}
+	cur := j
+	rev := []*task.Job{j}
+	seen[j] = true
+	for {
+		obj, waiting := m.waiting[cur]
+		if !waiting {
+			break
+		}
+		holder := m.owners[obj]
+		if holder == nil {
+			// The object was released since the wait was recorded; the
+			// chain ends here and the waiter can re-request.
+			break
+		}
+		if seen[holder] {
+			return reverse(rev), true
+		}
+		seen[holder] = true
+		rev = append(rev, holder)
+		cur = holder
+	}
+	return reverse(rev), false
+}
+
+func reverse(in []*task.Job) []*task.Job {
+	out := make([]*task.Job, len(in))
+	for i, j := range in {
+		out[len(in)-1-i] = j
+	}
+	return out
+}

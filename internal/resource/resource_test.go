@@ -1,0 +1,193 @@
+package resource
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/rtime"
+	"repro/internal/task"
+	"repro/internal/tuf"
+	"repro/internal/uam"
+)
+
+func mkJob(id int) *task.Job {
+	t := &task.Task{
+		ID:      id,
+		TUF:     tuf.MustStep(1, 1000),
+		Arrival: uam.Periodic(2000),
+		Segments: []task.Segment{
+			{Kind: task.Compute, D: 10},
+		},
+	}
+	return task.NewJob(t, 0, 0)
+}
+
+func TestAcquireRelease(t *testing.T) {
+	m := NewMap()
+	j := mkJob(1)
+	granted, holder, err := m.TryAcquire(j, 7)
+	if err != nil || !granted || holder != nil {
+		t.Fatalf("TryAcquire = (%v,%v,%v)", granted, holder, err)
+	}
+	if m.Owner(7) != j {
+		t.Fatal("owner not recorded")
+	}
+	if hs := m.Held(j); len(hs) != 1 || hs[0] != 7 {
+		t.Fatalf("Held = %v", hs)
+	}
+	if err := m.Release(j, 7); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if m.Owner(7) != nil {
+		t.Fatal("owner not cleared")
+	}
+	if m.Acquisitions != 1 {
+		t.Fatalf("Acquisitions = %d", m.Acquisitions)
+	}
+}
+
+func TestContention(t *testing.T) {
+	m := NewMap()
+	j1, j2 := mkJob(1), mkJob(2)
+	m.TryAcquire(j1, 7)
+	granted, holder, err := m.TryAcquire(j2, 7)
+	if err != nil || granted || holder != j1 {
+		t.Fatalf("TryAcquire contended = (%v,%v,%v)", granted, holder, err)
+	}
+	if obj, ok := m.WaitingFor(j2); !ok || obj != 7 {
+		t.Fatalf("WaitingFor = (%d,%v)", obj, ok)
+	}
+	if j2.Blockings != 1 {
+		t.Fatalf("Blockings = %d", j2.Blockings)
+	}
+	if m.Contentions != 1 {
+		t.Fatalf("Contentions = %d", m.Contentions)
+	}
+}
+
+func TestNestedAcquireRejected(t *testing.T) {
+	m := NewMap()
+	j := mkJob(1)
+	m.TryAcquire(j, 7)
+	_, _, err := m.TryAcquire(j, 7)
+	if !errors.Is(err, ErrState) {
+		t.Fatalf("re-acquire err = %v", err)
+	}
+}
+
+func TestReleaseNotHeld(t *testing.T) {
+	m := NewMap()
+	j1, j2 := mkJob(1), mkJob(2)
+	m.TryAcquire(j1, 7)
+	if err := m.Release(j2, 7); !errors.Is(err, ErrState) {
+		t.Fatalf("foreign release err = %v", err)
+	}
+	if err := m.Release(j1, 99); !errors.Is(err, ErrState) {
+		t.Fatalf("unheld release err = %v", err)
+	}
+}
+
+func TestReleaseAll(t *testing.T) {
+	m := NewMap()
+	j := mkJob(1)
+	m.TryAcquire(j, 1)
+	m.TryAcquire(j, 2) // different objects: legal (sequential sections)
+	w := mkJob(2)
+	m.TryAcquire(w, 1)
+	m.ReleaseAll(j)
+	if m.Owner(1) != nil || m.Owner(2) != nil {
+		t.Fatal("objects still owned after ReleaseAll")
+	}
+	if len(m.Held(j)) != 0 {
+		t.Fatal("held list not cleared")
+	}
+}
+
+func TestDependencyChainLinear(t *testing.T) {
+	// Paper §3.1 example: T1 waits on R1 held by T2; T2 waits on R2 held
+	// by T3; chain(T1) = ⟨T3, T2, T1⟩.
+	m := NewMap()
+	t1, t2, t3 := mkJob(1), mkJob(2), mkJob(3)
+	m.TryAcquire(t3, 2) // T3 holds R2
+	m.TryAcquire(t2, 1) // T2 holds R1
+	m.TryAcquire(t2, 2) // T2 waits on R2
+	m.TryAcquire(t1, 1) // T1 waits on R1
+	chain, cycle := m.DependencyChain(t1)
+	if cycle {
+		t.Fatal("unexpected cycle")
+	}
+	want := []*task.Job{t3, t2, t1}
+	if len(chain) != 3 {
+		t.Fatalf("chain len = %d", len(chain))
+	}
+	for i := range want {
+		if chain[i] != want[i] {
+			t.Fatalf("chain[%d] = %s, want %s", i, chain[i].Name(), want[i].Name())
+		}
+	}
+	// T2's chain is ⟨T3, T2⟩; T3's chain is ⟨T3⟩.
+	c2, _ := m.DependencyChain(t2)
+	if len(c2) != 2 || c2[0] != t3 || c2[1] != t2 {
+		t.Fatalf("chain(T2) wrong")
+	}
+	c3, _ := m.DependencyChain(t3)
+	if len(c3) != 1 || c3[0] != t3 {
+		t.Fatalf("chain(T3) wrong")
+	}
+}
+
+func TestDependencyChainCycle(t *testing.T) {
+	m := NewMap()
+	t1, t2 := mkJob(1), mkJob(2)
+	m.TryAcquire(t1, 1)
+	m.TryAcquire(t2, 2)
+	m.TryAcquire(t1, 2) // T1 waits on R2 (held by T2)
+	m.TryAcquire(t2, 1) // T2 waits on R1 (held by T1): deadlock
+	_, cycle := m.DependencyChain(t1)
+	if !cycle {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestDependencyChainBrokenLink(t *testing.T) {
+	m := NewMap()
+	t1, t2 := mkJob(1), mkJob(2)
+	m.TryAcquire(t2, 1)
+	m.TryAcquire(t1, 1) // waits
+	m.Release(t2, 1)    // released, but t1's wait record remains
+	chain, cycle := m.DependencyChain(t1)
+	if cycle || len(chain) != 1 || chain[0] != t1 {
+		t.Fatalf("chain after release = %v (cycle=%v)", chain, cycle)
+	}
+}
+
+func TestForget(t *testing.T) {
+	m := NewMap()
+	t1, t2 := mkJob(1), mkJob(2)
+	m.TryAcquire(t2, 1)
+	m.TryAcquire(t1, 1)
+	m.Forget(t1)
+	if _, ok := m.WaitingFor(t1); ok {
+		t.Fatal("wait record survived Forget")
+	}
+}
+
+func TestCommitTracking(t *testing.T) {
+	m := NewMap()
+	if m.CommittedSince(3, 0) {
+		t.Fatal("commit reported on untouched object")
+	}
+	m.RecordCommit(3, rtime.Time(100))
+	if !m.CommittedSince(3, 100) {
+		t.Fatal("commit at t not visible for since=t")
+	}
+	if !m.CommittedSince(3, 50) {
+		t.Fatal("commit after since not visible")
+	}
+	if m.CommittedSince(3, 101) {
+		t.Fatal("stale commit visible")
+	}
+	if m.Commits != 1 {
+		t.Fatalf("Commits = %d", m.Commits)
+	}
+}

@@ -1,0 +1,159 @@
+// Package rtime provides the virtual time base used throughout the
+// simulator and the analytical models.
+//
+// The paper's evaluation (QNX Neutrino on a 500 MHz Pentium-III) deals in
+// microsecond-to-millisecond execution magnitudes, so the native tick of
+// this package is one microsecond. All simulator clocks, TUF critical
+// times, UAM windows, and object access costs are expressed in these
+// units. Virtual time is an int64 tick count, which gives a range of
+// roughly ±292,000 years — far beyond any simulation horizon.
+package rtime
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is an absolute instant on the simulator's virtual clock, in ticks
+// (microseconds) since the start of the run.
+type Time int64
+
+// Duration is a span of virtual time in ticks (microseconds).
+type Duration int64
+
+// Common durations.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Infinity is a sentinel instant later than any reachable simulation time.
+const Infinity Time = math.MaxInt64
+
+// Never is a sentinel duration used to mean "no bound".
+const Never Duration = math.MaxInt64
+
+// Add returns the instant d after t, saturating at Infinity.
+func (t Time) Add(d Duration) Time {
+	if t == Infinity || d == Never {
+		return Infinity
+	}
+	s := t + Time(d)
+	if d >= 0 && s < t { // overflow
+		return Infinity
+	}
+	return s
+}
+
+// Sub returns the duration from u to t (t - u).
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Micros returns the time as a count of microseconds.
+func (t Time) Micros() int64 { return int64(t) }
+
+// String formats the instant with a readable unit.
+func (t Time) String() string {
+	if t == Infinity {
+		return "+inf"
+	}
+	return Duration(t).String()
+}
+
+// Micros returns the duration as a count of microseconds.
+func (d Duration) Micros() int64 { return int64(d) }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Millis returns the duration as a floating-point number of milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+// String formats the duration with a readable unit.
+func (d Duration) String() string {
+	switch {
+	case d == Never:
+		return "never"
+	case d < 0:
+		return "-" + (-d).String()
+	case d < Millisecond:
+		return fmt.Sprintf("%dus", int64(d))
+	case d < Second:
+		return trimZero(float64(d)/float64(Millisecond), "ms")
+	default:
+		return trimZero(float64(d)/float64(Second), "s")
+	}
+}
+
+func trimZero(v float64, unit string) string {
+	s := fmt.Sprintf("%.3f", v)
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s + unit
+}
+
+// CeilDiv returns ⌈d / w⌉ for positive w, the quantity that appears in the
+// UAM window-counting arguments of Theorem 2 (⌈C_i / W_j⌉).
+func CeilDiv(d, w Duration) int64 {
+	if w <= 0 {
+		panic("rtime: CeilDiv by non-positive window")
+	}
+	if d <= 0 {
+		return 0
+	}
+	return (int64(d) + int64(w) - 1) / int64(w)
+}
+
+// FloorDiv returns ⌊d / w⌋ for positive w, the quantity that appears in the
+// AUR lower-bound argument of Lemma 4 (⌊Δt / W_i⌋).
+func FloorDiv(d, w Duration) int64 {
+	if w <= 0 {
+		panic("rtime: FloorDiv by non-positive window")
+	}
+	if d < 0 {
+		return 0
+	}
+	return int64(d) / int64(w)
+}
+
+// Min returns the smaller of two durations.
+func Min(a, b Duration) Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of two durations.
+func Max(a, b Duration) Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinTime returns the earlier of two instants.
+func MinTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxTime returns the later of two instants.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,211 @@
+package rtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddBasic(t *testing.T) {
+	if got := Time(10).Add(5); got != 15 {
+		t.Fatalf("Add: got %d, want 15", got)
+	}
+	if got := Time(10).Add(-5); got != 5 {
+		t.Fatalf("Add negative: got %d, want 5", got)
+	}
+}
+
+func TestAddSaturation(t *testing.T) {
+	if got := Infinity.Add(Millisecond); got != Infinity {
+		t.Fatalf("Infinity.Add: got %v, want Infinity", got)
+	}
+	if got := Time(5).Add(Never); got != Infinity {
+		t.Fatalf("Add(Never): got %v, want Infinity", got)
+	}
+	if got := Time(math.MaxInt64 - 1).Add(100); got != Infinity {
+		t.Fatalf("overflow Add: got %v, want Infinity", got)
+	}
+}
+
+func TestSub(t *testing.T) {
+	if got := Time(100).Sub(40); got != 60 {
+		t.Fatalf("Sub: got %d, want 60", got)
+	}
+	if got := Time(40).Sub(100); got != -60 {
+		t.Fatalf("Sub negative: got %d, want -60", got)
+	}
+}
+
+func TestBeforeAfter(t *testing.T) {
+	if !Time(1).Before(2) || Time(2).Before(1) || Time(1).Before(1) {
+		t.Fatal("Before is wrong")
+	}
+	if !Time(2).After(1) || Time(1).After(2) || Time(1).After(1) {
+		t.Fatal("After is wrong")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct {
+		d, w Duration
+		want int64
+	}{
+		{0, 10, 0},
+		{-5, 10, 0},
+		{1, 10, 1},
+		{10, 10, 1},
+		{11, 10, 2},
+		{19, 10, 2},
+		{20, 10, 2},
+		{21, 10, 3},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.d, c.w); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.d, c.w, got, c.want)
+		}
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct {
+		d, w Duration
+		want int64
+	}{
+		{0, 10, 0},
+		{-5, 10, 0},
+		{9, 10, 0},
+		{10, 10, 1},
+		{19, 10, 1},
+		{20, 10, 2},
+	}
+	for _, c := range cases {
+		if got := FloorDiv(c.d, c.w); got != c.want {
+			t.Errorf("FloorDiv(%d,%d) = %d, want %d", c.d, c.w, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CeilDiv(1, 0) did not panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+func TestFloorDivPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FloorDiv(1, -1) did not panic")
+		}
+	}()
+	FloorDiv(1, -1)
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0us"},
+		{5, "5us"},
+		{999, "999us"},
+		{Millisecond, "1ms"},
+		{1500, "1.5ms"},
+		{Second, "1s"},
+		{2*Second + 500*Millisecond, "2.5s"},
+		{-5, "-5us"},
+		{Never, "never"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Duration(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := Infinity.String(); got != "+inf" {
+		t.Fatalf("Infinity.String() = %q", got)
+	}
+	if got := Time(1500).String(); got != "1.5ms" {
+		t.Fatalf("Time(1500).String() = %q", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Fatal("Min wrong")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Fatal("Max wrong")
+	}
+	if MinTime(3, 5) != 3 || MaxTime(3, 5) != 5 {
+		t.Fatal("MinTime/MaxTime wrong")
+	}
+}
+
+// Property: CeilDiv and FloorDiv bracket the exact quotient and
+// CeilDiv - FloorDiv ∈ {0, 1} for positive inputs.
+func TestQuickDivBracket(t *testing.T) {
+	f := func(d uint32, w uint16) bool {
+		dd, ww := Duration(d), Duration(w)+1 // w ≥ 1
+		fl, ce := FloorDiv(dd, ww), CeilDiv(dd, ww)
+		if fl > ce || ce-fl > 1 {
+			return false
+		}
+		if fl*int64(ww) > int64(dd) {
+			return false
+		}
+		if ce*int64(ww) < int64(dd) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add then Sub round-trips for in-range values.
+func TestQuickAddSubRoundTrip(t *testing.T) {
+	f := func(base uint32, delta int32) bool {
+		t0 := Time(base)
+		d := Duration(delta)
+		if t0.Add(d).Sub(t0) != d {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Fatalf("Seconds: got %v", got)
+	}
+	if got := (500 * Microsecond).Millis(); got != 0.5 {
+		t.Fatalf("Millis: got %v", got)
+	}
+}
+
+func TestCeilFloorLargeValues(t *testing.T) {
+	// No overflow in the window-counting helpers at realistic extremes.
+	d := Duration(3_600_000_000) // one hour of µs
+	w := Duration(1)
+	if got := CeilDiv(d, w); got != 3_600_000_000 {
+		t.Fatalf("CeilDiv big = %d", got)
+	}
+	if got := FloorDiv(d, w); got != 3_600_000_000 {
+		t.Fatalf("FloorDiv big = %d", got)
+	}
+}
+
+func TestAddNegativeDurationToInfinityStaysInfinite(t *testing.T) {
+	if got := Infinity.Add(-5); got != Infinity {
+		t.Fatalf("Infinity.Add(-5) = %v", got)
+	}
+}

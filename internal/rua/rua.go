@@ -1,0 +1,350 @@
+// Package rua implements the Resource-constrained Utility Accrual
+// scheduling algorithm of Wu et al. [27] in its two forms compared by the
+// paper: lock-based RUA (dependency chains, deadlock detection and
+// resolution, PUDs over aggregate computations, ECF tentative-schedule
+// construction — §3) and lock-free RUA (the same algorithm with
+// dependency chains compiled out, §5), which is the paper's core
+// contribution.
+//
+// Operation accounting follows the paper's §3.6 cost model: every chain
+// hop, PUD term, and sort comparison is one operation, and every
+// ordered-schedule lookup/insert/remove is charged ⌈log₂ n⌉ operations
+// (the paper assumes an ordered list with logarithmic primitives). The
+// simulator turns these counts into virtual scheduling overhead, so a
+// lock-based decision really does cost Θ(log n) more virtual time than a
+// lock-free one at the same job count — the mechanism behind Fig 9.
+package rua
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rtime"
+	"repro/internal/sched"
+	"repro/internal/task"
+)
+
+// RUA is a configured RUA scheduler. Use NewLockBased or NewLockFree.
+type RUA struct {
+	lockFree bool
+}
+
+// NewLockBased returns RUA with lock-based object sharing: dependency
+// chains are computed from the resource map, PUDs aggregate over chains,
+// and deadlocks (possible only with nested critical sections) are
+// resolved by aborting the least-PUD cycle member.
+func NewLockBased() *RUA { return &RUA{lockFree: false} }
+
+// NewLockFree returns lock-free RUA: dependencies do not exist, so every
+// chain is the job itself, deadlock detection vanishes, and the schedule
+// construction drops from O(n² log n) to O(n²).
+func NewLockFree() *RUA { return &RUA{lockFree: true} }
+
+// Name implements sched.Scheduler.
+func (r *RUA) Name() string {
+	if r.lockFree {
+		return "rua-lockfree"
+	}
+	return "rua-lockbased"
+}
+
+// entry is one slot of the (tentative) schedule: a job and its effective
+// critical time, possibly tightened by dependency insertion (§3.4.1).
+type entry struct {
+	job  *task.Job
+	effC rtime.Time
+}
+
+// schedule is an ECF-ordered list with the paper's charged-cost
+// primitives. ops accumulates charged operations.
+type schedule struct {
+	entries []entry
+	ops     *int64
+}
+
+// chargeLog charges ⌈log₂(len+1)⌉ operations — the ordered-list primitive
+// cost of §3.6 step 5.
+func (s *schedule) chargeLog() {
+	n := len(s.entries) + 1
+	c := int64(1)
+	for n > 1 {
+		c++
+		n >>= 1
+	}
+	*s.ops += c
+}
+
+func (s *schedule) clone() *schedule {
+	cp := &schedule{entries: make([]entry, len(s.entries)), ops: s.ops}
+	copy(cp.entries, s.entries)
+	return cp
+}
+
+// indexOf returns the position of j, or -1. Charged as one ordered-list
+// lookup.
+func (s *schedule) indexOf(j *task.Job) int {
+	s.chargeLog()
+	for i, e := range s.entries {
+		if e.job == j {
+			return i
+		}
+	}
+	return -1
+}
+
+// ecfPos returns the insertion position for effective critical time c:
+// after all entries with effC ≤ c (stable for equal critical times).
+func (s *schedule) ecfPos(c rtime.Time) int {
+	s.chargeLog()
+	return sort.Search(len(s.entries), func(i int) bool {
+		return s.entries[i].effC > c
+	})
+}
+
+func (s *schedule) insertAt(pos int, e entry) {
+	s.chargeLog()
+	s.entries = append(s.entries, entry{})
+	copy(s.entries[pos+1:], s.entries[pos:])
+	s.entries[pos] = e
+}
+
+func (s *schedule) removeAt(pos int) entry {
+	s.chargeLog()
+	e := s.entries[pos]
+	s.entries = append(s.entries[:pos], s.entries[pos+1:]...)
+	return e
+}
+
+// insertChain inserts job j and its dependents (chain is head→tail with
+// the tail being j itself) into the tentative schedule per §3.4.1:
+// proceed from tail to head, insert each at its critical-time position,
+// force dependency order by moving/tightening when the ECF order
+// disagrees (Case 2: insert the dependent before its successor and update
+// its critical time to the successor's).
+func (s *schedule) insertChain(chain []*task.Job) {
+	var prev *task.Job   // successor in dependency order (inserted last iteration)
+	var prevC rtime.Time // prev's effective critical time
+	for i := len(chain) - 1; i >= 0; i-- {
+		d := chain[i]
+		if d.Done() || d.State == task.Aborting {
+			continue
+		}
+		if di := s.indexOf(d); di >= 0 {
+			// Already present (inserted as a dependent of an earlier,
+			// higher-PUD job). Re-establish dependency order: d must also
+			// precede prev (§3.4.1's removal-and-reinsertion case).
+			if prev != nil {
+				pi := s.indexOf(prev)
+				if di > pi {
+					e := s.removeAt(di)
+					e.effC = prevC
+					s.insertAt(pi, e)
+				}
+			}
+			e := s.entryOf(d)
+			prev, prevC = d, e.effC
+			continue
+		}
+		effC := d.AbsoluteCriticalTime()
+		pos := s.ecfPos(effC)
+		if prev != nil {
+			pi := s.indexOf(prev)
+			if pos > pi {
+				// ECF order inconsistent with dependency order (Case 2):
+				// force d before prev and inherit prev's critical time.
+				pos = pi
+				effC = prevC
+			}
+		}
+		s.insertAt(pos, entry{job: d, effC: effC})
+		prev, prevC = d, effC
+	}
+}
+
+func (s *schedule) entryOf(j *task.Job) entry {
+	for _, e := range s.entries {
+		if e.job == j {
+			return e
+		}
+	}
+	return entry{}
+}
+
+// feasible checks that executing the schedule in order meets every
+// effective critical time, charging one operation per entry.
+func (s *schedule) feasible(now rtime.Time, acc rtime.Duration) bool {
+	t := now
+	for _, e := range s.entries {
+		*s.ops++
+		t = t.Add(e.job.Remaining(acc))
+		if t.After(e.effC) {
+			return false
+		}
+	}
+	return true
+}
+
+// SelectTopK implements sched.TopK: the first k entries of the final
+// RUA schedule, in order. Global multiprocessor dispatch uses this to
+// run the schedule's prefix in parallel — the natural global-scheduling
+// generalization of "dispatch the head".
+func (r *RUA) SelectTopK(w sched.World, k int) ([]*task.Job, int64) {
+	d, entries := r.selectFull(w)
+	out := make([]*task.Job, 0, k)
+	for _, e := range entries {
+		if len(out) == k {
+			break
+		}
+		out = append(out, e.job)
+	}
+	return out, d.Ops
+}
+
+// Select implements sched.Scheduler — the full RUA pass of §3:
+// dependency chains, deadlock handling, PUDs, PUD-ordered examination,
+// ECF insertion with feasibility testing, and head dispatch.
+func (r *RUA) Select(w sched.World) sched.Decision {
+	d, _ := r.selectFull(w)
+	return d
+}
+
+// selectFull runs the RUA pass and returns both the decision and the
+// final schedule entries.
+func (r *RUA) selectFull(w sched.World) (sched.Decision, []entry) {
+	var ops int64
+
+	live := make([]*task.Job, 0, len(w.Jobs))
+	for _, j := range w.Jobs {
+		if !j.Done() && j.State != task.Aborting {
+			live = append(live, j)
+		}
+	}
+	if len(live) == 0 {
+		return sched.Decision{Ops: ops}, nil
+	}
+
+	// Step 1: dependency chains (§3.1). Lock-free RUA has none — each
+	// chain is the job itself (§5).
+	chains := make(map[*task.Job][]*task.Job, len(live))
+	var cycles [][]*task.Job
+	for _, j := range live {
+		if r.lockFree {
+			chains[j] = []*task.Job{j}
+			ops++
+			continue
+		}
+		chain, cycle := w.Res.DependencyChain(j)
+		ops += int64(len(chain))
+		chains[j] = chain
+		if cycle {
+			cycles = append(cycles, chain)
+		}
+	}
+
+	// Step 2: PUDs (§3.2) — utility per unit time of the aggregate
+	// computation (the job plus everything it depends on).
+	pud := make(map[*task.Job]float64, len(live))
+	for _, j := range live {
+		pud[j] = r.pudOf(w, chains[j], &ops)
+	}
+
+	// Step 3: deadlock resolution (§3.3) — only reachable with nested
+	// critical sections. Abort the cycle member with the least PUD; jobs
+	// whose chains pass through a victim cannot run before the rollback,
+	// so they sit this round out.
+	var aborts []*task.Job
+	excluded := map[*task.Job]bool{}
+	for _, cyc := range cycles {
+		victim := cyc[0]
+		for _, j := range cyc {
+			ops++
+			if pud[j] < pud[victim] || (pud[j] == pud[victim] && jobLess(victim, j)) {
+				victim = j
+			}
+		}
+		if !excluded[victim] {
+			aborts = append(aborts, victim)
+			excluded[victim] = true
+		}
+	}
+	// A job whose chain passes through an aborting member (its holder's
+	// rollback handler has not finished, so the lock is still held) or a
+	// deadlock victim cannot run before the corresponding departure
+	// event; it sits this round out and is reconsidered then.
+	for _, j := range live {
+		for _, d := range chains[j] {
+			if excluded[d] || d.State == task.Aborting {
+				excluded[j] = true
+				break
+			}
+		}
+	}
+
+	// Step 4: sort by non-increasing PUD (§3.4), ties by job identity for
+	// determinism.
+	order := make([]*task.Job, 0, len(live))
+	for _, j := range live {
+		if !excluded[j] {
+			order = append(order, j)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ops++
+		pa, pb := pud[order[a]], pud[order[b]]
+		if pa != pb {
+			return pa > pb
+		}
+		return jobLess(order[a], order[b])
+	})
+
+	// Step 5: examine in PUD order, insert job+dependents in ECF order,
+	// keep the tentative schedule only if feasible (§3.4, §3.4.1).
+	cur := &schedule{ops: &ops}
+	for _, j := range order {
+		if cur.indexOf(j) >= 0 {
+			// Already inserted as someone's dependent.
+			continue
+		}
+		tent := cur.clone()
+		tent.insertChain(chains[j])
+		if tent.feasible(w.Now, w.Acc) {
+			cur = tent
+		}
+	}
+
+	var run *task.Job
+	if len(cur.entries) > 0 {
+		run = cur.entries[0].job
+	}
+	return sched.Decision{Run: run, Abort: aborts, Ops: ops}, cur.entries
+}
+
+// pudOf computes the potential utility density of a chain: walk from the
+// head (executes first) to the tail, accumulate estimated completion
+// times and the utility each member would accrue at its estimated
+// completion, and divide by the aggregate's total remaining time (§3.2).
+func (r *RUA) pudOf(w sched.World, chain []*task.Job, ops *int64) float64 {
+	t := w.Now
+	total := 0.0
+	for _, k := range chain {
+		*ops++
+		if k.Done() || k.State == task.Aborting {
+			continue
+		}
+		t = t.Add(k.Remaining(w.Acc))
+		total += k.Task.TUF.Utility(t.Sub(k.Arrival))
+	}
+	denom := t.Sub(w.Now)
+	if denom <= 0 {
+		// Zero remaining work: infinitely dense — schedule first.
+		return math.Inf(1)
+	}
+	return total / float64(denom)
+}
+
+func jobLess(a, b *task.Job) bool {
+	if a.Task.ID != b.Task.ID {
+		return a.Task.ID < b.Task.ID
+	}
+	return a.Seq < b.Seq
+}

@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rtime"
+	"repro/internal/task"
+)
+
+// LBESA is Locke's Best-Effort Scheduling Algorithm, the ancestral
+// utility-accrual scheduler in the lineage the paper's [22] surveys (RUA
+// descends from it via DASA). Where RUA examines jobs in PUD order and
+// inserts each into an ECF schedule, LBESA builds the ECF schedule first
+// and, while it is infeasible, SHEDS the lowest utility-density job —
+// same objective, opposite construction. It ignores dependencies, so use
+// it with lock-free objects or no sharing (like lock-free RUA, it is not
+// dependency-aware).
+type LBESA struct{}
+
+// Name implements Scheduler.
+func (LBESA) Name() string { return "lbesa" }
+
+// Select implements Scheduler.
+func (LBESA) Select(w World) Decision {
+	var ops int64
+	live := make([]*task.Job, 0, len(w.Jobs))
+	for _, j := range w.Jobs {
+		ops++
+		if j.Done() || j.State == task.Aborting || !Runnable(w, j) {
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return Decision{Ops: ops}
+	}
+	// ECF order.
+	sort.Slice(live, func(a, b int) bool {
+		ops++
+		return earlier(live[a], live[b])
+	})
+	// Shed lowest-density jobs until the schedule is feasible.
+	dens := func(j *task.Job) float64 {
+		rem := j.Remaining(w.Acc)
+		if rem <= 0 {
+			return math.Inf(1)
+		}
+		est := w.Now.Add(rem)
+		return j.Task.TUF.Utility(est.Sub(j.Arrival)) / float64(rem)
+	}
+	for len(live) > 0 {
+		if feasibleECF(w.Now, w.Acc, live, &ops) {
+			return Decision{Run: live[0], Ops: ops}
+		}
+		worst := 0
+		for i := 1; i < len(live); i++ {
+			ops++
+			if dens(live[i]) < dens(live[worst]) {
+				worst = i
+			}
+		}
+		live = append(live[:worst], live[worst+1:]...)
+	}
+	return Decision{Ops: ops}
+}
+
+func feasibleECF(now rtime.Time, acc rtime.Duration, jobs []*task.Job, ops *int64) bool {
+	t := now
+	for _, j := range jobs {
+		*ops++
+		t = t.Add(j.Remaining(acc))
+		if t.After(j.AbsoluteCriticalTime()) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,46 @@
+package sched
+
+import (
+	"repro/internal/rtime"
+	"repro/internal/task"
+)
+
+// LLF is least-laxity-first — the canonical FULLY-dynamic priority
+// scheduler of the Carpenter et al. taxonomy the paper cites in §4.1.
+// A job's laxity is (absolute critical time − now) − remaining work; a
+// running job's laxity stays constant while a waiting job's shrinks, so
+// two jobs with close laxities overtake each other repeatedly at
+// successive scheduling events — the mutual preemption of Fig 6 that
+// static and job-level-dynamic schedulers (RM, EDF) can never exhibit,
+// and the behaviour class that makes Lemma 1's event-counting argument
+// (rather than release-counting) necessary for UA schedulers.
+type LLF struct{}
+
+// Name implements Scheduler.
+func (LLF) Name() string { return "llf" }
+
+// Select implements Scheduler: the runnable job with the least laxity
+// wins; ties break by (taskID, seq).
+func (LLF) Select(w World) Decision {
+	var best *task.Job
+	var bestLax rtime.Duration
+	ops := int64(0)
+	for _, j := range w.Jobs {
+		ops++
+		if !Runnable(w, j) {
+			continue
+		}
+		lax := j.AbsoluteCriticalTime().Sub(w.Now) - j.Remaining(w.Acc)
+		if best == nil || lax < bestLax || (lax == bestLax && jobOrderLess(j, best)) {
+			best, bestLax = j, lax
+		}
+	}
+	return Decision{Run: best, Ops: ops}
+}
+
+func jobOrderLess(a, b *task.Job) bool {
+	if a.Task.ID != b.Task.ID {
+		return a.Task.ID < b.Task.ID
+	}
+	return a.Seq < b.Seq
+}

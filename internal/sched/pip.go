@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"repro/internal/rtime"
+	"repro/internal/task"
+)
+
+// PIP is EDF with priority inheritance — the classical lock-based
+// synchronization discipline of Sha, Rajkumar, and Lehoczky that the
+// paper's §1.1 positions lock-free sharing against. A lock holder
+// inherits the urgency (earliest effective critical time) of every job
+// transitively blocked on it, which bounds priority inversion to one
+// critical section per lock without RUA's dependency-chain scheduling.
+// Like classic PIP it is urgency-only: during overloads it cannot favor
+// important work, which is the gap UA schedulers fill.
+type PIP struct{}
+
+// Name implements Scheduler.
+func (PIP) Name() string { return "edf-pip" }
+
+// Select implements Scheduler: compute effective critical times by
+// propagating waiters' urgencies to holders along the waiting→holder
+// edges, then dispatch the runnable job with the earliest effective
+// critical time.
+func (PIP) Select(w World) Decision {
+	var ops int64
+	eff := make(map[*task.Job]rtime.Time, len(w.Jobs))
+	for _, j := range w.Jobs {
+		ops++
+		if j.Done() || j.State == task.Aborting {
+			continue
+		}
+		eff[j] = j.AbsoluteCriticalTime()
+	}
+	// Propagate inheritance. Chains are acyclic without nesting; with
+	// nesting a cycle means deadlock, which PIP does not resolve — the
+	// bounded iteration below still terminates and the blocked jobs
+	// simply starve until their critical times (honest PIP behaviour).
+	for range w.Jobs {
+		changed := false
+		for j := range eff {
+			obj, waiting := w.Res.WaitingFor(j)
+			if !waiting {
+				continue
+			}
+			holder := w.Res.Owner(obj)
+			if holder == nil {
+				continue
+			}
+			ops++
+			if h, ok := eff[holder]; ok && eff[j] < h {
+				eff[holder] = eff[j]
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	var best *task.Job
+	for _, j := range w.Jobs {
+		ops++
+		if _, ok := eff[j]; !ok || !Runnable(w, j) {
+			continue
+		}
+		if best == nil || eff[j] < eff[best] ||
+			(eff[j] == eff[best] && jobOrderLess(j, best)) {
+			best = j
+		}
+	}
+	return Decision{Run: best, Ops: ops}
+}
+
+// SelectTopK implements TopK for PIP-ranked global dispatch.
+func (p PIP) SelectTopK(w World, k int) ([]*task.Job, int64) {
+	// Rank by repeatedly extracting the PIP head over a shrinking view.
+	// O(k·n) but n is small at scheduling events.
+	var ops int64
+	remaining := append([]*task.Job(nil), w.Jobs...)
+	var out []*task.Job
+	for len(out) < k {
+		sub := w
+		sub.Jobs = remaining
+		d := p.Select(sub)
+		ops += d.Ops
+		if d.Run == nil {
+			break
+		}
+		out = append(out, d.Run)
+		for i, j := range remaining {
+			if j == d.Run {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				break
+			}
+		}
+	}
+	return out, ops
+}

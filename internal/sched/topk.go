@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/task"
+)
+
+// TopK is the scheduler capability global multiprocessor dispatch needs:
+// rank the runnable jobs and return the best k. Single-CPU Select is the
+// k=1 special case. EDF, LLF, and both RUA variants implement it.
+type TopK interface {
+	Scheduler
+	// SelectTopK returns up to k runnable jobs in dispatch-priority order
+	// plus the charged operation count. Jobs to abort (deadlock victims)
+	// ride on the Decision of Select; global engines call Select first
+	// when they need abort decisions, or use schedulers without them.
+	SelectTopK(w World, k int) ([]*task.Job, int64)
+}
+
+// SelectTopK implements TopK for EDF: the k earliest critical times.
+func (e EDF) SelectTopK(w World, k int) ([]*task.Job, int64) {
+	return topKBy(w, k, func(a, b *task.Job) bool { return earlier(a, b) })
+}
+
+// SelectTopK implements TopK for LLF: the k least laxities.
+func (l LLF) SelectTopK(w World, k int) ([]*task.Job, int64) {
+	now := w.Now
+	lax := func(j *task.Job) int64 {
+		return int64(j.AbsoluteCriticalTime().Sub(now) - j.Remaining(w.Acc))
+	}
+	return topKBy(w, k, func(a, b *task.Job) bool {
+		la, lb := lax(a), lax(b)
+		if la != lb {
+			return la < lb
+		}
+		return jobOrderLess(a, b)
+	})
+}
+
+func topKBy(w World, k int, less func(a, b *task.Job) bool) ([]*task.Job, int64) {
+	var ops int64
+	runnable := make([]*task.Job, 0, len(w.Jobs))
+	for _, j := range w.Jobs {
+		ops++
+		if Runnable(w, j) {
+			runnable = append(runnable, j)
+		}
+	}
+	sort.Slice(runnable, func(a, b int) bool {
+		ops++
+		return less(runnable[a], runnable[b])
+	})
+	if len(runnable) > k {
+		runnable = runnable[:k]
+	}
+	return runnable, ops
+}

@@ -1,0 +1,658 @@
+// Package sim is the deterministic discrete-event substrate that stands
+// in for the paper's QNX Neutrino testbed. It models a single preemptive
+// processor under virtual time: jobs arrive under UAM, execute compute
+// and shared-object access segments, acquire/release locks (lock-based
+// mode) or commit/retry (lock-free mode), are aborted when their critical
+// times expire (§3.5), and are dispatched by a pluggable scheduler whose
+// decision cost — measured in charged operations — is converted into
+// virtual scheduling overhead occupying the CPU.
+//
+// Why a simulator: the paper's claims are statements about scheduling
+// event sequences (who preempts whom, how many retries an access suffers,
+// how overhead scales with the ready-queue length), not about wall-clock
+// physics. A Go process cannot provide RTOS priorities (the runtime
+// scheduler and GC preempt arbitrarily), so real time would add noise
+// without adding fidelity; virtual time gives exact, reproducible event
+// interleavings. Real atomics-based objects are measured separately in
+// internal/lockfree benchmarks.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/resource"
+	"repro/internal/rtime"
+	"repro/internal/sched"
+	"repro/internal/task"
+	"repro/internal/trace"
+	"repro/internal/uam"
+)
+
+// Mode selects the synchronization substrate.
+type Mode int
+
+// Synchronization modes.
+const (
+	// LockBased serializes object accesses with locks; lock and unlock
+	// requests are scheduling events (§3).
+	LockBased Mode = iota
+	// LockFree lets accesses run optimistically; the only scheduling
+	// events are job arrivals and departures (§4.1), and a preempted
+	// access retries on resume.
+	LockFree
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	if m == LockFree {
+		return "lock-free"
+	}
+	return "lock-based"
+}
+
+// ErrConfig reports an invalid simulation configuration.
+var ErrConfig = errors.New("sim: invalid config")
+
+// Config describes one simulation run.
+type Config struct {
+	Tasks     []*task.Task
+	Scheduler sched.Scheduler
+	Mode      Mode
+
+	// R and S are the lock-based and lock-free per-access costs (the r
+	// and s of §5). The mode in force picks which one applies.
+	R, S rtime.Duration
+
+	// OpCost is the virtual time (in ticks, i.e. µs) charged per
+	// scheduler operation. Zero models the "ideal" scheduler of Fig 9.
+	OpCost float64
+
+	Horizon rtime.Time
+
+	// ArrivalKind and Seed drive the per-task UAM generators.
+	ArrivalKind uam.Kind
+	Seed        int64
+
+	// Arrivals, when non-nil, replaces generated arrivals with explicit
+	// per-task traces (index-aligned with Tasks; missing/short entries
+	// mean no arrivals for that task). Each trace must be sorted and
+	// within the horizon; UAM conformance is the caller's responsibility
+	// (validate with uam.CheckTrace when it matters — tests deliberately
+	// construct off-model scenarios).
+	Arrivals []uam.Trace
+
+	// Observer, when non-nil, receives a trace event for every
+	// scheduling-relevant state change (arrivals, dispatches, blocks,
+	// commits, retries, completions, aborts).
+	Observer func(trace.Event)
+
+	// ConservativeRetry selects retry accounting: true re-runs a
+	// preempted lock-free access whenever any other job was dispatched in
+	// between (the adversary Theorem 2 bounds); false retries only when a
+	// conflicting commit actually landed on the same object.
+	ConservativeRetry bool
+}
+
+func (c *Config) validate() error {
+	if len(c.Tasks) == 0 {
+		return fmt.Errorf("%w: no tasks", ErrConfig)
+	}
+	if c.Scheduler == nil {
+		return fmt.Errorf("%w: no scheduler", ErrConfig)
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("%w: horizon %v must be positive", ErrConfig, c.Horizon)
+	}
+	if c.R <= 0 || c.S <= 0 {
+		return fmt.Errorf("%w: access costs R=%v S=%v must be positive", ErrConfig, c.R, c.S)
+	}
+	if c.OpCost < 0 || math.IsNaN(c.OpCost) || math.IsInf(c.OpCost, 0) {
+		return fmt.Errorf("%w: op cost %v", ErrConfig, c.OpCost)
+	}
+	for _, t := range c.Tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if c.Mode == LockFree && t.UsesExplicitSections() {
+			return fmt.Errorf("%w: task %d uses explicit Lock/Unlock sections, which the lock-free model excludes (§2)", ErrConfig, t.ID)
+		}
+	}
+	if c.Arrivals != nil {
+		if len(c.Arrivals) > len(c.Tasks) {
+			return fmt.Errorf("%w: %d arrival traces for %d tasks", ErrConfig, len(c.Arrivals), len(c.Tasks))
+		}
+		for i, tr := range c.Arrivals {
+			for k, at := range tr {
+				if k > 0 && at < tr[k-1] {
+					return fmt.Errorf("%w: arrival trace %d is not sorted", ErrConfig, i)
+				}
+				if at < 0 || at >= c.Horizon {
+					return fmt.Errorf("%w: arrival trace %d: %v outside [0, %v)", ErrConfig, i, at, c.Horizon)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Result aggregates a finished run.
+type Result struct {
+	Jobs []*task.Job // every job released before the horizon
+
+	Arrivals    int64
+	Completions int64
+	Aborts      int64
+
+	SchedInvocations int64
+	SchedOps         int64
+	LockEvents       int64
+	CtxSwitches      int64
+	Retries          int64 // Σ per-job lock-free retries
+
+	ExecTime    rtime.Duration // CPU time spent executing jobs
+	Overhead    rtime.Duration // CPU time spent in the scheduler
+	HandlerTime rtime.Duration // CPU time spent in abort handlers
+
+	// AccessTime is the summed effective object-access latency: from a
+	// job's first arrival at an access boundary to the access's commit,
+	// including blocking, preemption, and retries. AccessTime/Accesses is
+	// the measured r (lock-based) or s (lock-free) of Fig 8.
+	AccessTime rtime.Duration
+	Accesses   int64
+
+	Horizon rtime.Time
+	Err     error
+}
+
+// Busy returns the total CPU time consumed: job execution, scheduler
+// overhead, and abort handlers.
+func (r Result) Busy() rtime.Duration {
+	return r.ExecTime + r.Overhead + r.HandlerTime
+}
+
+// Utilization returns Busy divided by the horizon, the processor's
+// long-run utilization over the run.
+func (r Result) Utilization() float64 {
+	if r.Horizon <= 0 {
+		return 0
+	}
+	return float64(r.Busy()) / float64(r.Horizon)
+}
+
+type evKind int
+
+const (
+	evArrival evKind = iota
+	evCritical
+	evInternal
+	evDispatch
+	evAbortDone
+)
+
+type event struct {
+	at   rtime.Time
+	seq  int64
+	kind evKind
+	job  *task.Job
+	gen  int64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// runState is per-job engine bookkeeping.
+type runState struct {
+	accessStart rtime.Time // when the current lock-free access began consuming
+	midAccess   bool       // stopped while inside a lock-free access
+	stopSeq     int64      // dispatchSeq at the moment it was stopped
+
+	entrySeg  int        // segment index of the stamped access entry (-1 none)
+	entryTime rtime.Time // when the job first reached that access boundary
+}
+
+// Engine executes one configured run.
+type Engine struct {
+	cfg Config
+	acc rtime.Duration
+
+	now     rtime.Time
+	events  eventHeap
+	seq     int64
+	res     *resource.Map
+	live    []*task.Job
+	allJobs []*task.Job
+
+	running *task.Job
+	runPos  rtime.Time
+
+	busyUntil       rtime.Time
+	pendingDispatch *task.Job
+	dispatchGen     int64
+	internalGen     int64
+	dispatchSeq     int64
+
+	rstates map[*task.Job]*runState
+	lastRun *task.Job
+
+	res1 Result
+	fail error
+}
+
+// New builds an engine, pre-generating all UAM arrivals over the horizon.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		res:     resource.NewMap(),
+		rstates: map[*task.Job]*runState{},
+	}
+	if cfg.Mode == LockBased {
+		e.acc = cfg.R
+	} else {
+		e.acc = cfg.S
+	}
+	for i, t := range cfg.Tasks {
+		var tr uam.Trace
+		if cfg.Arrivals != nil {
+			if i < len(cfg.Arrivals) {
+				tr = cfg.Arrivals[i]
+			}
+		} else {
+			g, err := uam.NewGenerator(t.Arrival, cfg.Seed+int64(i)*7919)
+			if err != nil {
+				return nil, err
+			}
+			tr = g.Generate(cfg.ArrivalKind, cfg.Horizon)
+		}
+		for k, at := range tr {
+			j := task.NewJob(t, k, at)
+			e.push(event{at: at, kind: evArrival, job: j})
+		}
+	}
+	return e, nil
+}
+
+func (e *Engine) push(ev event) {
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.events, ev)
+}
+
+func (e *Engine) rs(j *task.Job) *runState {
+	st := e.rstates[j]
+	if st == nil {
+		st = &runState{entrySeg: -1}
+		e.rstates[j] = st
+	}
+	return st
+}
+
+// stampEntry records the first arrival at the current access boundary.
+func (e *Engine) stampEntry(j *task.Job) {
+	st := e.rs(j)
+	if st.entrySeg != j.SegIdx {
+		st.entrySeg = j.SegIdx
+		st.entryTime = e.runPos
+	}
+}
+
+func (e *Engine) pushInternal(at rtime.Time) {
+	e.internalGen++
+	e.push(event{at: at, kind: evInternal, gen: e.internalGen})
+}
+
+func (e *Engine) failWith(err error) {
+	if e.fail == nil {
+		e.fail = err
+	}
+}
+
+// emit reports a trace event to the configured observer.
+func (e *Engine) emit(at rtime.Time, kind trace.Kind, j *task.Job, obj int) {
+	if e.cfg.Observer == nil || j == nil {
+		return
+	}
+	e.cfg.Observer(trace.Event{At: at, Kind: kind, Task: j.Task.ID, Seq: j.Seq, Object: obj})
+}
+
+// Run executes the simulation to the horizon and returns the result.
+func (e *Engine) Run() Result {
+	for e.events.Len() > 0 && e.fail == nil {
+		ev := heap.Pop(&e.events).(event)
+		if ev.at > e.cfg.Horizon {
+			break
+		}
+		if ev.kind == evInternal && ev.gen != e.internalGen {
+			continue
+		}
+		if ev.kind == evDispatch && ev.gen != e.dispatchGen {
+			continue
+		}
+		e.now = ev.at
+		needResched := e.settle()
+		switch ev.kind {
+		case evArrival:
+			j := ev.job
+			e.live = append(e.live, j)
+			e.allJobs = append(e.allJobs, j)
+			e.res1.Arrivals++
+			e.emit(e.now, trace.Arrival, j, -1)
+			e.push(event{at: j.AbsoluteCriticalTime(), kind: evCritical, job: j})
+			needResched = true
+		case evCritical:
+			if !ev.job.Done() && ev.job.State != task.Aborting {
+				e.beginAbort(ev.job)
+				needResched = true
+			}
+		case evAbortDone:
+			j := ev.job
+			if j.State == task.Aborting {
+				j.State = task.Aborted
+				e.res.ReleaseAll(j)
+				e.res1.Aborts++
+				e.emit(e.now, trace.AbortDone, j, -1)
+				needResched = true // departure is a scheduling event
+			}
+		case evDispatch:
+			e.dispatchNow(e.pendingDispatch)
+		case evInternal:
+			// settle() already processed the boundary.
+		}
+		if needResched && e.fail == nil {
+			e.reschedule()
+		}
+	}
+	e.res1.Jobs = e.allJobs
+	e.res1.Horizon = e.cfg.Horizon
+	e.res1.Err = e.fail
+	var retries int64
+	for _, j := range e.allJobs {
+		retries += j.Retries
+	}
+	e.res1.Retries = retries
+	return e.res1
+}
+
+// settle advances the running job to e.now, processing any boundary that
+// falls exactly there. It reports whether a scheduling event occurred
+// (lock request/release, completion, blocking).
+func (e *Engine) settle() bool {
+	j := e.running
+	if j == nil {
+		return false
+	}
+	resched := false
+	delta := e.now.Sub(e.runPos)
+	for {
+		used, stepEv := j.Step(delta, e.acc)
+		delta -= used
+		e.runPos = e.runPos.Add(used)
+		e.res1.ExecTime += used
+		switch stepEv {
+		case task.StepBudget:
+			return resched
+		case task.StepAccessStart:
+			obj, _ := j.AtAccessStart()
+			e.stampEntry(j)
+			if e.cfg.Mode == LockFree {
+				// Not a scheduling event (§4.1): fall straight into the
+				// access; the fresh internal event marks its commit point.
+				e.rs(j).accessStart = e.runPos
+				e.pushInternal(e.runPos.Add(j.TimeToBoundary(e.acc)))
+				continue
+			}
+			granted, _, err := e.res.TryAcquire(j, obj)
+			if err != nil {
+				e.failWith(err)
+				return false
+			}
+			e.res1.LockEvents++
+			if granted {
+				e.emit(e.runPos, trace.LockAcquire, j, obj)
+			} else {
+				j.State = task.Blocked
+				e.emit(e.runPos, trace.Block, j, obj)
+			}
+			e.stopRunning()
+			return true
+		case task.StepAccessEnd:
+			obj := j.Task.Segments[j.SegIdx-1].Object
+			if st := e.rs(j); st.entrySeg == j.SegIdx-1 {
+				e.res1.AccessTime += e.runPos.Sub(st.entryTime)
+				e.res1.Accesses++
+				st.entrySeg = -1
+			}
+			if e.cfg.Mode == LockFree {
+				e.res.RecordCommit(obj, e.runPos)
+				e.emit(e.runPos, trace.Commit, j, obj)
+				e.pushInternal(e.runPos.Add(j.TimeToBoundary(e.acc)))
+				continue
+			}
+			if err := e.res.Release(j, obj); err != nil {
+				e.failWith(err)
+				return false
+			}
+			e.res1.LockEvents++
+			e.emit(e.runPos, trace.LockRelease, j, obj)
+			e.stopRunning()
+			return true
+		case task.StepLock:
+			obj, _ := j.PendingLock()
+			granted, _, err := e.res.TryAcquire(j, obj)
+			if err != nil {
+				e.failWith(err)
+				return false
+			}
+			e.res1.LockEvents++
+			if granted {
+				j.PassBoundary()
+				e.emit(e.runPos, trace.LockAcquire, j, obj)
+			} else {
+				j.State = task.Blocked
+				e.emit(e.runPos, trace.Block, j, obj)
+			}
+			e.stopRunning()
+			return true
+		case task.StepUnlock:
+			obj := j.Task.Segments[j.SegIdx].Object
+			if err := e.res.Release(j, obj); err != nil {
+				e.failWith(err)
+				return false
+			}
+			j.PassBoundary()
+			e.res1.LockEvents++
+			e.emit(e.runPos, trace.LockRelease, j, obj)
+			e.stopRunning()
+			return true
+		case task.StepCompleted:
+			j.State = task.Completed
+			j.Completion = e.runPos
+			e.res.ReleaseAll(j)
+			e.res1.Completions++
+			e.emit(e.runPos, trace.Complete, j, -1)
+			e.removeLive(j)
+			e.running = nil
+			return true
+		}
+	}
+}
+
+func (e *Engine) stopRunning() {
+	j := e.running
+	if j == nil {
+		return
+	}
+	if _, in := j.InAccess(); in && e.cfg.Mode == LockFree {
+		st := e.rs(j)
+		st.midAccess = true
+		st.stopSeq = e.dispatchSeq
+	}
+	if j.State == task.Running {
+		j.State = task.Ready
+	}
+	e.running = nil
+}
+
+func (e *Engine) beginAbort(j *task.Job) {
+	if j.Done() || j.State == task.Aborting {
+		return
+	}
+	if e.running == j {
+		e.stopRunning()
+	}
+	j.State = task.Aborting
+	j.AbortedAt = e.now
+	e.emit(e.now, trace.AbortBegin, j, -1)
+	e.res.Forget(j)
+	start := rtime.MaxTime(e.busyUntil, e.now)
+	e.busyUntil = start.Add(j.Task.AbortCost)
+	e.res1.HandlerTime += j.Task.AbortCost
+	e.push(event{at: e.busyUntil, kind: evAbortDone, job: j})
+}
+
+func (e *Engine) removeLive(j *task.Job) {
+	for i, x := range e.live {
+		if x == j {
+			e.live = append(e.live[:i], e.live[i+1:]...)
+			return
+		}
+	}
+}
+
+func (e *Engine) reschedule() {
+	e.stopRunning()
+	e.internalGen++
+	e.dispatchGen++
+	w := sched.World{
+		Now:       e.now,
+		Jobs:      e.live,
+		Res:       e.res,
+		Acc:       e.acc,
+		LockBased: e.cfg.Mode == LockBased,
+	}
+	d := e.cfg.Scheduler.Select(w)
+	e.res1.SchedInvocations++
+	e.res1.SchedOps += d.Ops
+	overhead := rtime.Duration(math.Round(float64(d.Ops) * e.cfg.OpCost))
+	e.res1.Overhead += overhead
+	for _, v := range d.Abort {
+		e.beginAbort(v)
+	}
+	start := rtime.MaxTime(e.busyUntil, e.now)
+	e.busyUntil = start.Add(overhead)
+	e.pendingDispatch = d.Run
+	if e.busyUntil.After(e.now) {
+		e.push(event{at: e.busyUntil, kind: evDispatch, gen: e.dispatchGen})
+		return
+	}
+	e.dispatchNow(d.Run)
+}
+
+func (e *Engine) dispatchNow(j *task.Job) {
+	if j == nil || j.Done() || j.State == task.Aborting {
+		return
+	}
+	st := e.rs(j)
+	if st.midAccess {
+		st.midAccess = false
+		retry := false
+		if e.cfg.ConservativeRetry {
+			retry = e.dispatchSeq > st.stopSeq
+		} else if obj, in := j.InAccess(); in {
+			retry = e.res.CommittedSince(obj, st.accessStart)
+		}
+		if retry {
+			obj := -1
+			if o, in := j.InAccess(); in {
+				obj = o
+			}
+			j.RestartAccess()
+			e.emit(e.now, trace.Retry, j, obj)
+		}
+	}
+	if e.cfg.Mode == LockBased {
+		if obj, ok := j.PendingLock(); ok {
+			switch owner := e.res.Owner(obj); {
+			case owner == nil:
+				if _, _, err := e.res.TryAcquire(j, obj); err != nil {
+					e.failWith(err)
+					return
+				}
+				j.PassBoundary()
+				e.res1.LockEvents++
+				e.emit(e.now, trace.LockAcquire, j, obj)
+			case owner == j:
+				// Impossible by construction (the boundary is consumed on
+				// grant), but harmless to tolerate.
+				j.PassBoundary()
+			default:
+				e.failWith(fmt.Errorf("sim: scheduler %s dispatched %s, blocked at Lock(%d) held by %s",
+					e.cfg.Scheduler.Name(), j.Name(), obj, owner.Name()))
+				return
+			}
+		}
+		if obj, ok := j.AtAccessStart(); ok {
+			switch owner := e.res.Owner(obj); {
+			case owner == j:
+				// Holds it already (granted at the boundary event).
+			case owner == nil:
+				if _, _, err := e.res.TryAcquire(j, obj); err != nil {
+					e.failWith(err)
+					return
+				}
+				e.res1.LockEvents++
+				e.emit(e.now, trace.LockAcquire, j, obj)
+			default:
+				e.failWith(fmt.Errorf("sim: scheduler %s dispatched %s, blocked on object %d held by %s",
+					e.cfg.Scheduler.Name(), j.Name(), obj, owner.Name()))
+				return
+			}
+		}
+	} else if _, ok := j.AtAccessStart(); ok {
+		// About to begin a lock-free access: stamp its start.
+		st.accessStart = e.now
+	}
+	if prev := e.lastRun; prev != nil && prev != j && !prev.Done() && prev.State != task.Aborting {
+		prev.Preempts++
+		e.emit(e.now, trace.Preempt, prev, -1)
+	}
+	e.lastRun = j
+	j.State = task.Running
+	j.Disp++
+	e.dispatchSeq++
+	e.emit(e.now, trace.Dispatch, j, -1)
+	e.running = j
+	e.runPos = e.now
+	if _, ok := j.AtAccessStart(); ok {
+		// Covers jobs whose very first segment is an access (they never
+		// cross an access boundary inside settle).
+		e.stampEntry(j)
+	}
+	e.res1.CtxSwitches++
+	e.pushInternal(e.now.Add(j.TimeToBoundary(e.acc)))
+}
+
+// Run is a convenience: build an engine and run it.
+func Run(cfg Config) (Result, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	r := e.Run()
+	return r, r.Err
+}

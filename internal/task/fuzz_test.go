@@ -1,0 +1,107 @@
+package task
+
+import (
+	"testing"
+
+	"repro/internal/rtime"
+	"repro/internal/tuf"
+	"repro/internal/uam"
+)
+
+// FuzzStepConservation checks, for fuzzed segment layouts and chunk
+// sizes, that stepping a job to completion consumes exactly its demand
+// and that restart-on-retry only ever adds whole access lengths.
+func FuzzStepConservation(f *testing.F) {
+	f.Add(uint16(100), uint8(2), uint8(9), []byte{5, 17, 3})
+	f.Add(uint16(50), uint8(0), uint8(1), []byte{1})
+	f.Add(uint16(900), uint8(4), uint8(30), []byte{250, 250, 250})
+	f.Fuzz(func(t *testing.T, uRaw uint16, mRaw, accRaw uint8, chunks []byte) {
+		u := rtime.Duration(uRaw%2000) + 10
+		m := int(mRaw % 6)
+		acc := rtime.Duration(accRaw%40) + 1
+		tk := &Task{
+			ID:       0,
+			TUF:      tuf.MustStep(1, 1<<40),
+			Arrival:  uam.Spec{L: 0, A: 1, W: 1 << 41},
+			Segments: InterleavedSegments(u, m, []int{0, 1, 2}),
+		}
+		j := NewJob(tk, 0, 0)
+		demand := tk.Demand(acc)
+		var consumed rtime.Duration
+		retries := 0
+		ci := 0
+		for steps := 0; steps < 100000; steps++ {
+			budget := rtime.Duration(1 << 40)
+			if ci < len(chunks) {
+				budget = rtime.Duration(chunks[ci]%60) + 1
+				ci++
+			}
+			used, ev := j.Step(budget, acc)
+			consumed += used
+			// Occasionally retry mid-access (deterministic from input).
+			if _, in := j.InAccess(); in && len(chunks) > 0 && steps%7 == 3 && retries < 5 {
+				j.RestartAccess()
+				retries++
+			}
+			if ev == StepCompleted {
+				// Conservation with retries: consumed = demand + Σ wasted
+				// partial access work, and each retry wastes < one acc.
+				if consumed < demand || consumed > demand+rtime.Duration(retries)*acc {
+					t.Fatalf("consumed %v outside [%v, %v] with %d retries",
+						consumed, demand, demand+rtime.Duration(retries)*acc, retries)
+				}
+				return
+			}
+		}
+		t.Fatal("job never completed")
+	})
+}
+
+// FuzzValidateNoPanic: arbitrary segment soups must be accepted or
+// rejected, never panic, and accepted ones must satisfy the documented
+// invariants (balanced lock sections).
+func FuzzValidateNoPanic(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 0, 2, 1, 3, 1})
+	f.Add([]byte{2, 0, 0, 5, 3, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var segs []Segment
+		for i := 0; i+1 < len(raw); i += 2 {
+			kind := SegmentKind(raw[i] % 4)
+			arg := int(raw[i+1])
+			switch kind {
+			case Compute:
+				segs = append(segs, Segment{Kind: Compute, D: rtime.Duration(arg)})
+			default:
+				segs = append(segs, Segment{Kind: kind, Object: arg % 5})
+			}
+		}
+		tk := &Task{
+			ID:       0,
+			TUF:      tuf.MustStep(1, 1000),
+			Arrival:  uam.Spec{L: 0, A: 1, W: 2000},
+			Segments: segs,
+		}
+		if err := tk.Validate(); err != nil {
+			return // rejected is fine
+		}
+		// Accepted: lock sections must balance when simulated.
+		held := map[int]bool{}
+		for _, s := range tk.Segments {
+			switch s.Kind {
+			case Lock:
+				if held[s.Object] {
+					t.Fatal("accepted double lock")
+				}
+				held[s.Object] = true
+			case Unlock:
+				if !held[s.Object] {
+					t.Fatal("accepted unmatched unlock")
+				}
+				delete(held, s.Object)
+			}
+		}
+		if len(held) != 0 {
+			t.Fatal("accepted dangling lock")
+		}
+	})
+}

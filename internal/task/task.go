@@ -1,0 +1,479 @@
+// Package task defines the activity model of the paper (§2): tasks with
+// time/utility functions and UAM arrival specifications, whose invocations
+// (jobs) interleave local computation with accesses to shared objects.
+//
+// A job's computation time decomposes as c_i = u_i + m_i·t_acc (paper §5),
+// where u_i is the compute time not involving shared objects, m_i is the
+// number of shared-object accesses, and t_acc is the per-access cost — r
+// for lock-based objects, s for lock-free objects. Segments make this
+// decomposition explicit: a job is a sequence of compute segments (fixed
+// durations summing to u_i) and access segments (one per object access,
+// whose duration the execution substrate supplies as r or s).
+package task
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rtime"
+	"repro/internal/tuf"
+	"repro/internal/uam"
+)
+
+// ErrInvalid reports a malformed task definition.
+var ErrInvalid = errors.New("task: invalid")
+
+// SegmentKind distinguishes compute from shared-object access segments
+// and explicit lock boundaries.
+type SegmentKind int
+
+// Segment kinds.
+const (
+	Compute SegmentKind = iota
+	Access
+	// Lock and Unlock are zero-duration boundaries delimiting an explicit
+	// critical section whose body is ordinary Compute segments. Unlike
+	// the flat Access shorthand, Lock/Unlock sections may NEST (hold one
+	// object while taking another), which is what makes deadlock — and
+	// RUA's §3.3 detection/resolution machinery — reachable. They are
+	// only meaningful in lock-based mode; lock-free configurations reject
+	// them (the paper's model excludes nested sections for lock-free
+	// sharing, §2).
+	Lock
+	Unlock
+)
+
+// Segment is one phase of a job's execution. For Compute segments D is
+// the execution demand; for Access segments D is ignored and the duration
+// is the synchronization substrate's per-access cost (r or s), while
+// Object identifies the shared object touched. Lock/Unlock segments have
+// zero duration and name the object in Object.
+type Segment struct {
+	Kind   SegmentKind
+	D      rtime.Duration
+	Object int
+}
+
+// Task is a recurring activity: a TUF time constraint, a UAM arrival
+// specification, an execution body (segments), and an abort handler cost
+// (the exception-handler execution time of §3.5).
+type Task struct {
+	ID        int
+	Name      string
+	TUF       tuf.TUF
+	Arrival   uam.Spec
+	Segments  []Segment
+	AbortCost rtime.Duration
+}
+
+// Validate checks the §2 model constraints: a valid TUF, a valid UAM spec,
+// C_i ≤ W_i, non-negative segment durations, at least some demand, and no
+// nested critical sections (access segments are flat by construction, so
+// this is implied — but zero-length compute segments are rejected to keep
+// boundaries meaningful).
+func (t *Task) Validate() error {
+	if t.TUF == nil {
+		return fmt.Errorf("%w: task %d has no TUF", ErrInvalid, t.ID)
+	}
+	if err := tuf.Validate(t.TUF); err != nil {
+		return fmt.Errorf("task %d: %w", t.ID, err)
+	}
+	if err := t.Arrival.Validate(); err != nil {
+		return fmt.Errorf("task %d: %w", t.ID, err)
+	}
+	if c, w := t.TUF.CriticalTime(), t.Arrival.W; c > w {
+		return fmt.Errorf("%w: task %d has C=%v > W=%v (paper §2 assumes C ≤ W)", ErrInvalid, t.ID, c, w)
+	}
+	if len(t.Segments) == 0 {
+		return fmt.Errorf("%w: task %d has no segments", ErrInvalid, t.ID)
+	}
+	held := map[int]bool{}
+	for i, s := range t.Segments {
+		switch s.Kind {
+		case Compute:
+			if s.D <= 0 {
+				return fmt.Errorf("%w: task %d segment %d: compute duration %v must be positive", ErrInvalid, t.ID, i, s.D)
+			}
+		case Access:
+			if s.Object < 0 {
+				return fmt.Errorf("%w: task %d segment %d: negative object id", ErrInvalid, t.ID, i)
+			}
+			if len(held) > 0 {
+				return fmt.Errorf("%w: task %d segment %d: Access shorthand inside an explicit Lock section", ErrInvalid, t.ID, i)
+			}
+		case Lock:
+			if s.Object < 0 {
+				return fmt.Errorf("%w: task %d segment %d: negative object id", ErrInvalid, t.ID, i)
+			}
+			if held[s.Object] {
+				return fmt.Errorf("%w: task %d segment %d: Lock(%d) while already held", ErrInvalid, t.ID, i, s.Object)
+			}
+			held[s.Object] = true
+		case Unlock:
+			if !held[s.Object] {
+				return fmt.Errorf("%w: task %d segment %d: Unlock(%d) without a matching Lock", ErrInvalid, t.ID, i, s.Object)
+			}
+			delete(held, s.Object)
+		default:
+			return fmt.Errorf("%w: task %d segment %d: unknown kind %d", ErrInvalid, t.ID, i, s.Kind)
+		}
+	}
+	if len(held) > 0 {
+		return fmt.Errorf("%w: task %d: %d objects still locked at job end", ErrInvalid, t.ID, len(held))
+	}
+	if t.AbortCost < 0 {
+		return fmt.Errorf("%w: task %d: negative abort cost", ErrInvalid, t.ID)
+	}
+	return nil
+}
+
+// ComputeTime returns u_i, the execution demand outside object accesses.
+func (t *Task) ComputeTime() rtime.Duration {
+	var u rtime.Duration
+	for _, s := range t.Segments {
+		if s.Kind == Compute {
+			u += s.D
+		}
+	}
+	return u
+}
+
+// NumAccesses returns m_i, the number of shared-object accesses per job.
+func (t *Task) NumAccesses() int {
+	m := 0
+	for _, s := range t.Segments {
+		if s.Kind == Access {
+			m++
+		}
+	}
+	return m
+}
+
+// Objects returns the distinct object ids this task touches, in first-use
+// order.
+func (t *Task) Objects() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, s := range t.Segments {
+		if (s.Kind == Access || s.Kind == Lock) && !seen[s.Object] {
+			seen[s.Object] = true
+			out = append(out, s.Object)
+		}
+	}
+	return out
+}
+
+// UsesExplicitSections reports whether the task has Lock/Unlock segments
+// (possible nesting) — only legal under lock-based synchronization.
+func (t *Task) UsesExplicitSections() bool {
+	for _, s := range t.Segments {
+		if s.Kind == Lock || s.Kind == Unlock {
+			return true
+		}
+	}
+	return false
+}
+
+// Demand returns c_i = u_i + m_i·acc, the total execution demand when each
+// object access costs acc.
+func (t *Task) Demand(acc rtime.Duration) rtime.Duration {
+	return t.ComputeTime() + rtime.Duration(t.NumAccesses())*acc
+}
+
+// CriticalTime returns C_i.
+func (t *Task) CriticalTime() rtime.Duration { return t.TUF.CriticalTime() }
+
+// InterleavedSegments builds a segment list with total compute time u and
+// m object accesses spread evenly through it, cycling over the given
+// objects. This is the access pattern of the paper's evaluation ("10
+// tasks, accessing 10 shared queues, arbitrarily"). It panics on u ≤ 0,
+// m < 0, or m > 0 with no objects, since it is a table-building helper.
+func InterleavedSegments(u rtime.Duration, m int, objects []int) []Segment {
+	if u <= 0 {
+		panic("task: InterleavedSegments needs u > 0")
+	}
+	if m < 0 || (m > 0 && len(objects) == 0) {
+		panic("task: InterleavedSegments needs objects when m > 0")
+	}
+	if m == 0 {
+		return []Segment{{Kind: Compute, D: u}}
+	}
+	segs := make([]Segment, 0, 2*m+1)
+	chunk := u / rtime.Duration(m+1)
+	if chunk <= 0 {
+		chunk = 1
+	}
+	used := rtime.Duration(0)
+	for k := 0; k < m; k++ {
+		segs = append(segs, Segment{Kind: Compute, D: chunk})
+		used += chunk
+		segs = append(segs, Segment{Kind: Access, Object: objects[k%len(objects)]})
+	}
+	rest := u - used
+	if rest > 0 {
+		segs = append(segs, Segment{Kind: Compute, D: rest})
+	}
+	return segs
+}
+
+// State is a job's lifecycle state.
+type State int
+
+// Job lifecycle states.
+const (
+	Ready State = iota
+	Running
+	Blocked   // lock-based only: awaiting an object held by another job
+	Aborting  // critical time expired; exception handler pending/running
+	Completed // finished before its critical time
+	Aborted   // handler finished; job accrued zero utility
+)
+
+// String renders a state tag.
+func (s State) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	case Aborting:
+		return "aborting"
+	case Completed:
+		return "completed"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// StepEvent tells the execution substrate why Job.Step stopped.
+type StepEvent int
+
+// Step outcomes.
+const (
+	StepBudget      StepEvent = iota // consumed the whole budget mid-segment
+	StepAccessStart                  // positioned at the start of an access segment
+	StepAccessEnd                    // just finished an access segment
+	StepCompleted                    // consumed the final segment
+	StepLock                         // parked at an explicit Lock boundary
+	StepUnlock                       // parked at an explicit Unlock boundary
+)
+
+// Job is one invocation J_{i,j} of a task — the basic scheduling entity
+// (§2). All runtime fields are owned by the (single-goroutine) execution
+// substrate; Job is not safe for concurrent mutation.
+type Job struct {
+	Task    *Task
+	Seq     int        // j in J_{i,j}
+	Arrival rtime.Time // release instant
+
+	// Execution progress.
+	SegIdx  int            // current segment index
+	SegDone rtime.Duration // progress within the current segment
+
+	State      State
+	Completion rtime.Time // set when State becomes Completed
+	AbortedAt  rtime.Time // set when the critical time expired
+
+	// Accounting.
+	Retries   int64 // lock-free access restarts (the f_i of Theorem 2)
+	Blockings int64 // lock-based blocking episodes (the basis of B_i)
+	Preempts  int64 // times preempted while running
+	Disp      int64 // times dispatched
+}
+
+// NewJob returns a fresh job for the j-th invocation of t released at ar.
+func NewJob(t *Task, seq int, ar rtime.Time) *Job {
+	return &Job{Task: t, Seq: seq, Arrival: ar, State: Ready}
+}
+
+// Name renders J_{i,j}.
+func (j *Job) Name() string { return fmt.Sprintf("J[%d,%d]", j.Task.ID, j.Seq) }
+
+// AbsoluteCriticalTime returns the wall-clock instant of the job's
+// critical time, Arrival + C_i.
+func (j *Job) AbsoluteCriticalTime() rtime.Time {
+	return j.Arrival.Add(j.Task.CriticalTime())
+}
+
+// Done reports whether the job has left the system.
+func (j *Job) Done() bool { return j.State == Completed || j.State == Aborted }
+
+// segLen returns the current segment's duration given per-access cost acc.
+func (j *Job) segLen(acc rtime.Duration) rtime.Duration {
+	switch s := j.Task.Segments[j.SegIdx]; s.Kind {
+	case Access:
+		return acc
+	case Lock, Unlock:
+		return 0
+	default:
+		return s.D
+	}
+}
+
+// Remaining returns the execution demand left, with each remaining object
+// access costing acc. Progress inside the current segment counts.
+func (j *Job) Remaining(acc rtime.Duration) rtime.Duration {
+	if j.Done() || j.SegIdx >= len(j.Task.Segments) {
+		return 0
+	}
+	var rem rtime.Duration
+	for k := j.SegIdx; k < len(j.Task.Segments); k++ {
+		switch s := j.Task.Segments[k]; s.Kind {
+		case Access:
+			rem += acc
+		case Compute:
+			rem += s.D
+		}
+	}
+	rem -= j.SegDone
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// InAccess reports whether the job is strictly inside an access segment
+// (some progress made, not yet committed), returning the object id. A job
+// waiting at an access boundary with zero progress has not begun the
+// access, so it is not "in" it.
+func (j *Job) InAccess() (obj int, ok bool) {
+	if j.Done() || j.SegIdx >= len(j.Task.Segments) {
+		return 0, false
+	}
+	s := j.Task.Segments[j.SegIdx]
+	if s.Kind == Access && j.SegDone > 0 {
+		return s.Object, true
+	}
+	return 0, false
+}
+
+// AtAccessStart reports whether the job's next work is to begin an access
+// segment (zero progress), returning the object id. Lock-based execution
+// must acquire the object's lock at this boundary.
+func (j *Job) AtAccessStart() (obj int, ok bool) {
+	if j.Done() || j.SegIdx >= len(j.Task.Segments) {
+		return 0, false
+	}
+	s := j.Task.Segments[j.SegIdx]
+	if s.Kind == Access && j.SegDone == 0 {
+		return s.Object, true
+	}
+	return 0, false
+}
+
+// PendingLock reports whether the job is parked at an explicit Lock
+// boundary, returning the object to acquire.
+func (j *Job) PendingLock() (obj int, ok bool) {
+	if j.Done() || j.SegIdx >= len(j.Task.Segments) {
+		return 0, false
+	}
+	s := j.Task.Segments[j.SegIdx]
+	if s.Kind == Lock {
+		return s.Object, true
+	}
+	return 0, false
+}
+
+// PassBoundary consumes the current Lock/Unlock boundary after the
+// execution substrate has performed the acquisition or release. It
+// panics if the job is not parked at such a boundary.
+func (j *Job) PassBoundary() {
+	if j.SegIdx >= len(j.Task.Segments) {
+		panic(fmt.Sprintf("task: PassBoundary on finished %s", j.Name()))
+	}
+	s := j.Task.Segments[j.SegIdx]
+	if s.Kind != Lock && s.Kind != Unlock {
+		panic(fmt.Sprintf("task: PassBoundary on %s not at a lock boundary", j.Name()))
+	}
+	j.SegIdx++
+	j.SegDone = 0
+}
+
+// Step advances the job by at most budget ticks of execution, with access
+// segments costing acc each. It stops at the first interesting boundary:
+// the start of an access segment (before consuming any of it), the end of
+// an access segment (the commit point), or job completion. The returned
+// used is the execution time consumed (≤ budget).
+func (j *Job) Step(budget, acc rtime.Duration) (used rtime.Duration, ev StepEvent) {
+	if budget < 0 {
+		panic("task: negative step budget")
+	}
+	for {
+		if j.SegIdx >= len(j.Task.Segments) {
+			return used, StepCompleted
+		}
+		s := j.Task.Segments[j.SegIdx]
+		if s.Kind == Access && j.SegDone == 0 && used > 0 {
+			// Reached an access boundary after doing compute work.
+			return used, StepAccessStart
+		}
+		if s.Kind == Lock {
+			// Never consumed by Step; the execution substrate acquires
+			// the lock and calls PassBoundary.
+			return used, StepLock
+		}
+		if s.Kind == Unlock {
+			return used, StepUnlock
+		}
+		need := j.segLen(acc) - j.SegDone
+		if need > budget-used {
+			j.SegDone += budget - used
+			return budget, StepBudget
+		}
+		used += need
+		j.SegDone = 0
+		j.SegIdx++
+		if s.Kind == Access {
+			// Always surface the commit point, even for a final access
+			// segment; the next call reports StepCompleted. Execution
+			// substrates must observe every commit to release locks or
+			// record lock-free commits.
+			return used, StepAccessEnd
+		}
+	}
+}
+
+// TimeToBoundary returns how long the job would run before Step would
+// stop, given unlimited budget.
+func (j *Job) TimeToBoundary(acc rtime.Duration) rtime.Duration {
+	cp := *j
+	used, _ := cp.Step(rtime.Duration(1)<<50, acc)
+	return used
+}
+
+// RestartAccess resets progress within the current access segment — a
+// lock-free retry. It panics if the job is not inside an access segment.
+func (j *Job) RestartAccess() {
+	if _, ok := j.InAccess(); !ok {
+		panic(fmt.Sprintf("task: RestartAccess on %s not inside an access", j.Name()))
+	}
+	j.SegDone = 0
+	j.Retries++
+}
+
+// AccruedUtility returns the utility this job contributed: U_i(sojourn)
+// if it completed, zero otherwise.
+func (j *Job) AccruedUtility() float64 {
+	if j.State != Completed {
+		return 0
+	}
+	return j.Task.TUF.Utility(j.Completion.Sub(j.Arrival))
+}
+
+// Sojourn returns completion − arrival for completed jobs and 0 otherwise.
+func (j *Job) Sojourn() rtime.Duration {
+	if j.State != Completed {
+		return 0
+	}
+	return j.Completion.Sub(j.Arrival)
+}
+
+// MetCriticalTime reports whether the job completed at or before its
+// critical time.
+func (j *Job) MetCriticalTime() bool {
+	return j.State == Completed && j.Completion.Sub(j.Arrival) < j.Task.CriticalTime()
+}

@@ -1,0 +1,265 @@
+// Package trace records the simulator's scheduling-relevant state
+// changes — arrivals, dispatches, preemptions, lock traffic, lock-free
+// commits and retries, completions and aborts — and renders them as an
+// event log or a per-task ASCII timeline. The simulator emits events
+// through an observer callback, so tracing costs nothing when disabled.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/rtime"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	Arrival Kind = iota
+	Dispatch
+	Preempt
+	Block
+	LockAcquire
+	LockRelease
+	Commit
+	Retry
+	Complete
+	AbortBegin
+	AbortDone
+)
+
+var kindNames = [...]string{
+	Arrival:     "arrive",
+	Dispatch:    "dispatch",
+	Preempt:     "preempt",
+	Block:       "block",
+	LockAcquire: "lock",
+	LockRelease: "unlock",
+	Commit:      "commit",
+	Retry:       "retry",
+	Complete:    "complete",
+	AbortBegin:  "abort",
+	AbortDone:   "abort-done",
+}
+
+// String renders the kind tag.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one recorded state change.
+type Event struct {
+	At     rtime.Time
+	Kind   Kind
+	Task   int
+	Seq    int
+	Object int // object id for lock/commit/retry events, else -1
+}
+
+// String renders one log line.
+func (e Event) String() string {
+	if e.Object >= 0 {
+		return fmt.Sprintf("%-10s %-10s J[%d,%d] obj=%d", e.At, e.Kind, e.Task, e.Seq, e.Object)
+	}
+	return fmt.Sprintf("%-10s %-10s J[%d,%d]", e.At, e.Kind, e.Task, e.Seq)
+}
+
+// Recorder accumulates events. It is not safe for concurrent use; the
+// simulator is single-goroutine by design.
+type Recorder struct {
+	events []Event
+	limit  int
+}
+
+// NewRecorder returns a recorder keeping at most limit events (0 means
+// unbounded).
+func NewRecorder(limit int) *Recorder { return &Recorder{limit: limit} }
+
+// Record appends an event, dropping the oldest past the limit.
+func (r *Recorder) Record(e Event) {
+	r.events = append(r.events, e)
+	if r.limit > 0 && len(r.events) > r.limit {
+		r.events = r.events[len(r.events)-r.limit:]
+	}
+}
+
+// Observer returns the recorder's Record method bound as a callback.
+func (r *Recorder) Observer() func(Event) { return r.Record }
+
+// Events returns the recorded events in order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// CountByKind tallies events per kind.
+func (r *Recorder) CountByKind() map[Kind]int {
+	m := map[Kind]int{}
+	for _, e := range r.events {
+		m[e.Kind]++
+	}
+	return m
+}
+
+// WriteJSON streams the recorded events as a JSON array of objects with
+// microsecond timestamps — a stable format for external tooling (trace
+// viewers, notebooks).
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	type jsonEvent struct {
+		AtMicros int64  `json:"at_us"`
+		Kind     string `json:"kind"`
+		Task     int    `json:"task"`
+		Seq      int    `json:"seq"`
+		Object   *int   `json:"object,omitempty"`
+	}
+	out := make([]jsonEvent, len(r.events))
+	for i, e := range r.events {
+		je := jsonEvent{
+			AtMicros: e.At.Micros(),
+			Kind:     e.Kind.String(),
+			Task:     e.Task,
+			Seq:      e.Seq,
+		}
+		if e.Object >= 0 {
+			obj := e.Object
+			je.Object = &obj
+		}
+		out[i] = je
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Log renders the full event log, one line per event.
+func (r *Recorder) Log() string {
+	var b strings.Builder
+	for _, e := range r.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Timeline renders a per-task ASCII Gantt chart over [from, to), width
+// characters wide. Each row is one task; each column shows what that
+// task was doing in the column's time slice:
+//
+//	#  running     .  ready/blocked (live, not running)
+//	!  aborted     ✓ completed in that slice (then blank)
+//
+// Dispatch/Preempt/Complete/Abort events drive the state machine; tasks
+// with no events in range are omitted.
+func (r *Recorder) Timeline(from, to rtime.Time, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	if to <= from {
+		return ""
+	}
+	slice := to.Sub(from) / rtime.Duration(width)
+	if slice <= 0 {
+		slice = 1
+	}
+	// Collect task ids.
+	taskSet := map[int]bool{}
+	for _, e := range r.events {
+		taskSet[e.Task] = true
+	}
+	tasks := make([]int, 0, len(taskSet))
+	for t := range taskSet {
+		tasks = append(tasks, t)
+	}
+	sort.Ints(tasks)
+
+	rows := make(map[int][]byte, len(tasks))
+	for _, t := range tasks {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		rows[t] = row
+	}
+	col := func(at rtime.Time) int {
+		c := int(at.Sub(from) / slice)
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	// live tracks, per task, how many jobs are in the system; running
+	// marks the currently dispatched task.
+	live := map[int]int{}
+	running := -1
+	prevCol := 0
+	paint := func(upto int) {
+		for c := prevCol; c < upto && c < width; c++ {
+			for t, n := range live {
+				if n <= 0 {
+					continue
+				}
+				ch := byte('.')
+				if t == running {
+					ch = '#'
+				}
+				if rows[t][c] == ' ' || ch == '#' {
+					rows[t][c] = ch
+				}
+			}
+		}
+		if upto > prevCol {
+			prevCol = upto
+		}
+	}
+	for _, e := range r.events {
+		if e.At < from || e.At >= to {
+			continue
+		}
+		paint(col(e.At))
+		switch e.Kind {
+		case Arrival:
+			live[e.Task]++
+		case Dispatch:
+			running = e.Task
+		case Preempt, Block:
+			if running == e.Task {
+				running = -1
+			}
+		case Complete:
+			live[e.Task]--
+			if running == e.Task {
+				running = -1
+			}
+			rows[e.Task][col(e.At)] = '^'
+		case AbortDone:
+			live[e.Task]--
+			if running == e.Task {
+				running = -1
+			}
+			rows[e.Task][col(e.At)] = '!'
+		case AbortBegin:
+			if running == e.Task {
+				running = -1
+			}
+		}
+	}
+	paint(width)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %v .. %v (each column = %v)\n", from, to, slice)
+	for _, t := range tasks {
+		fmt.Fprintf(&b, "T%-3d |%s|\n", t, rows[t])
+	}
+	b.WriteString("      # running  . live  ^ complete  ! aborted\n")
+	return b.String()
+}

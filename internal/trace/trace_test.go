@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		Arrival: "arrive", Dispatch: "dispatch", Preempt: "preempt",
+		Block: "block", LockAcquire: "lock", LockRelease: "unlock",
+		Commit: "commit", Retry: "retry", Complete: "complete",
+		AbortBegin: "abort", AbortDone: "abort-done",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d) = %q, want %q", k, k.String(), s)
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind render")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 1500, Kind: LockAcquire, Task: 2, Seq: 3, Object: 7}
+	s := e.String()
+	for _, want := range []string{"1.5ms", "lock", "J[2,3]", "obj=7"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event %q missing %q", s, want)
+		}
+	}
+	e2 := Event{At: 10, Kind: Complete, Task: 1, Seq: 0, Object: -1}
+	if strings.Contains(e2.String(), "obj") {
+		t.Fatal("objectless event rendered an object")
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{At: 0, Kind: Arrival, Task: i})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Events()[0].Task != 7 {
+		t.Fatalf("oldest retained = %d, want 7", r.Events()[0].Task)
+	}
+}
+
+func TestRecorderUnbounded(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < 100; i++ {
+		r.Record(Event{Kind: Dispatch})
+	}
+	if r.Len() != 100 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{Kind: Arrival})
+	r.Record(Event{Kind: Arrival})
+	r.Record(Event{Kind: Complete})
+	c := r.CountByKind()
+	if c[Arrival] != 2 || c[Complete] != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestLog(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{At: 5, Kind: Arrival, Task: 1, Object: -1})
+	r.Record(Event{At: 9, Kind: Dispatch, Task: 1, Object: -1})
+	log := r.Log()
+	if strings.Count(log, "\n") != 2 {
+		t.Fatalf("log lines: %q", log)
+	}
+	if !strings.Contains(log, "arrive") || !strings.Contains(log, "dispatch") {
+		t.Fatalf("log content: %q", log)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	r := NewRecorder(0)
+	// T0 runs 0–50, completes; T1 arrives at 10, runs 50–100.
+	r.Record(Event{At: 0, Kind: Arrival, Task: 0, Object: -1})
+	r.Record(Event{At: 0, Kind: Dispatch, Task: 0, Object: -1})
+	r.Record(Event{At: 10, Kind: Arrival, Task: 1, Object: -1})
+	r.Record(Event{At: 50, Kind: Complete, Task: 0, Object: -1})
+	r.Record(Event{At: 50, Kind: Dispatch, Task: 1, Object: -1})
+	r.Record(Event{At: 100, Kind: Complete, Task: 1, Object: -1})
+	tl := r.Timeline(0, 100, 20)
+	if !strings.Contains(tl, "T0") || !strings.Contains(tl, "T1") {
+		t.Fatalf("timeline rows missing:\n%s", tl)
+	}
+	lines := strings.Split(tl, "\n")
+	var row0, row1 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "T0") {
+			row0 = l
+		}
+		if strings.HasPrefix(l, "T1") {
+			row1 = l
+		}
+	}
+	if !strings.Contains(row0, "#") {
+		t.Fatalf("T0 never ran:\n%s", tl)
+	}
+	if !strings.Contains(row1, "#") || !strings.Contains(row1, ".") {
+		t.Fatalf("T1 should wait then run:\n%s", tl)
+	}
+	if !strings.Contains(row0, "^") {
+		t.Fatalf("T0 completion marker missing:\n%s", tl)
+	}
+}
+
+func TestTimelineEdgeCases(t *testing.T) {
+	r := NewRecorder(0)
+	if r.Timeline(10, 10, 40) != "" {
+		t.Fatal("empty range should render nothing")
+	}
+	r.Record(Event{At: 5, Kind: Arrival, Task: 0, Object: -1})
+	out := r.Timeline(0, 10, 4) // width clamped up to 8
+	if !strings.Contains(out, "T0") {
+		t.Fatalf("narrow timeline: %q", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{At: 1500, Kind: LockAcquire, Task: 2, Seq: 3, Object: 7})
+	r.Record(Event{At: 2000, Kind: Complete, Task: 2, Seq: 3, Object: -1})
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != 2 {
+		t.Fatalf("events = %d", len(out))
+	}
+	if out[0]["kind"] != "lock" || out[0]["at_us"] != float64(1500) || out[0]["object"] != float64(7) {
+		t.Fatalf("first event = %v", out[0])
+	}
+	if _, ok := out[1]["object"]; ok {
+		t.Fatal("objectless event serialized an object")
+	}
+}

@@ -1,0 +1,32 @@
+package uam_test
+
+import (
+	"fmt"
+
+	"repro/internal/uam"
+)
+
+// ExampleSpec shows the window-counting bounds that drive Theorem 2: the
+// maximum number of arrivals the UAM adversary can squeeze into an
+// interval, and the guaranteed minimum.
+func ExampleSpec() {
+	s := uam.Spec{L: 1, A: 3, W: 100}
+	fmt.Println(s)
+	fmt.Println("max in 250:", s.MaxArrivalsIn(250))
+	fmt.Println("min in 250:", s.MinArrivalsIn(250))
+	// Output:
+	// <1,3,100us>
+	// max in 250: 12
+	// min in 250: 2
+}
+
+// ExampleGenerator produces a deterministic periodic trace for the UAM
+// special case ⟨1,1,W⟩ and validates it against the sliding-window
+// bounds.
+func ExampleGenerator() {
+	g, _ := uam.NewGenerator(uam.Periodic(100), 1)
+	tr := g.Generate(uam.KindPeriodic, 500)
+	err := uam.CheckTrace(uam.Periodic(100), tr, 500)
+	fmt.Println(tr, err)
+	// Output: [0us 100us 200us 300us 400us] <nil>
+}

@@ -1,0 +1,76 @@
+package uam
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rtime"
+)
+
+// TraceStats summarizes an arrival trace's temporal structure: the
+// inter-arrival distribution and the burstiness actually achieved
+// relative to the spec's sliding-window budget. It is the quantitative
+// answer to "how adversarial was this trace?".
+type TraceStats struct {
+	Count int
+
+	MinGap    rtime.Duration
+	MeanGap   float64
+	MedianGap rtime.Duration
+	MaxGap    rtime.Duration
+
+	// MaxInWindow is the largest arrival count observed in any sliding
+	// window of length W; Budget is the spec's a. A ratio near 1 means
+	// the trace actually exercises the adversary the spec permits.
+	MaxInWindow int
+	Budget      int
+
+	// SimultaneousPairs counts adjacent arrivals at the same tick (UAM
+	// explicitly permits simultaneous arrivals).
+	SimultaneousPairs int
+}
+
+// Stats computes TraceStats for a sorted trace under spec.
+func Stats(s Spec, tr Trace) TraceStats {
+	st := TraceStats{Count: len(tr), Budget: s.A}
+	if len(tr) == 0 {
+		return st
+	}
+	if len(tr) >= 2 {
+		gaps := make([]rtime.Duration, 0, len(tr)-1)
+		var sum float64
+		for i := 1; i < len(tr); i++ {
+			g := tr[i].Sub(tr[i-1])
+			gaps = append(gaps, g)
+			sum += float64(g)
+			if g == 0 {
+				st.SimultaneousPairs++
+			}
+		}
+		sort.Slice(gaps, func(a, b int) bool { return gaps[a] < gaps[b] })
+		st.MinGap = gaps[0]
+		st.MaxGap = gaps[len(gaps)-1]
+		st.MedianGap = gaps[len(gaps)/2]
+		st.MeanGap = sum / float64(len(gaps))
+	}
+	// Max sliding-window occupancy: windows starting at each arrival.
+	for i := range tr {
+		hi := sort.Search(len(tr), func(k int) bool {
+			return tr[k] >= tr[i].Add(s.W)
+		})
+		if n := hi - i; n > st.MaxInWindow {
+			st.MaxInWindow = n
+		}
+	}
+	return st
+}
+
+// String renders a one-line digest.
+func (st TraceStats) String() string {
+	if st.Count == 0 {
+		return "empty trace"
+	}
+	return fmt.Sprintf("n=%d gaps[min=%v med=%v mean=%.1fus max=%v] window=%d/%d simultaneous=%d",
+		st.Count, st.MinGap, st.MedianGap, st.MeanGap, st.MaxGap,
+		st.MaxInWindow, st.Budget, st.SimultaneousPairs)
+}

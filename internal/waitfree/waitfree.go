@@ -1,0 +1,173 @@
+// Package waitfree implements the wait-free synchronization schemes the
+// paper positions lock-free sharing against (§1.1): the NBW protocol of
+// Kopetz and Reisinger [16] (wait-free writer, retrying readers) and a
+// Chen/Burns-lineage multi-buffer register ([6], improved by Huang et
+// al. [14] and Cho et al. [7]) whose readers are also wait-free at the
+// cost of a priori buffer space — precisely the space/knowledge tradeoff
+// (maximum number of concurrent readers must be known) that makes
+// wait-free schemes awkward for the paper's dynamic systems and
+// motivates its lock-free focus.
+package waitfree
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// NBW is the non-blocking write protocol: a single writer bumps a
+// version counter to odd, writes, and bumps it to even; readers snapshot
+// the counter, copy, and re-check, retrying while a write was in flight
+// or intervened. The WRITER is wait-free (never retries, never waits);
+// READERS may retry, and the number of retries is bounded by the number
+// of writes that overlap the read — the mirror image of lock-free
+// objects, where writers retry and readers of a consistent snapshot don't
+// exist as a separate class.
+// The payload lives behind per-slot atomic pointers rather than raw
+// memory: on the paper's hardware NBW reads raw buffers and discards
+// torn copies, but a torn read is undefined behaviour under the Go
+// memory model, so this port keeps NBW's version/retry control flow
+// intact while making the data transfer itself well-defined.
+type NBW[T any] struct {
+	version atomic.Uint64 // even = stable, odd = write in progress
+	data    [2]atomic.Pointer[T]
+	retries atomic.Int64
+}
+
+// Write publishes v. Single-writer only: concurrent writers would
+// corrupt the protocol (that is the protocol's stated precondition).
+func (n *NBW[T]) Write(v T) {
+	ver := n.version.Load()
+	n.version.Store(ver + 1) // odd: in progress
+	val := v
+	n.data[((ver+2)/2)%2].Store(&val)
+	n.version.Store(ver + 2) // even: stable
+}
+
+// Read returns a consistent snapshot, retrying while writes interfere.
+func (n *NBW[T]) Read() T {
+	for {
+		v1 := n.version.Load()
+		if v1%2 != 0 {
+			n.retries.Add(1)
+			continue
+		}
+		p := n.data[(v1/2)%2].Load()
+		v2 := n.version.Load()
+		if v1 == v2 {
+			if p == nil {
+				var zero T // never written yet
+				return zero
+			}
+			return *p
+		}
+		n.retries.Add(1)
+	}
+}
+
+// Retries returns the cumulative reader retry count.
+func (n *NBW[T]) Retries() int64 { return n.retries.Load() }
+
+// ReadRetryBound returns the maximum retries a read can suffer given at
+// most w writes overlapping it — each overlapping write can invalidate
+// at most one read attempt, plus one attempt may land mid-write
+// (Kopetz/Reisinger's analysis shape).
+func ReadRetryBound(overlappingWrites int) int {
+	if overlappingWrites < 0 {
+		return 0
+	}
+	return 2 * overlappingWrites
+}
+
+// ErrReaders reports an invalid reader bound.
+var ErrReaders = errors.New("waitfree: invalid reader bound")
+
+// MultiBuffer is a single-writer/multi-reader register whose READS are
+// wait-free too: the writer publishes into a slot no reader is using,
+// found by scanning per-reader announcements. It needs maxReaders
+// declared up front and maxReaders+2 buffers — the a priori knowledge and
+// space cost the paper contrasts with lock-free sharing (§1.1: "wait-free
+// synchronization sometimes requires a priori knowledge of the maximum
+// number of jobs").
+type MultiBuffer[T any] struct {
+	slots   []atomic.Pointer[T]
+	latest  atomic.Int64 // slot index of the newest value
+	reading []atomic.Int64
+	// readers hands out reader ids.
+	readers atomic.Int64
+}
+
+// NewMultiBuffer returns a register supporting up to maxReaders
+// concurrent readers, holding initial.
+func NewMultiBuffer[T any](maxReaders int, initial T) (*MultiBuffer[T], error) {
+	if maxReaders < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrReaders, maxReaders)
+	}
+	m := &MultiBuffer[T]{
+		slots:   make([]atomic.Pointer[T], maxReaders+2),
+		reading: make([]atomic.Int64, maxReaders),
+	}
+	v := initial
+	m.slots[0].Store(&v)
+	m.latest.Store(0)
+	for i := range m.reading {
+		m.reading[i].Store(-1)
+	}
+	return m, nil
+}
+
+// Reader is a registered reader handle.
+type Reader[T any] struct {
+	m  *MultiBuffer[T]
+	id int
+}
+
+// NewReader registers a reader; it fails once maxReaders handles exist.
+func (m *MultiBuffer[T]) NewReader() (*Reader[T], error) {
+	id := m.readers.Add(1) - 1
+	if int(id) >= len(m.reading) {
+		return nil, fmt.Errorf("%w: more than %d readers", ErrReaders, len(m.reading))
+	}
+	return &Reader[T]{m: m, id: int(id)}, nil
+}
+
+// Read returns the newest published value. Wait-free: announce, load,
+// done — no retry loop. The announced slot cannot be reclaimed by the
+// writer while the announcement stands.
+func (r *Reader[T]) Read() T {
+	slot := r.m.latest.Load()
+	r.m.reading[r.id].Store(slot)
+	// Re-load after announcing: if the writer published between our load
+	// and announcement, the announced slot may be stale but it is still
+	// protected and holds a complete value — single re-load keeps the
+	// freshness window tight while remaining wait-free.
+	slot = r.m.latest.Load()
+	r.m.reading[r.id].Store(slot)
+	v := *r.m.slots[slot].Load()
+	r.m.reading[r.id].Store(-1)
+	return v
+}
+
+// Write publishes v. Single-writer only; wait-free: scanning the
+// announcements takes maxReaders steps, and with maxReaders+2 slots a
+// free slot always exists (one may be the current latest, each reader
+// pins at most one).
+func (m *MultiBuffer[T]) Write(v T) {
+	cur := m.latest.Load()
+	inUse := map[int64]bool{cur: true}
+	for i := range m.reading {
+		if s := m.reading[i].Load(); s >= 0 {
+			inUse[s] = true
+		}
+	}
+	for i := range m.slots {
+		if !inUse[int64(i)] {
+			val := v
+			m.slots[i].Store(&val)
+			m.latest.Store(int64(i))
+			return
+		}
+	}
+	// Unreachable by the counting argument; guard anyway.
+	panic("waitfree: no free slot — reader bound violated")
+}

@@ -1,0 +1,195 @@
+package waitfree
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNBWSequential(t *testing.T) {
+	var n NBW[int]
+	n.Write(42)
+	if got := n.Read(); got != 42 {
+		t.Fatalf("Read = %d, want 42", got)
+	}
+	n.Write(7)
+	if got := n.Read(); got != 7 {
+		t.Fatalf("Read = %d, want 7", got)
+	}
+	if n.Retries() != 0 {
+		t.Fatalf("sequential retries = %d", n.Retries())
+	}
+}
+
+func TestNBWReadersSeeConsistentPairs(t *testing.T) {
+	// Write pairs (i, i); readers must never observe a torn pair.
+	type pair struct{ a, b int }
+	var n NBW[pair]
+	n.Write(pair{0, 0})
+	stop := make(chan struct{})
+	var torn atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := n.Read()
+				if p.a != p.b {
+					torn.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	for i := 1; i <= 50000; i++ {
+		n.Write(pair{i, i})
+	}
+	close(stop)
+	wg.Wait()
+	if torn.Load() != 0 {
+		t.Fatalf("torn reads: %d", torn.Load())
+	}
+}
+
+func TestNBWReadRetryBound(t *testing.T) {
+	if ReadRetryBound(-1) != 0 || ReadRetryBound(0) != 0 || ReadRetryBound(3) != 6 {
+		t.Fatal("ReadRetryBound wrong")
+	}
+}
+
+func TestMultiBufferBasics(t *testing.T) {
+	m, err := NewMultiBuffer(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := m.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r1.Read(); got != 10 {
+		t.Fatalf("initial Read = %d", got)
+	}
+	m.Write(20)
+	if got := r1.Read(); got != 20 {
+		t.Fatalf("Read after write = %d", got)
+	}
+	// Second reader fine, third rejected.
+	if _, err := m.NewReader(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.NewReader(); !errors.Is(err, ErrReaders) {
+		t.Fatal("third reader accepted with maxReaders=2")
+	}
+}
+
+func TestMultiBufferRejectsBadBound(t *testing.T) {
+	if _, err := NewMultiBuffer(0, 1); !errors.Is(err, ErrReaders) {
+		t.Fatal("maxReaders=0 accepted")
+	}
+}
+
+func TestMultiBufferManyWritesFewSlots(t *testing.T) {
+	// The writer must always find a free slot (maxReaders+2 suffice).
+	m, err := NewMultiBuffer(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := m.NewReader()
+	for i := 1; i <= 10000; i++ {
+		m.Write(i)
+		if got := r.Read(); got != i {
+			t.Fatalf("Read = %d, want %d", got, i)
+		}
+	}
+}
+
+func TestMultiBufferConcurrentFreshAndUntorn(t *testing.T) {
+	type pair struct{ a, b int }
+	m, err := NewMultiBuffer(4, pair{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var torn, regress atomic.Int64
+	for g := 0; g < 4; g++ {
+		r, err := m.NewReader()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := -1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := r.Read()
+				if p.a != p.b {
+					torn.Add(1)
+					return
+				}
+				if p.a < last {
+					regress.Add(1)
+					return
+				}
+				last = p.a
+			}
+		}()
+	}
+	for i := 1; i <= 50000; i++ {
+		m.Write(pair{i, i})
+	}
+	close(stop)
+	wg.Wait()
+	if torn.Load() != 0 {
+		t.Fatalf("torn reads: %d", torn.Load())
+	}
+	if regress.Load() != 0 {
+		t.Fatalf("freshness regressions: %d", regress.Load())
+	}
+}
+
+func TestNBWZeroValueBeforeFirstWrite(t *testing.T) {
+	var n NBW[int]
+	if got := n.Read(); got != 0 {
+		t.Fatalf("fresh NBW read = %d, want zero value", got)
+	}
+}
+
+func TestNBWRetriesCounterVisible(t *testing.T) {
+	var n NBW[int]
+	n.Write(1)
+	if n.Retries() != 0 {
+		t.Fatal("quiescent retries nonzero")
+	}
+}
+
+func TestMultiBufferFreshnessSingleThread(t *testing.T) {
+	// A read after each write must see exactly that write.
+	m, err := NewMultiBuffer(3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := m.NewReader()
+	r2, _ := m.NewReader()
+	for i := 0; i < 100; i++ {
+		m.Write(i)
+		if got := r1.Read(); got != i {
+			t.Fatalf("r1 read %d, want %d", got, i)
+		}
+		if got := r2.Read(); got != i {
+			t.Fatalf("r2 read %d, want %d", got, i)
+		}
+	}
+}
