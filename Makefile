@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: all build test race vet bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel experiment engine and the sweeps it drives must be
+# race-clean: runs share task templates read-only and merge by index.
+race:
+	$(GO) test -race ./internal/runner/... ./internal/experiment/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run NONE -bench . -benchmem .

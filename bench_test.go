@@ -13,6 +13,7 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -189,6 +190,7 @@ func BenchmarkAURCMRPoint(b *testing.B) {
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var aur, cmr float64
 			for i := 0; i < b.N; i++ {
 				st := metrics.Analyze(simPoint(b, c.mode, c.al, 10, c.class))
@@ -205,6 +207,7 @@ func BenchmarkAURCMRPoint(b *testing.B) {
 func BenchmarkFig9CMLPoint(b *testing.B) {
 	for _, mode := range []sim.Mode{sim.LockFree, sim.LockBased} {
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var cmr float64
 			for i := 0; i < b.N; i++ {
 				w := experiment.WorkloadSpec{
@@ -243,6 +246,7 @@ func BenchmarkFig9CMLPoint(b *testing.B) {
 func BenchmarkFig14LoadPoint(b *testing.B) {
 	for _, mode := range []sim.Mode{sim.LockFree, sim.LockBased} {
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var aur float64
 			for i := 0; i < b.N; i++ {
 				st := metrics.Analyze(simPoint(b, mode, 0.9, 5, experiment.HeterogeneousTUFs))
@@ -297,6 +301,7 @@ func BenchmarkRetryBound(b *testing.B) {
 
 // BenchmarkThm2Validation runs the full empirical Theorem 2 check.
 func BenchmarkThm2Validation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.Thm2(experiment.Quick); err != nil {
 			b.Fatal(err)
@@ -347,6 +352,7 @@ func BenchmarkUAMGenerate(b *testing.B) {
 func BenchmarkEngineThroughput(b *testing.B) {
 	for _, mode := range []sim.Mode{sim.LockFree, sim.LockBased} {
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var events int64
 			for i := 0; i < b.N; i++ {
 				res := simPoint(b, mode, 0.7, 5, experiment.StepTUFs)
@@ -447,6 +453,7 @@ func BenchmarkGlobalMultiprocessor(b *testing.B) {
 				MeanExec: 500 * rtime.Microsecond, TargetAL: 2.0,
 				Class: experiment.StepTUFs, MaxArrivals: 2,
 			}
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tasks, err := w.Build()
 				if err != nil {
@@ -458,6 +465,34 @@ func BenchmarkGlobalMultiprocessor(b *testing.B) {
 					Horizon:     rtime.Time(100 * rtime.Millisecond),
 					ArrivalKind: uam.KindJittered, Seed: 1,
 				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSweep measures the parallel experiment engine: the
+// same multi-seed AUR/CMR sweep (one cell of Figs 10–13 at paper-scale
+// horizons) on 1, 2, and NumCPU workers. Tables are byte-identical for
+// every worker count (see TestParallelDeterminism); only wall clock may
+// change. Compare ns/op across the sub-benchmarks for the speedup.
+func BenchmarkParallelSweep(b *testing.B) {
+	jobCounts := []int{1, 2, runtime.NumCPU()}
+	if runtime.NumCPU() <= 2 {
+		jobCounts = jobCounts[:2]
+	}
+	for _, jobs := range jobCounts {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			p := experiment.Profile{
+				Name:        "bench",
+				HorizonMult: 120,
+				Seeds:       []int64{1, 2, 3, 4, 5, 6, 7, 8},
+				Jobs:        jobs,
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.AURCMR(p, "bench-sweep", experiment.StepTUFs, 1.1); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -5,24 +5,56 @@
 //	rtsim -list
 //	rtsim fig9
 //	rtsim -profile quick fig8 fig12
-//	rtsim all
+//	rtsim -jobs 4 all
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/runner"
 )
+
+// benchEntry is one experiment's wall-clock timing for -bench-json.
+type benchEntry struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
+// benchReport is the -bench-json document.
+type benchReport struct {
+	Profile     string       `json:"profile"`
+	Jobs        int          `json:"jobs"`
+	Experiments []benchEntry `json:"experiments"`
+}
 
 func main() {
 	profile := flag.String("profile", "full", "experiment profile: full or quick")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "text", "output format: text or csv")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "simulation runs to execute in parallel (output is identical for any value)")
+	benchJSON := flag.String("bench-json", "", "write per-experiment wall-clock timings to `file` as JSON")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rtsim [-profile full|quick] <experiment>... | all\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, `usage: rtsim [flags] <experiment>... | all
+
+flags:
+  -profile full|quick  experiment scale: full (paper-scale horizons, 5
+                       seeds) or quick (short horizons, 1 seed)
+  -jobs N              run up to N independent simulations in parallel
+                       (default: one per CPU); rendered tables are
+                       byte-identical for any N
+  -format text|csv     table output format
+  -bench-json FILE     also write per-experiment wall-clock seconds to
+                       FILE as JSON
+  -list                list experiment ids and exit
+
+experiments:
+`)
 		for _, n := range experiment.Names() {
 			fmt.Fprintf(os.Stderr, "  %s\n", n)
 		}
@@ -45,6 +77,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rtsim: unknown profile %q\n", *profile)
 		os.Exit(2)
 	}
+	p.Jobs = *jobs
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -56,6 +89,7 @@ func main() {
 		ids = experiment.Names()
 	}
 
+	report := benchReport{Profile: p.Name, Jobs: runner.Jobs(p.Jobs)}
 	exitCode := 0
 	for _, id := range ids {
 		run, ok := experiment.Registry[id]
@@ -65,6 +99,8 @@ func main() {
 		}
 		start := time.Now()
 		tables, err := run(p)
+		elapsed := time.Since(start)
+		report.Experiments = append(report.Experiments, benchEntry{ID: id, Seconds: elapsed.Seconds()})
 		for _, t := range tables {
 			if *format == "csv" {
 				fmt.Println(t.RenderCSV())
@@ -77,7 +113,17 @@ func main() {
 			exitCode = 1
 			continue
 		}
-		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s finished in %v)\n\n", id, elapsed.Round(time.Millisecond))
+	}
+	if *benchJSON != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchJSON, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtsim: bench-json: %v\n", err)
+			exitCode = 1
+		}
 	}
 	os.Exit(exitCode)
 }

@@ -6,7 +6,9 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rtime"
 	"repro/internal/rua"
+	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/task"
 	"repro/internal/uam"
 )
 
@@ -28,35 +30,50 @@ func AblationRetry(p Profile) ([]*Table, error) {
 		conserv bool
 	}
 	rows := []row{{"conservative", true}, {"precise", false}}
+	w := WorkloadSpec{
+		NumTasks: 10, NumObjects: 3, AccessesPerJob: 4,
+		MeanExec: 500 * rtime.Microsecond, TargetAL: 1.1,
+		Class: StepTUFs, MaxArrivals: 2,
+	}
+	template, err := w.Build()
+	if err != nil {
+		return nil, err
+	}
+	horizon := horizonFor(template, p)
+	type cell struct {
+		retries, jobs int64
+		aur, cmr      float64
+	}
+	nSeeds := len(p.Seeds)
+	cells, err := runner.Map(p.Jobs, len(rows)*nSeeds, func(i int) (cell, error) {
+		rw := rows[i/nSeeds]
+		seed := p.Seeds[i%nSeeds]
+		res, err := sim.Run(sim.Config{
+			Tasks: task.CloneAll(template), Scheduler: rua.NewLockFree(), Mode: sim.LockFree,
+			R: DefaultR, S: DefaultS, OpCost: DefaultOpCost,
+			Horizon:     horizon,
+			ArrivalKind: uam.KindBursty, Seed: seed,
+			ConservativeRetry: rw.conserv,
+		})
+		if err != nil {
+			return cell{}, err
+		}
+		st := metrics.Analyze(res)
+		return cell{retries: res.Retries, jobs: res.Arrivals, aur: st.AUR, cmr: st.CMR}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var retriesByMode [2]float64
 	for ri, rw := range rows {
 		var retries, jobs int64
 		var aurs, cmrs []float64
-		for _, seed := range p.Seeds {
-			w := WorkloadSpec{
-				NumTasks: 10, NumObjects: 3, AccessesPerJob: 4,
-				MeanExec: 500 * rtime.Microsecond, TargetAL: 1.1,
-				Class: StepTUFs, MaxArrivals: 2,
-			}
-			tasks, err := w.Build()
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(sim.Config{
-				Tasks: tasks, Scheduler: rua.NewLockFree(), Mode: sim.LockFree,
-				R: DefaultR, S: DefaultS, OpCost: DefaultOpCost,
-				Horizon:     horizonFor(tasks, p),
-				ArrivalKind: uam.KindBursty, Seed: seed,
-				ConservativeRetry: rw.conserv,
-			})
-			if err != nil {
-				return nil, err
-			}
-			st := metrics.Analyze(res)
-			retries += res.Retries
-			jobs += res.Arrivals
-			aurs = append(aurs, st.AUR)
-			cmrs = append(cmrs, st.CMR)
+		for si := 0; si < nSeeds; si++ {
+			c := cells[ri*nSeeds+si]
+			retries += c.retries
+			jobs += c.jobs
+			aurs = append(aurs, c.aur)
+			cmrs = append(cmrs, c.cmr)
 		}
 		perK := 0.0
 		if jobs > 0 {
@@ -84,32 +101,46 @@ func AblationOpCost(p Profile) ([]*Table, error) {
 		Note:    "lock-free RUA, AL≈0.9, 10 tasks / 4 accesses",
 		Columns: []string{"op_cost_us", "overhead_ms", "AUR", "CMR"},
 	}
-	for _, opCost := range []float64{0, DefaultOpCost, 10 * DefaultOpCost} {
+	opCosts := []float64{0, DefaultOpCost, 10 * DefaultOpCost}
+	w := WorkloadSpec{
+		NumTasks: 10, NumObjects: 4, AccessesPerJob: 4,
+		MeanExec: 300 * rtime.Microsecond, TargetAL: 0.9,
+		Class: StepTUFs, MaxArrivals: 2,
+	}
+	template, err := w.Build()
+	if err != nil {
+		return nil, err
+	}
+	horizon := horizonFor(template, p)
+	type cell struct {
+		aur, cmr float64
+		overhead rtime.Duration
+	}
+	nSeeds := len(p.Seeds)
+	cells, err := runner.Map(p.Jobs, len(opCosts)*nSeeds, func(i int) (cell, error) {
+		res, err := sim.Run(sim.Config{
+			Tasks: task.CloneAll(template), Scheduler: rua.NewLockFree(), Mode: sim.LockFree,
+			R: DefaultR, S: DefaultS, OpCost: opCosts[i/nSeeds],
+			Horizon:     horizon,
+			ArrivalKind: uam.KindJittered, Seed: p.Seeds[i%nSeeds], ConservativeRetry: true,
+		})
+		if err != nil {
+			return cell{}, err
+		}
+		st := metrics.Analyze(res)
+		return cell{aur: st.AUR, cmr: st.CMR, overhead: res.Overhead}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for oi, opCost := range opCosts {
 		var aurs, cmrs []float64
 		var overhead rtime.Duration
-		for _, seed := range p.Seeds {
-			w := WorkloadSpec{
-				NumTasks: 10, NumObjects: 4, AccessesPerJob: 4,
-				MeanExec: 300 * rtime.Microsecond, TargetAL: 0.9,
-				Class: StepTUFs, MaxArrivals: 2,
-			}
-			tasks, err := w.Build()
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.Run(sim.Config{
-				Tasks: tasks, Scheduler: rua.NewLockFree(), Mode: sim.LockFree,
-				R: DefaultR, S: DefaultS, OpCost: opCost,
-				Horizon:     horizonFor(tasks, p),
-				ArrivalKind: uam.KindJittered, Seed: seed, ConservativeRetry: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			st := metrics.Analyze(res)
-			aurs = append(aurs, st.AUR)
-			cmrs = append(cmrs, st.CMR)
-			overhead += res.Overhead
+		for si := 0; si < nSeeds; si++ {
+			c := cells[oi*nSeeds+si]
+			aurs = append(aurs, c.aur)
+			cmrs = append(cmrs, c.cmr)
+			overhead += c.overhead
 		}
 		t.AddRow(opCost, float64(overhead)/float64(len(p.Seeds))/1000,
 			metrics.Summarize(aurs).String(), metrics.Summarize(cmrs).String())

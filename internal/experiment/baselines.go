@@ -4,8 +4,10 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rtime"
 	"repro/internal/rua"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/task"
 	"repro/internal/uam"
 )
 
@@ -32,29 +34,45 @@ func Baselines(p Profile) ([]*Table, error) {
 	mk := func() []sched.Scheduler {
 		return []sched.Scheduler{rua.NewLockFree(), sched.LBESA{}, sched.EDF{}, sched.LLF{}}
 	}
-	for _, al := range loads {
-		aurs := make([][]float64, 4)
-		for _, seed := range p.Seeds {
-			for si, s := range mk() {
-				w := WorkloadSpec{
-					NumTasks: 10, NumObjects: 4, AccessesPerJob: 4,
-					MeanExec: 500 * rtime.Microsecond, TargetAL: al,
-					Class: HeterogeneousTUFs, MaxArrivals: 2,
-				}
-				tasks, err := w.Build()
-				if err != nil {
-					return nil, err
-				}
-				res, err := sim.Run(sim.Config{
-					Tasks: tasks, Scheduler: s, Mode: sim.LockFree,
-					R: DefaultR, S: DefaultS, OpCost: DefaultOpCost,
-					Horizon:     horizonFor(tasks, p),
-					ArrivalKind: uam.KindJittered, Seed: seed, ConservativeRetry: true,
-				})
-				if err != nil {
-					return nil, err
-				}
-				aurs[si] = append(aurs[si], metrics.Analyze(res).AUR)
+	templates := make([][]*task.Task, len(loads))
+	horizons := make([]rtime.Time, len(loads))
+	for li, al := range loads {
+		w := WorkloadSpec{
+			NumTasks: 10, NumObjects: 4, AccessesPerJob: 4,
+			MeanExec: 500 * rtime.Microsecond, TargetAL: al,
+			Class: HeterogeneousTUFs, MaxArrivals: 2,
+		}
+		tasks, err := w.Build()
+		if err != nil {
+			return nil, err
+		}
+		templates[li] = tasks
+		horizons[li] = horizonFor(tasks, p)
+	}
+	nSeeds, nS := len(p.Seeds), 4
+	cells, err := runner.Map(p.Jobs, len(loads)*nSeeds*nS, func(i int) (float64, error) {
+		li := i / (nSeeds * nS)
+		seed := p.Seeds[(i/nS)%nSeeds]
+		s := mk()[i%nS]
+		res, err := sim.Run(sim.Config{
+			Tasks: task.CloneAll(templates[li]), Scheduler: s, Mode: sim.LockFree,
+			R: DefaultR, S: DefaultS, OpCost: DefaultOpCost,
+			Horizon:     horizons[li],
+			ArrivalKind: uam.KindJittered, Seed: seed, ConservativeRetry: true,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return metrics.Analyze(res).AUR, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, al := range loads {
+		aurs := make([][]float64, nS)
+		for si := 0; si < nSeeds; si++ {
+			for vi := 0; vi < nS; vi++ {
+				aurs[vi] = append(aurs[vi], cells[(li*nSeeds+si)*nS+vi])
 			}
 		}
 		t.AddRow(al,

@@ -10,6 +10,7 @@ import (
 	"repro/internal/resource"
 	"repro/internal/rtime"
 	"repro/internal/rua"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/task"
@@ -47,32 +48,83 @@ func runOnce(tasks []*task.Task, s sched.Scheduler, mode sim.Mode, r, sAcc rtime
 	})
 }
 
-// bothModes runs the workload under lock-based RUA and lock-free RUA for
-// every seed in the profile, returning per-mode stats.
-func bothModes(w WorkloadSpec, p Profile, r, s rtime.Duration, opCost float64) (lb, lf []metrics.RunStats, err error) {
-	for _, seed := range p.Seeds {
-		tasksLB, err := w.Build()
-		if err != nil {
-			return nil, nil, err
-		}
-		horizon := horizonFor(tasksLB, p)
-		resLB, err := runOnce(tasksLB, rua.NewLockBased(), sim.LockBased, r, s, opCost, horizon, seed)
-		if err != nil {
-			return nil, nil, err
-		}
-		lb = append(lb, metrics.Analyze(resLB))
+// pairPoint is one sweep cell to be run under both synchronization
+// modes, with its own workload and cost calibration.
+type pairPoint struct {
+	w      WorkloadSpec
+	r, s   rtime.Duration
+	opCost float64
+}
 
-		tasksLF, err := w.Build()
+// runPairs executes every (sweep-point × seed × mode) simulation of a
+// sweep on the profile's worker pool and returns per-point, per-seed
+// stats for the lock-based and lock-free runs (seed order preserved).
+//
+// Determinism: each workload is built once, sequentially, as a template;
+// every run clones the template (tasks are read-only during a run, but
+// clones make sharing bugs structurally impossible) and derives its seed
+// from its own grid slot, never from shared RNG state. Results land in
+// index-addressed slots, so the merge — and therefore every rendered
+// table — is byte-identical for any worker count.
+func runPairs(p Profile, points []pairPoint) (lb, lf [][]metrics.RunStats, err error) {
+	templates := make([][]*task.Task, len(points))
+	horizons := make([]rtime.Time, len(points))
+	for i, pt := range points {
+		t, err := pt.w.Build()
 		if err != nil {
 			return nil, nil, err
 		}
-		resLF, err := runOnce(tasksLF, rua.NewLockFree(), sim.LockFree, r, s, opCost, horizon, seed)
-		if err != nil {
-			return nil, nil, err
+		templates[i] = t
+		horizons[i] = horizonFor(t, p)
+	}
+	nSeeds := len(p.Seeds)
+	stats, err := runner.Map(p.Jobs, len(points)*nSeeds*2, func(i int) (metrics.RunStats, error) {
+		pi := i / (2 * nSeeds)
+		pt := points[pi]
+		seed := p.Seeds[(i/2)%nSeeds]
+		tasks := task.CloneAll(templates[pi])
+		var (
+			s    sched.Scheduler
+			mode sim.Mode
+		)
+		if i%2 == 0 {
+			s, mode = rua.NewLockBased(), sim.LockBased
+		} else {
+			s, mode = rua.NewLockFree(), sim.LockFree
 		}
-		lf = append(lf, metrics.Analyze(resLF))
+		res, err := runOnce(tasks, s, mode, pt.r, pt.s, pt.opCost, horizons[pi], seed)
+		if err != nil {
+			return metrics.RunStats{}, err
+		}
+		return metrics.Analyze(res), nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	lb = make([][]metrics.RunStats, len(points))
+	lf = make([][]metrics.RunStats, len(points))
+	for pi := range points {
+		lb[pi] = make([]metrics.RunStats, 0, nSeeds)
+		lf[pi] = make([]metrics.RunStats, 0, nSeeds)
+		for si := 0; si < nSeeds; si++ {
+			base := (pi*nSeeds + si) * 2
+			lb[pi] = append(lb[pi], stats[base])
+			lf[pi] = append(lf[pi], stats[base+1])
+		}
 	}
 	return lb, lf, nil
+}
+
+// bothModes runs one workload under lock-based and lock-free RUA for
+// every seed in the profile, in parallel, returning per-mode stats. The
+// task set is built once and cloned per run rather than rebuilt for
+// every (seed × mode) cell.
+func bothModes(w WorkloadSpec, p Profile, r, s rtime.Duration, opCost float64) (lb, lf []metrics.RunStats, err error) {
+	lbs, lfs, err := runPairs(p, []pairPoint{{w: w, r: r, s: s, opCost: opCost}})
+	if err != nil {
+		return nil, nil, err
+	}
+	return lbs[0], lfs[0], nil
 }
 
 func means(stats []metrics.RunStats, f func(metrics.RunStats) float64) metrics.Sample {
@@ -98,36 +150,63 @@ func Fig8(p Profile) ([]*Table, error) {
 			DefaultR, DefaultS, len(p.Seeds)),
 		Columns: []string{"objects", "r_eff_us", "s_eff_us", "r/s"},
 	}
-	for _, objs := range sweepInts(p, 1, 10) {
+	points := sweepInts(p, 1, 10)
+	templates := make([][]*task.Task, len(points))
+	horizons := make([]rtime.Time, len(points))
+	for pi, objs := range points {
+		w := WorkloadSpec{
+			NumTasks: 10, NumObjects: objs, AccessesPerJob: objs,
+			MeanExec: 500 * rtime.Microsecond, TargetAL: 0.4,
+			Class: StepTUFs, MaxArrivals: 1,
+		}
+		tasks, err := w.Build()
+		if err != nil {
+			return nil, err
+		}
+		templates[pi] = tasks
+		horizons[pi] = horizonFor(tasks, p)
+	}
+	// One grid cell per (objects × seed × mode): eff is the measured
+	// effective access time, ok whether the run observed any accesses.
+	type cell struct {
+		eff float64
+		ok  bool
+	}
+	nSeeds := len(p.Seeds)
+	cells, err := runner.Map(p.Jobs, len(points)*nSeeds*2, func(i int) (cell, error) {
+		pi := i / (2 * nSeeds)
+		seed := p.Seeds[(i/2)%nSeeds]
+		tasks := task.CloneAll(templates[pi])
+		var (
+			s    sched.Scheduler
+			mode sim.Mode
+		)
+		if i%2 == 0 {
+			s, mode = rua.NewLockBased(), sim.LockBased
+		} else {
+			s, mode = rua.NewLockFree(), sim.LockFree
+		}
+		res, err := runOnce(tasks, s, mode, DefaultR, DefaultS, DefaultOpCost, horizons[pi], seed)
+		if err != nil {
+			return cell{}, err
+		}
+		if res.Accesses == 0 {
+			return cell{}, nil
+		}
+		return cell{eff: float64(res.AccessTime) / float64(res.Accesses), ok: true}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, objs := range points {
 		var rEff, sEff []float64
-		for _, seed := range p.Seeds {
-			w := WorkloadSpec{
-				NumTasks: 10, NumObjects: objs, AccessesPerJob: objs,
-				MeanExec: 500 * rtime.Microsecond, TargetAL: 0.4,
-				Class: StepTUFs, MaxArrivals: 1,
+		for si := 0; si < nSeeds; si++ {
+			base := (pi*nSeeds + si) * 2
+			if c := cells[base]; c.ok {
+				rEff = append(rEff, c.eff)
 			}
-			tasks, err := w.Build()
-			if err != nil {
-				return nil, err
-			}
-			horizon := horizonFor(tasks, p)
-			resLB, err := runOnce(tasks, rua.NewLockBased(), sim.LockBased, DefaultR, DefaultS, DefaultOpCost, horizon, seed)
-			if err != nil {
-				return nil, err
-			}
-			if resLB.Accesses > 0 {
-				rEff = append(rEff, float64(resLB.AccessTime)/float64(resLB.Accesses))
-			}
-			tasks2, err := w.Build()
-			if err != nil {
-				return nil, err
-			}
-			resLF, err := runOnce(tasks2, rua.NewLockFree(), sim.LockFree, DefaultR, DefaultS, DefaultOpCost, horizon, seed)
-			if err != nil {
-				return nil, err
-			}
-			if resLF.Accesses > 0 {
-				sEff = append(sEff, float64(resLF.AccessTime)/float64(resLF.Accesses))
+			if c := cells[base+1]; c.ok {
+				sEff = append(sEff, c.eff)
 			}
 		}
 		rS, sS := metrics.Summarize(rEff), metrics.Summarize(sEff)
@@ -167,36 +246,40 @@ func Fig9(p Profile) ([]*Table, error) {
 		{"lockfree", func() sched.Scheduler { return rua.NewLockFree() }, sim.LockFree, DefaultR, DefaultS},
 		{"lockbased", func() sched.Scheduler { return rua.NewLockBased() }, sim.LockBased, DefaultR, DefaultS},
 	}
-	for _, ex := range execs {
-		cmls := make([]float64, len(variants))
-		for vi, v := range variants {
-			cml, _, err := metrics.FindCML(metrics.CMLConfig{
-				Loads:         loads,
-				MissTolerance: 0.001,
-				Build: func(al float64) (sim.Config, error) {
-					w := WorkloadSpec{
-						NumTasks: 10, NumObjects: 10, AccessesPerJob: 4,
-						MeanExec: ex, TargetAL: al, Class: StepTUFs, MaxArrivals: 1,
-					}
-					tasks, err := w.Build()
-					if err != nil {
-						return sim.Config{}, err
-					}
-					return sim.Config{
-						Tasks: tasks, Scheduler: v.sched(), Mode: v.mode,
-						R: v.r, S: v.s, OpCost: DefaultOpCost,
-						Horizon:     horizonFor(tasks, p),
-						ArrivalKind: uam.KindJittered, Seed: p.Seeds[0],
-						ConservativeRetry: true,
-					}, nil
-				},
-			})
-			if err != nil {
-				return nil, err
-			}
-			cmls[vi] = cml
-		}
-		t.AddRow(int64(ex), cmls[0], cmls[1], cmls[2])
+	// Each (execution-time × variant) cell is an independent CML grid
+	// search; fan the searches out and merge by index.
+	cmls, err := runner.Map(p.Jobs, len(execs)*len(variants), func(i int) (float64, error) {
+		ex := execs[i/len(variants)]
+		v := variants[i%len(variants)]
+		cml, _, err := metrics.FindCML(metrics.CMLConfig{
+			Loads:         loads,
+			MissTolerance: 0.001,
+			Build: func(al float64) (sim.Config, error) {
+				w := WorkloadSpec{
+					NumTasks: 10, NumObjects: 10, AccessesPerJob: 4,
+					MeanExec: ex, TargetAL: al, Class: StepTUFs, MaxArrivals: 1,
+				}
+				tasks, err := w.Build()
+				if err != nil {
+					return sim.Config{}, err
+				}
+				return sim.Config{
+					Tasks: tasks, Scheduler: v.sched(), Mode: v.mode,
+					R: v.r, S: v.s, OpCost: DefaultOpCost,
+					Horizon:     horizonFor(tasks, p),
+					ArrivalKind: uam.KindJittered, Seed: p.Seeds[0],
+					ConservativeRetry: true,
+				}, nil
+			},
+		})
+		return cml, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ei, ex := range execs {
+		base := ei * len(variants)
+		t.AddRow(int64(ex), cmls[base], cmls[base+1], cmls[base+2])
 	}
 	return []*Table{t}, nil
 }
@@ -211,16 +294,24 @@ func AURCMR(p Profile, id string, class TUFClass, al float64) ([]*Table, error) 
 		Note:    fmt.Sprintf("10 tasks; r=%v s=%v; mean ± 95%% CI over %d seeds", DefaultR, DefaultS, len(p.Seeds)),
 		Columns: []string{"objects", "AUR_lockbased", "AUR_lockfree", "CMR_lockbased", "CMR_lockfree"},
 	}
-	for _, objs := range sweepInts(p, 1, 10) {
-		w := WorkloadSpec{
-			NumTasks: 10, NumObjects: objs, AccessesPerJob: objs,
-			MeanExec: 500 * rtime.Microsecond, TargetAL: al,
-			Class: class, MaxArrivals: 2,
+	objSweep := sweepInts(p, 1, 10)
+	points := make([]pairPoint, len(objSweep))
+	for pi, objs := range objSweep {
+		points[pi] = pairPoint{
+			w: WorkloadSpec{
+				NumTasks: 10, NumObjects: objs, AccessesPerJob: objs,
+				MeanExec: 500 * rtime.Microsecond, TargetAL: al,
+				Class: class, MaxArrivals: 2,
+			},
+			r: DefaultR, s: DefaultS, opCost: DefaultOpCost,
 		}
-		lb, lf, err := bothModes(w, p, DefaultR, DefaultS, DefaultOpCost)
-		if err != nil {
-			return nil, err
-		}
+	}
+	lbs, lfs, err := runPairs(p, points)
+	if err != nil {
+		return nil, err
+	}
+	for pi, objs := range objSweep {
+		lb, lf := lbs[pi], lfs[pi]
 		t.AddRow(objs,
 			means(lb, func(s metrics.RunStats) float64 { return s.AUR }).String(),
 			means(lf, func(s metrics.RunStats) float64 { return s.AUR }).String(),
@@ -256,16 +347,23 @@ func Fig14(p Profile) ([]*Table, error) {
 	if p.Name == Quick.Name {
 		loads = []float64{0.3, 0.9}
 	}
-	for _, al := range loads {
-		w := WorkloadSpec{
-			NumTasks: 10, NumObjects: 5, AccessesPerJob: 4,
-			MeanExec: 500 * rtime.Microsecond, TargetAL: al,
-			Class: HeterogeneousTUFs, MaxArrivals: 2,
+	points := make([]pairPoint, len(loads))
+	for pi, al := range loads {
+		points[pi] = pairPoint{
+			w: WorkloadSpec{
+				NumTasks: 10, NumObjects: 5, AccessesPerJob: 4,
+				MeanExec: 500 * rtime.Microsecond, TargetAL: al,
+				Class: HeterogeneousTUFs, MaxArrivals: 2,
+			},
+			r: DefaultR, s: DefaultS, opCost: DefaultOpCost,
 		}
-		lb, lf, err := bothModes(w, p, DefaultR, DefaultS, DefaultOpCost)
-		if err != nil {
-			return nil, err
-		}
+	}
+	lbs, lfs, err := runPairs(p, points)
+	if err != nil {
+		return nil, err
+	}
+	for pi, al := range loads {
+		lb, lf := lbs[pi], lfs[pi]
 		t.AddRow(al,
 			means(lb, func(s metrics.RunStats) float64 { return s.AUR }).String(),
 			means(lf, func(s metrics.RunStats) float64 { return s.AUR }).String(),
@@ -291,26 +389,40 @@ func Thm2(p Profile) ([]*Table, error) {
 		MeanExec: 300 * rtime.Microsecond, TargetAL: 1.0,
 		Class: StepTUFs, MaxArrivals: 2,
 	}
-	maxRetries := map[int]int64{}
-	var tasks []*task.Task
-	for _, seed := range p.Seeds {
-		ts, err := w.Build()
-		if err != nil {
-			return nil, err
-		}
-		tasks = ts
+	tasks, err := w.Build()
+	if err != nil {
+		return nil, err
+	}
+	horizon := horizonFor(tasks, p)
+	// Per-seed runs are independent; fan out and fold the per-task retry
+	// maxima afterwards (max is commutative, so the merge is order-free).
+	perSeed, err := runner.Map(p.Jobs, len(p.Seeds), func(si int) ([]int64, error) {
+		ts := task.CloneAll(tasks)
 		res, err := sim.Run(sim.Config{
 			Tasks: ts, Scheduler: rua.NewLockFree(), Mode: sim.LockFree,
 			R: DefaultR, S: DefaultS, OpCost: DefaultOpCost,
-			Horizon:     horizonFor(ts, p),
-			ArrivalKind: uam.KindBursty, Seed: seed, ConservativeRetry: true,
+			Horizon:     horizon,
+			ArrivalKind: uam.KindBursty, Seed: p.Seeds[si], ConservativeRetry: true,
 		})
 		if err != nil {
 			return nil, err
 		}
+		maxr := make([]int64, len(ts))
 		for _, j := range res.Jobs {
-			if j.Retries > maxRetries[j.Task.ID] {
-				maxRetries[j.Task.ID] = j.Retries
+			if j.Retries > maxr[j.Task.ID] {
+				maxr[j.Task.ID] = j.Retries
+			}
+		}
+		return maxr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	maxRetries := map[int]int64{}
+	for _, maxr := range perSeed {
+		for id, r := range maxr {
+			if r > maxRetries[id] {
+				maxRetries[id] = r
 			}
 		}
 	}
@@ -348,17 +460,27 @@ func Thm3(p Profile) ([]*Table, error) {
 		ratios = []float64{0.3, 0.67, 1.3}
 	}
 	r := 100 * rtime.Microsecond
-	for _, ratio := range ratios {
-		s := rtime.Duration(math.Max(1, math.Round(float64(r)*ratio)))
-		w := WorkloadSpec{
-			NumTasks: 6, NumObjects: 3, AccessesPerJob: 6,
-			MeanExec: 400 * rtime.Microsecond, TargetAL: 0.5,
-			Class: StepTUFs, MaxArrivals: 1,
-		}
-		tasks, err := w.Build()
-		if err != nil {
-			return nil, err
-		}
+	w := WorkloadSpec{
+		NumTasks: 6, NumObjects: 3, AccessesPerJob: 6,
+		MeanExec: 400 * rtime.Microsecond, TargetAL: 0.5,
+		Class: StepTUFs, MaxArrivals: 1,
+	}
+	points := make([]pairPoint, len(ratios))
+	svals := make([]rtime.Duration, len(ratios))
+	for pi, ratio := range ratios {
+		svals[pi] = rtime.Duration(math.Max(1, math.Round(float64(r) * ratio)))
+		points[pi] = pairPoint{w: w, r: r, s: svals[pi], opCost: DefaultOpCost}
+	}
+	lbs, lfs, err := runPairs(p, points)
+	if err != nil {
+		return nil, err
+	}
+	tasks, err := w.Build()
+	if err != nil {
+		return nil, err
+	}
+	for pi, ratio := range ratios {
+		s := svals[pi]
 		wins := 0
 		minThresh := math.Inf(1)
 		for i := range tasks {
@@ -373,10 +495,7 @@ func Thm3(p Profile) ([]*Table, error) {
 				minThresh = th
 			}
 		}
-		lb, lf, err := bothModes(w, p, r, s, DefaultOpCost)
-		if err != nil {
-			return nil, err
-		}
+		lb, lf := lbs[pi], lfs[pi]
 		t.AddRow(ratio, fmt.Sprintf("%d/%d", wins, len(tasks)), minThresh,
 			means(lb, func(st metrics.RunStats) float64 { return float64(st.MeanSojourn) }).String(),
 			means(lf, func(st metrics.RunStats) float64 { return float64(st.MeanSojourn) }).String(),
@@ -399,12 +518,21 @@ func Costs(p Profile) ([]*Table, error) {
 	if p.Name == Quick.Name {
 		ns = []int{8, 32, 128}
 	}
-	for _, n := range ns {
-		wLB, wLF := CostWorld(n)
-		lb := rua.NewLockBased().Select(wLB)
-		lf := rua.NewLockFree().Select(wLF)
-		ratio := float64(lb.Ops) / float64(lf.Ops)
-		t.AddRow(n, lb.Ops, lf.Ops, ratio, math.Log2(float64(n)))
+	type cell struct{ lb, lf int64 }
+	cells, err := runner.Map(p.Jobs, len(ns), func(i int) (cell, error) {
+		wLB, wLF := CostWorld(ns[i])
+		return cell{
+			lb: rua.NewLockBased().Select(wLB).Ops,
+			lf: rua.NewLockFree().Select(wLF).Ops,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		c := cells[i]
+		ratio := float64(c.lb) / float64(c.lf)
+		t.AddRow(n, c.lb, c.lf, ratio, math.Log2(float64(n)))
 	}
 	return []*Table{t}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/multi"
 	"repro/internal/rtime"
 	"repro/internal/rua"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/task"
 	"repro/internal/uam"
@@ -31,62 +32,67 @@ func GlobalCPU(p Profile) ([]*Table, error) {
 	if p.Name == Quick.Name {
 		cpuCounts = []int{1, 4}
 	}
-	mkTasks := func() ([]*task.Task, error) {
-		w := WorkloadSpec{
-			NumTasks: 16, NumObjects: 8, AccessesPerJob: 2,
-			MeanExec: 500 * rtime.Microsecond, TargetAL: 2.2,
-			Class: StepTUFs, MaxArrivals: 2,
-		}
-		tasks, err := w.Build()
-		if err != nil {
-			return nil, err
-		}
-		for i, tk := range tasks {
-			obj := i / 2
-			for si, seg := range tk.Segments {
-				if seg.Kind == task.Access {
-					tk.Segments[si].Object = obj
-				}
+	w := WorkloadSpec{
+		NumTasks: 16, NumObjects: 8, AccessesPerJob: 2,
+		MeanExec: 500 * rtime.Microsecond, TargetAL: 2.2,
+		Class: StepTUFs, MaxArrivals: 2,
+	}
+	template, err := w.Build()
+	if err != nil {
+		return nil, err
+	}
+	for i, tk := range template {
+		obj := i / 2
+		for si, seg := range tk.Segments {
+			if seg.Kind == task.Access {
+				tk.Segments[si].Object = obj
 			}
 		}
-		return tasks, nil
 	}
-	for _, cpus := range cpuCounts {
+	horizon := horizonFor(template, p)
+	type cell struct {
+		gAUR, pAUR         float64
+		gRetries, pRetries int64
+	}
+	nSeeds := len(p.Seeds)
+	cells, err := runner.Map(p.Jobs, len(cpuCounts)*nSeeds, func(i int) (cell, error) {
+		cpus := cpuCounts[i/nSeeds]
+		seed := p.Seeds[i%nSeeds]
+		gRes, err := gsim.Run(gsim.Config{
+			CPUs: cpus, Tasks: task.CloneAll(template), Scheduler: rua.NewLockFree(),
+			Mode: sim.LockFree, R: DefaultR, S: DefaultS, OpCost: 0,
+			Horizon: horizon, ArrivalKind: uam.KindJittered, Seed: seed,
+		})
+		if err != nil {
+			return cell{}, err
+		}
+		gStats := metrics.Analyze(gRes)
+		pRes, err := multi.Run(multi.Config{
+			CPUs: cpus, Tasks: task.CloneAll(template), Mode: sim.LockFree,
+			R: DefaultR, S: DefaultS, OpCost: 0,
+			Horizon: horizon, ArrivalKind: uam.KindJittered, Seed: seed,
+			ConservativeRetry: false,
+		})
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{
+			gAUR: gStats.AUR, pAUR: pRes.Stats.AUR,
+			gRetries: gRes.Retries, pRetries: pRes.Stats.Retries,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, cpus := range cpuCounts {
 		var gAUR, pAUR []float64
 		var gRetries, pRetries int64
-		for _, seed := range p.Seeds {
-			tasks, err := mkTasks()
-			if err != nil {
-				return nil, err
-			}
-			horizon := horizonFor(tasks, p)
-			gRes, err := gsim.Run(gsim.Config{
-				CPUs: cpus, Tasks: tasks, Scheduler: rua.NewLockFree(),
-				Mode: sim.LockFree, R: DefaultR, S: DefaultS, OpCost: 0,
-				Horizon: horizon, ArrivalKind: uam.KindJittered, Seed: seed,
-			})
-			if err != nil {
-				return nil, err
-			}
-			gStats := metrics.Analyze(gRes)
-			gAUR = append(gAUR, gStats.AUR)
-			gRetries += gRes.Retries
-
-			tasks2, err := mkTasks()
-			if err != nil {
-				return nil, err
-			}
-			pRes, err := multi.Run(multi.Config{
-				CPUs: cpus, Tasks: tasks2, Mode: sim.LockFree,
-				R: DefaultR, S: DefaultS, OpCost: 0,
-				Horizon: horizon, ArrivalKind: uam.KindJittered, Seed: seed,
-				ConservativeRetry: false,
-			})
-			if err != nil {
-				return nil, err
-			}
-			pAUR = append(pAUR, pRes.Stats.AUR)
-			pRetries += pRes.Stats.Retries
+		for si := 0; si < nSeeds; si++ {
+			c := cells[ci*nSeeds+si]
+			gAUR = append(gAUR, c.gAUR)
+			pAUR = append(pAUR, c.pAUR)
+			gRetries += c.gRetries
+			pRetries += c.pRetries
 		}
 		t.AddRow(cpus,
 			metrics.Summarize(gAUR).String(),

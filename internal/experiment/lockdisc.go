@@ -4,8 +4,10 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rtime"
 	"repro/internal/rua"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/task"
 	"repro/internal/uam"
 )
 
@@ -39,29 +41,45 @@ func LockDisciplines(p Profile) ([]*Table, error) {
 	if p.Name == Quick.Name {
 		loads = []float64{0.6}
 	}
-	for _, al := range loads {
-		aurs := make([][]float64, len(variants))
-		for _, seed := range p.Seeds {
-			for vi, v := range variants {
-				w := WorkloadSpec{
-					NumTasks: 10, NumObjects: 2, AccessesPerJob: 6,
-					MeanExec: 500 * rtime.Microsecond, TargetAL: al,
-					Class: StepTUFs, MaxArrivals: 2,
-				}
-				tasks, err := w.Build()
-				if err != nil {
-					return nil, err
-				}
-				res, err := sim.Run(sim.Config{
-					Tasks: tasks, Scheduler: v.sched(), Mode: v.mode,
-					R: DefaultR, S: DefaultS, OpCost: DefaultOpCost,
-					Horizon:     horizonFor(tasks, p),
-					ArrivalKind: uam.KindJittered, Seed: seed, ConservativeRetry: true,
-				})
-				if err != nil {
-					return nil, err
-				}
-				aurs[vi] = append(aurs[vi], metrics.Analyze(res).AUR)
+	templates := make([][]*task.Task, len(loads))
+	horizons := make([]rtime.Time, len(loads))
+	for li, al := range loads {
+		w := WorkloadSpec{
+			NumTasks: 10, NumObjects: 2, AccessesPerJob: 6,
+			MeanExec: 500 * rtime.Microsecond, TargetAL: al,
+			Class: StepTUFs, MaxArrivals: 2,
+		}
+		tasks, err := w.Build()
+		if err != nil {
+			return nil, err
+		}
+		templates[li] = tasks
+		horizons[li] = horizonFor(tasks, p)
+	}
+	nSeeds, nV := len(p.Seeds), len(variants)
+	cells, err := runner.Map(p.Jobs, len(loads)*nSeeds*nV, func(i int) (float64, error) {
+		li := i / (nSeeds * nV)
+		seed := p.Seeds[(i/nV)%nSeeds]
+		v := variants[i%nV]
+		res, err := sim.Run(sim.Config{
+			Tasks: task.CloneAll(templates[li]), Scheduler: v.sched(), Mode: v.mode,
+			R: DefaultR, S: DefaultS, OpCost: DefaultOpCost,
+			Horizon:     horizons[li],
+			ArrivalKind: uam.KindJittered, Seed: seed, ConservativeRetry: true,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return metrics.Analyze(res).AUR, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for li, al := range loads {
+		aurs := make([][]float64, nV)
+		for si := 0; si < nSeeds; si++ {
+			for vi := 0; vi < nV; vi++ {
+				aurs[vi] = append(aurs[vi], cells[(li*nSeeds+si)*nV+vi])
 			}
 		}
 		t.AddRow(al,

@@ -4,6 +4,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/multi"
 	"repro/internal/rtime"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/task"
 	"repro/internal/uam"
@@ -27,44 +28,57 @@ func MultiCPU(p Profile) ([]*Table, error) {
 	if p.Name == Quick.Name {
 		cpuCounts = []int{1, 4}
 	}
-	for _, cpus := range cpuCounts {
+	w := WorkloadSpec{
+		NumTasks: 16, NumObjects: 8, AccessesPerJob: 2,
+		MeanExec: 500 * rtime.Microsecond, TargetAL: 2.2,
+		Class: StepTUFs, MaxArrivals: 2,
+	}
+	template, err := w.Build()
+	if err != nil {
+		return nil, err
+	}
+	// Re-cluster sharing into pairs (task 2k and 2k+1 share private
+	// object k): the default workload's object ring would fuse all
+	// tasks into ONE component, which the object-aware partitioner
+	// must keep whole — partitioning can only help when the sharing
+	// graph actually decomposes.
+	for i, tk := range template {
+		obj := i / 2
+		for si, seg := range tk.Segments {
+			if seg.Kind == task.Access {
+				tk.Segments[si].Object = obj
+			}
+		}
+	}
+	horizon := horizonFor(template, p)
+	type cell struct {
+		aur, cmr float64
+		retries  int64
+	}
+	nSeeds := len(p.Seeds)
+	cells, err := runner.Map(p.Jobs, len(cpuCounts)*nSeeds, func(i int) (cell, error) {
+		res, err := multi.Run(multi.Config{
+			CPUs: cpuCounts[i/nSeeds], Tasks: task.CloneAll(template), Mode: sim.LockFree,
+			R: DefaultR, S: DefaultS, OpCost: DefaultOpCost,
+			Horizon:     horizon,
+			ArrivalKind: uam.KindJittered, Seed: p.Seeds[i%nSeeds], ConservativeRetry: true,
+		})
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{aur: res.Stats.AUR, cmr: res.Stats.CMR, retries: res.Stats.Retries}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, cpus := range cpuCounts {
 		var aurs, cmrs []float64
 		var retries int64
-		for _, seed := range p.Seeds {
-			w := WorkloadSpec{
-				NumTasks: 16, NumObjects: 8, AccessesPerJob: 2,
-				MeanExec: 500 * rtime.Microsecond, TargetAL: 2.2,
-				Class: StepTUFs, MaxArrivals: 2,
-			}
-			tasks, err := w.Build()
-			if err != nil {
-				return nil, err
-			}
-			// Re-cluster sharing into pairs (task 2k and 2k+1 share private
-			// object k): the default workload's object ring would fuse all
-			// tasks into ONE component, which the object-aware partitioner
-			// must keep whole — partitioning can only help when the sharing
-			// graph actually decomposes.
-			for i, tk := range tasks {
-				obj := i / 2
-				for si, seg := range tk.Segments {
-					if seg.Kind == task.Access {
-						tk.Segments[si].Object = obj
-					}
-				}
-			}
-			res, err := multi.Run(multi.Config{
-				CPUs: cpus, Tasks: tasks, Mode: sim.LockFree,
-				R: DefaultR, S: DefaultS, OpCost: DefaultOpCost,
-				Horizon:     horizonFor(tasks, p),
-				ArrivalKind: uam.KindJittered, Seed: seed, ConservativeRetry: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			aurs = append(aurs, res.Stats.AUR)
-			cmrs = append(cmrs, res.Stats.CMR)
-			retries += res.Stats.Retries
+		for si := 0; si < nSeeds; si++ {
+			c := cells[ci*nSeeds+si]
+			aurs = append(aurs, c.aur)
+			cmrs = append(cmrs, c.cmr)
+			retries += c.retries
 		}
 		t.AddRow(cpus,
 			metrics.Summarize(aurs).String(),

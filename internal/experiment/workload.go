@@ -149,6 +149,13 @@ type Profile struct {
 	Name        string
 	HorizonMult int // horizon = mult · max critical time
 	Seeds       []int64
+
+	// Jobs bounds the worker pool the experiment sweeps fan out on
+	// (runner.Map); zero or negative means one worker per CPU. Every
+	// simulation run is a pure function of its sim.Config, and results
+	// are merged by index, so rendered tables are byte-identical for any
+	// Jobs value — see DESIGN.md "Parallel experiment engine".
+	Jobs int
 }
 
 // Quick is a small profile for unit tests (one seed, short horizon).

@@ -22,7 +22,6 @@
 package gsim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -104,23 +103,58 @@ type event struct {
 	gen  int64
 }
 
+// eventHeap is a hand-rolled binary min-heap of event values, mirroring
+// internal/sim: container/heap would box one allocation per pushed event
+// through its `any` interface, and event pushes are the engine's hottest
+// path.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{}
+	*h = s[:n]
+	s = s[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && s.less(r, l) {
+			c = r
+		}
+		if !s.less(c, i) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
 }
 
 type jobState struct {
@@ -195,7 +229,7 @@ func New(cfg Config) (*Engine, error) {
 func (e *Engine) push(ev event) {
 	e.seq++
 	ev.seq = e.seq
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 }
 
 func (e *Engine) st(j *task.Job) *jobState {
@@ -220,8 +254,8 @@ func (e *Engine) failWith(err error) {
 
 // Run executes to the horizon.
 func (e *Engine) Run() sim.Result {
-	for e.events.Len() > 0 && e.fail == nil {
-		ev := heap.Pop(&e.events).(event)
+	for len(e.events) > 0 && e.fail == nil {
+		ev := e.events.pop()
 		if ev.at > e.cfg.Horizon {
 			break
 		}

@@ -25,8 +25,23 @@ import (
 )
 
 // RUA is a configured RUA scheduler. Use NewLockBased or NewLockFree.
+//
+// An instance reuses internal scratch buffers across Select calls to keep
+// the per-decision hot path allocation-free, so it must not be shared by
+// concurrently running simulations — give each engine its own instance
+// (cf. multi.Config.NewScheduler). The charged-operation accounting is
+// pure: reuse changes allocation behaviour only, never op counts.
 type RUA struct {
 	lockFree bool
+
+	// Per-Select scratch, reset (not reallocated) on every pass.
+	live     []*task.Job
+	chainBuf []*task.Job // backing array for lock-free singleton chains
+	order    []*task.Job
+	chains   map[*task.Job][]*task.Job
+	pud      map[*task.Job]float64
+	excluded map[*task.Job]bool
+	sched    schedule
 }
 
 // NewLockBased returns RUA with lock-based object sharing: dependency
@@ -57,9 +72,48 @@ type entry struct {
 
 // schedule is an ECF-ordered list with the paper's charged-cost
 // primitives. ops accumulates charged operations.
+//
+// Mutations are journaled so a tentative insertion that turns out
+// infeasible can be rolled back in place instead of cloning the whole
+// schedule per examined job (the old clone-per-decision path dominated
+// the scheduler's allocation profile). The journal is bookkeeping, not
+// algorithm: recording and rolling back are uncharged, exactly as the
+// discarded clone was.
 type schedule struct {
 	entries []entry
 	ops     *int64
+	journal []mutation
+}
+
+// mutation is one journaled schedule edit. insert=true records an
+// insertAt at pos (undone by removing pos); insert=false records a
+// removeAt whose removed entry was old (undone by re-inserting it).
+type mutation struct {
+	insert bool
+	pos    int
+	old    entry
+}
+
+// mark returns a rollback checkpoint.
+func (s *schedule) mark() int { return len(s.journal) }
+
+// rollback undoes every mutation after checkpoint m, newest first,
+// restoring entries exactly. Uncharged: the §3.6 model prices schedule
+// construction, and the clone-based formulation never charged for
+// discarding a tentative either.
+func (s *schedule) rollback(m int) {
+	for i := len(s.journal) - 1; i >= m; i-- {
+		mu := s.journal[i]
+		if mu.insert {
+			copy(s.entries[mu.pos:], s.entries[mu.pos+1:])
+			s.entries = s.entries[:len(s.entries)-1]
+		} else {
+			s.entries = append(s.entries, entry{})
+			copy(s.entries[mu.pos+1:], s.entries[mu.pos:])
+			s.entries[mu.pos] = mu.old
+		}
+	}
+	s.journal = s.journal[:m]
 }
 
 // chargeLog charges ⌈log₂(len+1)⌉ operations — the ordered-list primitive
@@ -106,12 +160,14 @@ func (s *schedule) insertAt(pos int, e entry) {
 	s.entries = append(s.entries, entry{})
 	copy(s.entries[pos+1:], s.entries[pos:])
 	s.entries[pos] = e
+	s.journal = append(s.journal, mutation{insert: true, pos: pos})
 }
 
 func (s *schedule) removeAt(pos int) entry {
 	s.chargeLog()
 	e := s.entries[pos]
 	s.entries = append(s.entries[:pos], s.entries[pos+1:]...)
+	s.journal = append(s.journal, mutation{pos: pos, old: e})
 	return e
 }
 
@@ -209,41 +265,58 @@ func (r *RUA) Select(w sched.World) sched.Decision {
 }
 
 // selectFull runs the RUA pass and returns both the decision and the
-// final schedule entries.
+// final schedule entries. The entries alias reused scratch and are only
+// valid until the next Select/SelectTopK call on this instance.
 func (r *RUA) selectFull(w sched.World) (sched.Decision, []entry) {
 	var ops int64
 
-	live := make([]*task.Job, 0, len(w.Jobs))
+	live := r.live[:0]
 	for _, j := range w.Jobs {
 		if !j.Done() && j.State != task.Aborting {
 			live = append(live, j)
 		}
 	}
+	r.live = live
 	if len(live) == 0 {
 		return sched.Decision{Ops: ops}, nil
 	}
+	if r.chains == nil {
+		r.chains = make(map[*task.Job][]*task.Job, len(live))
+		r.pud = make(map[*task.Job]float64, len(live))
+		r.excluded = make(map[*task.Job]bool)
+	}
 
 	// Step 1: dependency chains (§3.1). Lock-free RUA has none — each
-	// chain is the job itself (§5).
-	chains := make(map[*task.Job][]*task.Job, len(live))
+	// chain is the job itself (§5); the singleton chains are carved out of
+	// one reused backing array instead of allocated per job.
+	chains := r.chains
+	clear(chains)
 	var cycles [][]*task.Job
-	for _, j := range live {
-		if r.lockFree {
-			chains[j] = []*task.Job{j}
-			ops++
-			continue
+	if r.lockFree {
+		if cap(r.chainBuf) < len(live) {
+			r.chainBuf = make([]*task.Job, len(live))
 		}
-		chain, cycle := w.Res.DependencyChain(j)
-		ops += int64(len(chain))
-		chains[j] = chain
-		if cycle {
-			cycles = append(cycles, chain)
+		buf := r.chainBuf[:len(live)]
+		for i, j := range live {
+			buf[i] = j
+			chains[j] = buf[i : i+1 : i+1]
+			ops++
+		}
+	} else {
+		for _, j := range live {
+			chain, cycle := w.Res.DependencyChain(j)
+			ops += int64(len(chain))
+			chains[j] = chain
+			if cycle {
+				cycles = append(cycles, chain)
+			}
 		}
 	}
 
 	// Step 2: PUDs (§3.2) — utility per unit time of the aggregate
 	// computation (the job plus everything it depends on).
-	pud := make(map[*task.Job]float64, len(live))
+	pud := r.pud
+	clear(pud)
 	for _, j := range live {
 		pud[j] = r.pudOf(w, chains[j], &ops)
 	}
@@ -253,7 +326,8 @@ func (r *RUA) selectFull(w sched.World) (sched.Decision, []entry) {
 	// whose chains pass through a victim cannot run before the rollback,
 	// so they sit this round out.
 	var aborts []*task.Job
-	excluded := map[*task.Job]bool{}
+	excluded := r.excluded
+	clear(excluded)
 	for _, cyc := range cycles {
 		victim := cyc[0]
 		for _, j := range cyc {
@@ -282,12 +356,13 @@ func (r *RUA) selectFull(w sched.World) (sched.Decision, []entry) {
 
 	// Step 4: sort by non-increasing PUD (§3.4), ties by job identity for
 	// determinism.
-	order := make([]*task.Job, 0, len(live))
+	order := r.order[:0]
 	for _, j := range live {
 		if !excluded[j] {
 			order = append(order, j)
 		}
 	}
+	r.order = order
 	sort.Slice(order, func(a, b int) bool {
 		ops++
 		pa, pb := pud[order[a]], pud[order[b]]
@@ -298,17 +373,27 @@ func (r *RUA) selectFull(w sched.World) (sched.Decision, []entry) {
 	})
 
 	// Step 5: examine in PUD order, insert job+dependents in ECF order,
-	// keep the tentative schedule only if feasible (§3.4, §3.4.1).
-	cur := &schedule{ops: &ops}
+	// keep the tentative schedule only if feasible (§3.4, §3.4.1). An
+	// infeasible tentative is rolled back through the journal instead of
+	// being thrown away with a pre-insertion clone; the charged operations
+	// are identical because construction costs the same either way and
+	// neither discard path was ever charged.
+	cur := &r.sched
+	cur.ops = &ops
+	cur.entries = cur.entries[:0]
+	cur.journal = cur.journal[:0]
 	for _, j := range order {
 		if cur.indexOf(j) >= 0 {
 			// Already inserted as someone's dependent.
 			continue
 		}
-		tent := cur.clone()
-		tent.insertChain(chains[j])
-		if tent.feasible(w.Now, w.Acc) {
-			cur = tent
+		m := cur.mark()
+		cur.insertChain(chains[j])
+		if cur.feasible(w.Now, w.Acc) {
+			// Accepted: history up to here can never be rolled back.
+			cur.journal = cur.journal[:0]
+		} else {
+			cur.rollback(m)
 		}
 	}
 

@@ -1,0 +1,181 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderPreserved(t *testing.T) {
+	for _, jobs := range []int{1, 2, 4, 13} {
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			const n = 200
+			out, err := Map(jobs, n, func(i int) (int, error) {
+				if i%3 == 0 {
+					runtime.Gosched() // perturb interleavings
+				}
+				return i * i, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != n {
+				t.Fatalf("got %d results", len(out))
+			}
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("empty map: out=%v err=%v", out, err)
+	}
+}
+
+func TestMapDefaultJobs(t *testing.T) {
+	// jobs <= 0 means GOMAXPROCS; must still work and preserve order.
+	out, err := Map(0, 50, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+	if j := Jobs(0); j != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Jobs(0) = %d, want GOMAXPROCS %d", j, runtime.GOMAXPROCS(0))
+	}
+	if j := Jobs(3); j != 3 {
+		t.Fatalf("Jobs(3) = %d", j)
+	}
+}
+
+// TestMapFirstErrorWins: the returned error must be the lowest-index one
+// — what a sequential loop would have hit — regardless of worker count,
+// and every work item claimed before the failure must run to completion
+// (workers drain; no goroutine abandons an in-flight item).
+func TestMapFirstErrorWins(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, jobs := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			const n = 64
+			var started, finished atomic.Int64
+			_, err := Map(jobs, n, func(i int) (int, error) {
+				started.Add(1)
+				defer finished.Add(1)
+				switch i {
+				case 40:
+					// Fail fast at a high index to race the low one.
+					return 0, errHigh
+				case 7:
+					// Burn a little time so index 40 can error first.
+					for k := 0; k < 1000; k++ {
+						runtime.Gosched()
+					}
+					return 0, errLow
+				}
+				return i, nil
+			})
+			if !errors.Is(err, errLow) {
+				t.Fatalf("got error %v, want lowest-index error %v", err, errLow)
+			}
+			if s, f := started.Load(), finished.Load(); s != f {
+				t.Fatalf("pool did not drain: %d started, %d finished", s, f)
+			}
+		})
+	}
+}
+
+// TestMapErrorSkipsTail: after a failure, indices not yet claimed are
+// skipped — the pool does not pointlessly run the rest of a large grid.
+func TestMapErrorSkipsTail(t *testing.T) {
+	const n = 10_000
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(2, n, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if r := ran.Load(); r == n {
+		t.Fatalf("all %d items ran despite early failure", n)
+	}
+}
+
+func TestMapPanicContained(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			_, err := Map(jobs, 16, func(i int) (int, error) {
+				if i == 5 {
+					panic("kaboom")
+				}
+				return i, nil
+			})
+			if err == nil {
+				t.Fatal("panic not surfaced as error")
+			}
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %T is not a PanicError", err)
+			}
+			if pe.Index != 5 || pe.Value != "kaboom" {
+				t.Fatalf("panic error = index %d value %v", pe.Index, pe.Value)
+			}
+			if !strings.Contains(err.Error(), "kaboom") {
+				t.Fatalf("error text missing panic value: %v", err)
+			}
+		})
+	}
+}
+
+func TestForEach(t *testing.T) {
+	const n = 100
+	hits := make([]atomic.Int64, n)
+	if err := ForEach(4, n, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d ran %d times", i, hits[i].Load())
+		}
+	}
+	boom := errors.New("boom")
+	if err := ForEach(4, n, func(i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestMapMoreJobsThanWork: worker count is clamped to n.
+func TestMapMoreJobsThanWork(t *testing.T) {
+	out, err := Map(64, 3, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Fatalf("out = %v", out)
+	}
+}

@@ -18,7 +18,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -200,18 +199,62 @@ type event struct {
 	gen  int64
 }
 
+// eventHeap is a hand-rolled binary min-heap of event VALUES. It
+// deliberately avoids container/heap: that interface moves every pushed
+// element through an `any`, boxing one heap allocation per event — the
+// single hottest allocation site in the engine, paid at every arrival,
+// dispatch, and access boundary.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	// Sift up.
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // clear the job pointer for GC
+	*h = s[:n]
+	// Sift down.
+	s = s[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && s.less(r, l) {
+			c = r
+		}
+		if !s.less(c, i) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
+}
 
 // runState is per-job engine bookkeeping.
 type runState struct {
@@ -245,6 +288,7 @@ type Engine struct {
 	dispatchSeq     int64
 
 	rstates map[*task.Job]*runState
+	rsSlab  []runState // slab the per-job runStates are carved from
 	lastRun *task.Job
 
 	res1 Result
@@ -257,29 +301,39 @@ func New(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:     cfg,
-		res:     resource.NewMap(),
-		rstates: map[*task.Job]*runState{},
+		cfg: cfg,
+		res: resource.NewMap(),
 	}
 	if cfg.Mode == LockBased {
 		e.acc = cfg.R
 	} else {
 		e.acc = cfg.S
 	}
+	traces := make([]uam.Trace, len(cfg.Tasks))
+	arrivals := 0
 	for i, t := range cfg.Tasks {
-		var tr uam.Trace
 		if cfg.Arrivals != nil {
 			if i < len(cfg.Arrivals) {
-				tr = cfg.Arrivals[i]
+				traces[i] = cfg.Arrivals[i]
 			}
 		} else {
 			g, err := uam.NewGenerator(t.Arrival, cfg.Seed+int64(i)*7919)
 			if err != nil {
 				return nil, err
 			}
-			tr = g.Generate(cfg.ArrivalKind, cfg.Horizon)
+			traces[i] = g.Generate(cfg.ArrivalKind, cfg.Horizon)
 		}
-		for k, at := range tr {
+		arrivals += len(traces[i])
+	}
+	// Each arrival contributes at most an arrival plus a critical-time
+	// event held concurrently; dispatch/internal events are transient.
+	// Pre-sizing the heap and job bookkeeping to the known arrival count
+	// avoids repeated growth copies over long horizons.
+	e.events = make(eventHeap, 0, 2*arrivals+8)
+	e.allJobs = make([]*task.Job, 0, arrivals)
+	e.rstates = make(map[*task.Job]*runState, arrivals)
+	for i, t := range cfg.Tasks {
+		for k, at := range traces[i] {
 			j := task.NewJob(t, k, at)
 			e.push(event{at: at, kind: evArrival, job: j})
 		}
@@ -290,13 +344,20 @@ func New(cfg Config) (*Engine, error) {
 func (e *Engine) push(ev event) {
 	e.seq++
 	ev.seq = e.seq
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 }
 
 func (e *Engine) rs(j *task.Job) *runState {
 	st := e.rstates[j]
 	if st == nil {
-		st = &runState{entrySeg: -1}
+		// Carve from a slab: one allocation per 64 jobs instead of one
+		// per job.
+		if len(e.rsSlab) == 0 {
+			e.rsSlab = make([]runState, 64)
+		}
+		st = &e.rsSlab[0]
+		e.rsSlab = e.rsSlab[1:]
+		st.entrySeg = -1
 		e.rstates[j] = st
 	}
 	return st
@@ -332,8 +393,8 @@ func (e *Engine) emit(at rtime.Time, kind trace.Kind, j *task.Job, obj int) {
 
 // Run executes the simulation to the horizon and returns the result.
 func (e *Engine) Run() Result {
-	for e.events.Len() > 0 && e.fail == nil {
-		ev := heap.Pop(&e.events).(event)
+	for len(e.events) > 0 && e.fail == nil {
+		ev := e.events.pop()
 		if ev.at > e.cfg.Horizon {
 			break
 		}

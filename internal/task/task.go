@@ -163,6 +163,27 @@ func (t *Task) Objects() []int {
 	return out
 }
 
+// Clone returns a copy of the task with its own Segments slice, sharing
+// the (immutable) TUF. Clones let a workload built once be handed to many
+// simulation runs — possibly concurrent ones — with each run free to
+// retarget segment objects without affecting the template; cloning is far
+// cheaper than rebuilding the workload (no TUF construction, validation,
+// or name formatting).
+func (t *Task) Clone() *Task {
+	cp := *t
+	cp.Segments = append([]Segment(nil), t.Segments...)
+	return &cp
+}
+
+// CloneAll clones every task in the slice.
+func CloneAll(tasks []*Task) []*Task {
+	out := make([]*Task, len(tasks))
+	for i, t := range tasks {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
 // UsesExplicitSections reports whether the task has Lock/Unlock segments
 // (possible nesting) — only legal under lock-based synchronization.
 func (t *Task) UsesExplicitSections() bool {
