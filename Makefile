@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race vet bench
+.PHONY: all build test race vet lint bench
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,13 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# rtlint (cmd/rtlint, analyzers in internal/lint) mechanically enforces
+# the determinism/atomics/aliasing invariants the paper's event-sequence
+# claims rest on. Any finding fails the build; deliberate exceptions
+# carry a justified //rtlint:ignore directive.
+lint: vet
+	$(GO) run ./cmd/rtlint ./...
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem .

@@ -1,0 +1,99 @@
+// Command rtlint runs the repo's determinism/atomics/aliasing analyzer
+// suite (internal/lint) over the module:
+//
+//	rtlint ./...            # what make lint and CI run
+//	rtlint ./internal/sim   # one package
+//	rtlint -list            # describe the analyzers
+//
+// Exit status: 0 no findings, 1 findings, 2 usage or load/type errors.
+// Findings are suppressed per statement with a justified directive:
+//
+//	//rtlint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/loader"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "describe the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: rtlint [-list] [package pattern ...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "rtlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(loader.Config{Dir: root, Mode: loader.Module}, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtlint: %v\n", err)
+		return 2
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "rtlint: %s: %v\n", pkg.Path, err)
+			return 2
+		}
+		for _, d := range diags {
+			findings++
+			fmt.Fprintln(stdout, d.String(pkg.Fset))
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "rtlint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", strings.TrimSpace(dir))
+		}
+		dir = parent
+	}
+}

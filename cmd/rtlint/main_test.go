@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestList prints one line per analyzer.
+func TestList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("rtlint -list exited %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"maporder", "simclock", "atomicmix", "sharedtask", "floatcmp"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("rtlint -list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestCleanPackage runs the real loader and analyzers over a small repo
+// package that must stay finding-free.
+func TestCleanPackage(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"./internal/rtime"}, &out, &errb); code != 0 {
+		t.Fatalf("rtlint ./internal/rtime exited %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if out.String() != "" {
+		t.Errorf("expected no findings, got:\n%s", out.String())
+	}
+}
+
+// TestBadPattern exits 2 on load errors.
+func TestBadPattern(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"./no/such/dir"}, &out, &errb); code != 2 {
+		t.Fatalf("rtlint on bogus pattern exited %d, want 2", code)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -34,13 +35,24 @@ type benchReport struct {
 }
 
 func main() {
-	profile := flag.String("profile", "full", "experiment profile: full or quick")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	format := flag.String("format", "text", "output format: text or csv")
-	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "simulation runs to execute in parallel (output is identical for any value)")
-	benchJSON := flag.String("bench-json", "", "write per-experiment wall-clock timings to `file` as JSON")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, `usage: rtsim [flags] <experiment>... | all
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, so the end-to-end
+// determinism test can execute the full CLI twice and diff stdout.
+// Everything written to stdout is a pure function of the flags and
+// experiment ids; wall-clock timing goes only to stderr and the
+// -bench-json file.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	profile := fs.String("profile", "full", "experiment profile: full or quick")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	format := fs.String("format", "text", "output format: text or csv")
+	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "simulation runs to execute in parallel (output is identical for any value)")
+	benchJSON := fs.String("bench-json", "", "write per-experiment wall-clock timings to `file` as JSON")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, `usage: rtsim [flags] <experiment>... | all
 
 flags:
   -profile full|quick  experiment scale: full (paper-scale horizons, 5
@@ -56,16 +68,18 @@ flags:
 experiments:
 `)
 		for _, n := range experiment.Names() {
-			fmt.Fprintf(os.Stderr, "  %s\n", n)
+			fmt.Fprintf(stderr, "  %s\n", n)
 		}
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, n := range experiment.Names() {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
-		return
+		return 0
 	}
 	var p experiment.Profile
 	switch *profile {
@@ -74,15 +88,15 @@ experiments:
 	case "quick":
 		p = experiment.Quick
 	default:
-		fmt.Fprintf(os.Stderr, "rtsim: unknown profile %q\n", *profile)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "rtsim: unknown profile %q\n", *profile)
+		return 2
 	}
 	p.Jobs = *jobs
 
-	args := flag.Args()
+	args = fs.Args()
 	if len(args) == 0 {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	ids := args
 	if len(args) == 1 && args[0] == "all" {
@@ -92,28 +106,28 @@ experiments:
 	report := benchReport{Profile: p.Name, Jobs: runner.Jobs(p.Jobs)}
 	exitCode := 0
 	for _, id := range ids {
-		run, ok := experiment.Registry[id]
+		runExp, ok := experiment.Registry[id]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "rtsim: unknown experiment %q (try -list)\n", id)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "rtsim: unknown experiment %q (try -list)\n", id)
+			return 2
 		}
-		start := time.Now()
-		tables, err := run(p)
-		elapsed := time.Since(start)
+		start := time.Now() //rtlint:ignore simclock -bench-json reports harness wall-clock, not simulation time
+		tables, err := runExp(p)
+		elapsed := time.Since(start) //rtlint:ignore simclock -bench-json reports harness wall-clock, not simulation time
 		report.Experiments = append(report.Experiments, benchEntry{ID: id, Seconds: elapsed.Seconds()})
 		for _, t := range tables {
 			if *format == "csv" {
-				fmt.Println(t.RenderCSV())
+				fmt.Fprintln(stdout, t.RenderCSV())
 			} else {
-				fmt.Println(t.Render())
+				fmt.Fprintln(stdout, t.Render())
 			}
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtsim: %s: %v\n", id, err)
+			fmt.Fprintf(stderr, "rtsim: %s: %v\n", id, err)
 			exitCode = 1
 			continue
 		}
-		fmt.Printf("(%s finished in %v)\n\n", id, elapsed.Round(time.Millisecond))
+		fmt.Fprintf(stderr, "(%s finished in %v)\n\n", id, elapsed.Round(time.Millisecond))
 	}
 	if *benchJSON != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
@@ -121,9 +135,9 @@ experiments:
 			err = os.WriteFile(*benchJSON, append(buf, '\n'), 0o644)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtsim: bench-json: %v\n", err)
+			fmt.Fprintf(stderr, "rtsim: bench-json: %v\n", err)
 			exitCode = 1
 		}
 	}
-	os.Exit(exitCode)
+	return exitCode
 }

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestGoldenDeterminismAcrossJobs is the end-to-end complement of
+// experiment.TestParallelDeterminism: instead of comparing one
+// experiment's rendered tables in-process, it drives the full rtsim CLI
+// twice — sequential vs one worker per CPU — and requires the complete
+// stdout byte stream to be identical. This catches anything the
+// per-experiment check cannot see: flag plumbing, table ordering across
+// experiments, and stray timing or host-dependent text on stdout.
+// lockdisc is included deliberately: it sweeps the PIP scheduler, whose
+// urgency propagation once iterated a Go map and silently tied charged
+// ops to iteration order.
+func TestGoldenDeterminismAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-profile sweeps are still a few seconds; skipped with -short")
+	}
+	exps := []string{"thm3", "lockdisc"}
+	render := func(jobs int) string {
+		t.Helper()
+		var out, errb strings.Builder
+		args := append([]string{"-profile", "quick", "-jobs", strconv.Itoa(jobs)}, exps...)
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("rtsim -jobs %d exited %d\nstderr: %s", jobs, code, errb.String())
+		}
+		return out.String()
+	}
+	seq := render(1)
+	par := render(runtime.NumCPU())
+	if seq != par {
+		t.Fatalf("rtsim stdout differs between -jobs 1 and -jobs %d:\n--- jobs=1 ---\n%s\n--- jobs=%d ---\n%s",
+			runtime.NumCPU(), seq, runtime.NumCPU(), par)
+	}
+	if strings.Contains(seq, "finished in") {
+		t.Fatalf("wall-clock timing leaked onto stdout:\n%s", seq)
+	}
+}
+
+// TestListStdout keeps -list on stdout and stable.
+func TestListStdout(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("rtsim -list exited %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "lockdisc") {
+		t.Errorf("rtsim -list missing lockdisc:\n%s", out.String())
+	}
+}

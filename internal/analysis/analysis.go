@@ -238,6 +238,7 @@ func aurSide(tasks []*task.Task, sojourn func(*task.Task) rtime.Duration, useA b
 		num += k / w * t.TUF.Utility(sojourn(t))
 		den += k / w * t.TUF.Utility(0)
 	}
+	//rtlint:ignore floatcmp den sums non-negative k/w·U(0) terms; it is 0 only when every term is exactly 0, which is the degenerate input being detected
 	if den == 0 {
 		if !useA {
 			// All l_i are zero: no arrivals are guaranteed, so the lower

@@ -1,0 +1,69 @@
+// Package analysis is a minimal, dependency-free core of the
+// golang.org/x/tools/go/analysis API: an Analyzer carries a name, a doc
+// string, and a Run function that inspects one type-checked package
+// through a Pass and reports Diagnostics.
+//
+// The shapes (Analyzer, Pass, Diagnostic, Pass.Reportf) deliberately
+// mirror x/tools so the rtlint analyzers can be ported to the real
+// multichecker by swapping this import — the build environment for this
+// repo is fully offline, so the upstream module cannot be fetched and
+// vendoring its full driver (facts, result propagation, SSA) would be
+// far more code than the five analyzers need. Features the rtlint suite
+// does not use — analyzer requirements, facts, suggested fixes — are
+// intentionally absent.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //rtlint:ignore directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer enforces
+	// and why; the first line is used as a summary by rtlint -list.
+	Doc string
+
+	// Run inspects the package presented by pass and reports findings
+	// via pass.Report/Reportf. A non-nil error aborts the whole rtlint
+	// run (reserved for internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// Pass presents one type-checked package to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. The driver installs it; Run must not
+	// replace it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos, attributed to the
+// pass's analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a human-readable message.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic with a resolved position.
+func (d Diagnostic) String(fset *token.FileSet) string {
+	return fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+}

@@ -1,0 +1,149 @@
+// Package analysistest runs one rtlint analyzer over fixture packages
+// and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	for k := range m { // want `range over map`
+//
+// Each `// want` comment carries one or more quoted or backquoted
+// regular expressions; every diagnostic reported on that line must
+// match one of them, and every expectation must be consumed by a
+// diagnostic. Fixtures live in a GOPATH-style tree (testdata/src) so
+// package paths can place them inside or outside an analyzer's scope
+// (e.g. maporder/internal/sim vs maporder/notscoped).
+//
+// Diagnostics pass through the real rtlint driver, so //rtlint:ignore
+// directives suppress findings in fixtures exactly as they do in the
+// repo, and malformed directives surface as "rtlint" diagnostics that
+// fixtures can want-match.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// expectation is one regexp from a // want comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture packages beneath srcRoot and checks the
+// analyzer's diagnostics (after //rtlint:ignore processing) against
+// their // want comments.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	pkgs, err := loader.Load(loader.Config{Dir: srcRoot, Mode: loader.Tree}, pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("%s: running %s: %v", pkg.Path, a.Name, err)
+		}
+		wants, err := parseWants(pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if !consume(wants, pos, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s: %s", pkg.Path, pos, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.hit {
+				t.Errorf("%s: expected diagnostic matching %q at %s:%d, got none",
+					pkg.Path, w.re, w.file, w.line)
+			}
+		}
+	}
+}
+
+// consume marks the first unhit expectation on the diagnostic's line
+// that matches its message.
+func consume(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the // want expectations from every comment in
+// the package.
+func parseWants(pkg *loader.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parsePatterns(c.Text[idx+len("// want "):])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				for _, re := range res {
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// parsePatterns reads a sequence of "double-quoted" or `backquoted`
+// regular expressions.
+func parsePatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		var lit string
+		switch s[0] {
+		case '"':
+			end := strings.Index(s[1:], `"`)
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern %q", s)
+			}
+			var err error
+			lit, err = strconv.Unquote(s[:end+2])
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern %q: %v", s[:end+2], err)
+			}
+			s = s[end+2:]
+		case '`':
+			end := strings.Index(s[1:], "`")
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern %q", s)
+			}
+			lit = s[1 : end+1]
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted or backquoted, got %q", s)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", lit, err)
+		}
+		out = append(out, re)
+	}
+}

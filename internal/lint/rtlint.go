@@ -1,0 +1,190 @@
+// Package lint is rtlint: a suite of repo-specific static analyzers
+// that mechanically enforce the invariants the reproduction's
+// event-sequence claims rest on — byte-identical output for any -jobs N,
+// no wall clock or stray randomness in the virtual-time world, a single
+// access discipline per atomic field, no shared mutable *task.Task
+// across parallel runs, and no raw float equality in utility/ratio code.
+//
+// Each analyzer is a plain function over one type-checked package (see
+// the sibling analysis package, a minimal offline mirror of
+// golang.org/x/tools/go/analysis). Findings can be suppressed, one
+// statement at a time, with a justified directive either on the
+// flagged line or the line above:
+//
+//	//rtlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// A directive naming an unknown analyzer, or carrying no reason, is
+// itself a finding — suppressions must stay auditable.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// All returns the rtlint analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Atomicmix,
+		Floatcmp,
+		Maporder,
+		Sharedtask,
+		Simclock,
+	}
+}
+
+// byName resolves an analyzer name against the full registry (not just
+// the analyzers being run), so //rtlint:ignore directives are validated
+// the same way under the multichecker and under single-analyzer tests.
+func byName(name string) *analysis.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// ignoreDirective is one parsed //rtlint:ignore comment.
+type ignoreDirective struct {
+	pos       token.Pos
+	line      int
+	file      string
+	analyzers []string
+	reason    string
+}
+
+// Run executes the analyzers over one loaded package and returns the
+// surviving diagnostics in position order: analyzer findings minus
+// those suppressed by a well-formed //rtlint:ignore on the same or the
+// preceding line, plus one diagnostic per malformed directive.
+func Run(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+
+	directives, bad := parseDirectives(pkg)
+	diags = append(diags, bad...)
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer == directiveAnalyzer || !suppressed(pkg.Fset, d, directives) {
+			kept = append(kept, d)
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// directiveAnalyzer attributes malformed-directive findings; it is not
+// a runnable analyzer and cannot be suppressed.
+const directiveAnalyzer = "rtlint"
+
+// parseDirectives extracts //rtlint:ignore comments from every file of
+// the package, returning the well-formed ones and a diagnostic for each
+// malformed one.
+func parseDirectives(pkg *loader.Package) ([]ignoreDirective, []analysis.Diagnostic) {
+	var out []ignoreDirective
+	var bad []analysis.Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//rtlint:ignore")
+				if !ok {
+					continue
+				}
+				// Reasons stop at an embedded "// want" so analysistest
+				// fixtures can state expectations on directive lines.
+				if i := strings.Index(text, "// want"); i >= 0 {
+					text = text[:i]
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					bad = append(bad, analysis.Diagnostic{Pos: c.Pos(), Analyzer: directiveAnalyzer,
+						Message: "rtlint:ignore directive needs an analyzer name and a reason"})
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				reason := strings.Join(fields[1:], " ")
+				valid := true
+				for _, n := range names {
+					if byName(n) == nil {
+						bad = append(bad, analysis.Diagnostic{Pos: c.Pos(), Analyzer: directiveAnalyzer,
+							Message: "rtlint:ignore names unknown analyzer " + strconv.Quote(n)})
+						valid = false
+					}
+				}
+				if reason == "" {
+					bad = append(bad, analysis.Diagnostic{Pos: c.Pos(), Analyzer: directiveAnalyzer,
+						Message: "rtlint:ignore requires a reason after the analyzer name"})
+					valid = false
+				}
+				if !valid {
+					continue
+				}
+				position := pkg.Fset.Position(c.Pos())
+				out = append(out, ignoreDirective{
+					pos: c.Pos(), line: position.Line, file: position.Filename,
+					analyzers: names, reason: reason,
+				})
+			}
+		}
+	}
+	return out, bad
+}
+
+// suppressed reports whether a directive covers the diagnostic: same
+// file, naming the diagnostic's analyzer, on the same line (trailing
+// comment) or the line immediately above (standalone comment).
+func suppressed(fset *token.FileSet, d analysis.Diagnostic, directives []ignoreDirective) bool {
+	pos := fset.Position(d.Pos)
+	for _, dir := range directives {
+		if dir.file != pos.Filename || (dir.line != pos.Line && dir.line+1 != pos.Line) {
+			continue
+		}
+		for _, name := range dir.analyzers {
+			if name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parentMap records the parent of every node reachable from the files'
+// roots; analyzers use it to inspect the context an expression occurs in.
+func parentMap(files []*ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	for _, f := range files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if len(stack) > 0 {
+				parents[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return parents
+}

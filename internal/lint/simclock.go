@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// uamScope is the one package allowed to construct math/rand generators:
+// every stream of randomness in the system must be a seeded uam.Generator
+// so runs replay bit-identically.
+var uamScope = []string{"internal/uam"}
+
+// Simclock flags wall-clock reads and stray randomness in the
+// virtual-time world. The simulator's clock is rtime.Time and every
+// random stream must be a per-run seeded generator owned by
+// internal/uam; time.Now/Since/Until and the global math/rand functions
+// make event sequences depend on the host, and an ad-hoc rand.New
+// outside uam is a second, unaudited seed channel.
+var Simclock = &analysis.Analyzer{
+	Name: "simclock",
+	Doc: "flags time.Now/Since/Until, global math/rand functions, and rand.New " +
+		"outside internal/uam; virtual-time code must use rtime and seeded uam generators",
+	Run: runSimclock,
+}
+
+// wallClockFuncs are the time package reads that tie behaviour to the
+// host clock. (time.Duration arithmetic and constants are fine.)
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runSimclock(pass *analysis.Pass) error {
+	inUAM := inScope(pass.Pkg.Path(), uamScope)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := calleePkgFunc(pass.TypesInfo, call)
+			if !ok {
+				return true
+			}
+			switch path {
+			case "time":
+				if wallClockFuncs[name] {
+					pass.Reportf(call.Pos(), "wall-clock time.%s in virtual-time code; "+
+						"simulation time must come from rtime", name)
+				}
+			case "math/rand", "math/rand/v2":
+				switch name {
+				case "New", "NewSource", "NewPCG", "NewChaCha8":
+					// Constructing a generator is the uam package's job;
+					// elsewhere it is an unaudited seed channel.
+					if !inUAM && name == "New" {
+						pass.Reportf(call.Pos(), "rand.New outside internal/uam; "+
+							"route randomness through seeded uam generators")
+					}
+				default:
+					// Top-level funcs (Intn, Float64, Perm, Shuffle, ...)
+					// share one process-global, effectively unseeded RNG.
+					pass.Reportf(call.Pos(), "global %s.%s() uses the shared process RNG; "+
+						"use a seeded uam generator", path, name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

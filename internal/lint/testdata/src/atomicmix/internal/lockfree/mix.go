@@ -1,0 +1,55 @@
+// Package lockfree is an atomicmix fixture inside the analyzer's scope.
+package lockfree
+
+import "sync/atomic"
+
+// Counter mixes disciplines on hits: the increment goes through
+// sync/atomic but Read bypasses it.
+type Counter struct {
+	hits int64
+	safe int64
+}
+
+// Bump accesses hits atomically: this use alone is fine.
+func (c *Counter) Bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Read reads hits plainly while Bump uses sync/atomic: flagged.
+func (c *Counter) Read() int64 {
+	return c.hits // want `field hits is accessed via sync/atomic`
+}
+
+// SafeRead keeps a single discipline for safe: not flagged.
+func (c *Counter) SafeRead() int64 {
+	atomic.AddInt64(&c.safe, 0)
+	return atomic.LoadInt64(&c.safe)
+}
+
+// Typed holds typed atomics.
+type Typed struct {
+	n     atomic.Int64
+	cells []atomic.Pointer[int]
+}
+
+// Methods uses the typed atomics through their methods: not flagged.
+func (t *Typed) Methods(p *int) int64 {
+	t.n.Add(1)
+	t.cells[0].Store(p)
+	return t.n.Load()
+}
+
+// ByAddress passes a typed atomic by pointer: not flagged.
+func (t *Typed) ByAddress() *atomic.Int64 {
+	return &t.n
+}
+
+// Copy copies a typed atomic as a value: flagged.
+func (t *Typed) Copy() atomic.Int64 {
+	return t.n // want `atomic value t\.n used as a plain value`
+}
+
+// CopyElem copies a typed atomic out of a slice field: flagged.
+func (t *Typed) CopyElem() atomic.Pointer[int] {
+	return t.cells[0] // want `atomic value t\.cells\[0\] used as a plain value`
+}

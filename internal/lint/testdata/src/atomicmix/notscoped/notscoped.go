@@ -1,0 +1,14 @@
+// Package notscoped is outside atomicmix's scope: mixed access is not
+// this analyzer's business here (the race detector still is).
+package notscoped
+
+import "sync/atomic"
+
+// Mixed would be flagged inside internal/lockfree; here it is not.
+type Mixed struct{ n int64 }
+
+// Bump increments atomically.
+func (m *Mixed) Bump() { atomic.AddInt64(&m.n, 1) }
+
+// Read reads plainly.
+func (m *Mixed) Read() int64 { return m.n }

@@ -1,0 +1,49 @@
+// Package metrics is a floatcmp fixture inside the analyzer's scope.
+package metrics
+
+// Ratio is a named float type: still a float underneath.
+type Ratio float64
+
+// Bad compares computed floats exactly: flagged.
+func Bad(a, b float64) bool {
+	return a == b // want `float comparison a == b`
+}
+
+// BadNeq flags != as well.
+func BadNeq(u Ratio, limit Ratio) bool {
+	return u != limit // want `float comparison u != limit`
+}
+
+// BadZero compares a computed sum against zero: flagged (annotate when
+// exactness genuinely holds).
+func BadZero(xs []float64) bool {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum == 0 // want `float comparison sum == 0`
+}
+
+// GoodNaN is the self-comparison NaN idiom: accepted.
+func GoodNaN(x float64) bool {
+	return x != x
+}
+
+// GoodConst folds at compile time: accepted.
+func GoodConst() bool {
+	return 0.1+0.2 == 0.3
+}
+
+// GoodInts compares integers: not this analyzer's business.
+func GoodInts(a, b int64) bool {
+	return a == b
+}
+
+// GoodEpsilon is the recommended shape: no equality operator at all.
+func GoodEpsilon(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}

@@ -1,0 +1,53 @@
+// Package sim exercises the //rtlint:ignore directive machinery: a
+// well-formed directive (trailing or on the line above) suppresses a
+// finding; malformed directives are findings themselves.
+package sim
+
+// SuppressedTrailing has a real maporder violation silenced by a
+// trailing justified directive: no diagnostic.
+func SuppressedTrailing(m map[string]int) int {
+	total := 0
+	for _, v := range m { //rtlint:ignore maporder summation is commutative, order cannot reach output
+		total += v
+	}
+	return total
+}
+
+// SuppressedAbove is silenced by a directive on the preceding line.
+func SuppressedAbove(m map[string]int) int {
+	total := 0
+	//rtlint:ignore maporder summation is commutative, order cannot reach output
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// WrongName names an analyzer that does not exist: the directive itself
+// is a finding, and the violation it failed to cover still fires.
+func WrongName(m map[string]int) int {
+	total := 0
+	for _, v := range m { //rtlint:ignore nosuchanalyzer typo'd name // want `range over map m` `rtlint:ignore names unknown analyzer "nosuchanalyzer"`
+		total += v
+	}
+	return total
+}
+
+// NoReason omits the justification: the directive is a finding and
+// suppresses nothing.
+func NoReason(m map[string]int) int {
+	total := 0
+	for _, v := range m { //rtlint:ignore maporder // want `range over map m` `rtlint:ignore requires a reason`
+		total += v
+	}
+	return total
+}
+
+// Unsuppressed has no directive at all: plain finding.
+func Unsuppressed(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map m`
+		total += v
+	}
+	return total
+}

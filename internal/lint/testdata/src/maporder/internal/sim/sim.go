@@ -1,0 +1,62 @@
+// Package sim is a maporder fixture: its import path puts it inside the
+// analyzer's internal/sim scope.
+package sim
+
+import "sort"
+
+// Bad iterates a map directly: flagged.
+func Bad(counts map[string]int) int {
+	total := 0
+	for _, v := range counts { // want `range over map counts`
+		total += v
+	}
+	return total
+}
+
+// BadKeys iterates keys without sorting: flagged.
+func BadKeys(counts map[string]int, emit func(string)) {
+	for k := range counts { // want `range over map counts`
+		emit(k)
+	}
+}
+
+// GoodCollectThenSort appends keys and sorts them afterwards: the
+// blessed idiom, accepted without annotation.
+func GoodCollectThenSort(counts map[string]int) []string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodCollectValuesThenSortLater also sorts further down the function.
+func GoodCollectValuesThenSortLater(counts map[string]int) []int {
+	var vals []int
+	for _, v := range counts {
+		vals = append(vals, v)
+	}
+	if len(vals) > 1 {
+		sort.Ints(vals)
+	}
+	return vals
+}
+
+// GoodSliceRange ranges over a slice: never flagged.
+func GoodSliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// BadCollectNoSort collects but never sorts: flagged.
+func BadCollectNoSort(counts map[string]int) []string {
+	var keys []string
+	for k := range counts { // want `range over map counts`
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,12 @@
+// Package notscoped is outside maporder's internal/{sim,...} scope:
+// nothing here is flagged even though it ranges over maps.
+package notscoped
+
+// Free may iterate maps however it likes.
+func Free(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,26 @@
+// Package runner is a sharedtask fixture stub: its import path suffix
+// internal/runner is what the analyzer keys on.
+package runner
+
+// Map mimics the parallel engine's fan-out entry point.
+func Map(jobs, n int, fn func(i int) (int, error)) ([]int, error) {
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		v, err := fn(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ForEach mimics the result-free fan-out entry point.
+func ForEach(jobs, n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

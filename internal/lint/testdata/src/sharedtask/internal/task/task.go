@@ -1,0 +1,24 @@
+// Package task is a sharedtask fixture stub: the analyzer keys on the
+// named type Task under an import path suffixed internal/task.
+package task
+
+// Task stands in for the repo's mutable task value.
+type Task struct {
+	ID    int
+	State int
+}
+
+// Clone deep-copies one task.
+func (t *Task) Clone() *Task {
+	c := *t
+	return &c
+}
+
+// CloneAll deep-copies a template slice.
+func CloneAll(ts []*Task) []*Task {
+	out := make([]*Task, len(ts))
+	for i, t := range ts {
+		out[i] = t.Clone()
+	}
+	return out
+}

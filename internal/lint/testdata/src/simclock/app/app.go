@@ -1,0 +1,36 @@
+// Package app is a simclock fixture outside internal/uam: wall-clock
+// reads and every math/rand entry point are flagged.
+package app
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock: flagged twice.
+func Stamp() (int64, time.Duration) {
+	now := time.Now()          // want `wall-clock time\.Now`
+	d := time.Since(time.Time{}) // want `wall-clock time\.Since`
+	return now.Unix(), d
+}
+
+// Jitter uses the global shared RNG: flagged.
+func Jitter() float64 {
+	return rand.Float64() // want `global math/rand\.Float64\(\) uses the shared process RNG`
+}
+
+// Pick uses another global top-level func: flagged.
+func Pick(n int) int {
+	return rand.Intn(n) // want `global math/rand\.Intn\(\) uses the shared process RNG`
+}
+
+// Local constructs an ad-hoc generator outside uam: flagged even though
+// it is seeded, because it bypasses the audited uam seed channel.
+func Local(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `rand\.New outside internal/uam`
+}
+
+// Durations is pure virtual-time arithmetic: fine.
+func Durations(d time.Duration) time.Duration {
+	return 2*d + time.Millisecond
+}

@@ -1,0 +1,27 @@
+// Package uam is a simclock fixture standing in for the repo's seeded
+// generator home: rand.New is allowed here, but the global top-level
+// funcs and the wall clock still are not.
+package uam
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Generator owns a seeded stream: allowed.
+type Generator struct{ rng *rand.Rand }
+
+// New constructs the sanctioned seeded generator: not flagged.
+func New(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sloppy still reaches for the process-global RNG: flagged even in uam.
+func Sloppy() float64 {
+	return rand.Float64() // want `global math/rand\.Float64\(\)`
+}
+
+// Clocky reads the wall clock: flagged even in uam.
+func Clocky() time.Time {
+	return time.Now() // want `wall-clock time\.Now`
+}

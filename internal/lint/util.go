@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pathHasSegments reports whether the slash-separated import path
+// contains want as a run of consecutive segments, so "internal/sim"
+// matches both "repro/internal/sim" and a fixture's
+// "maporder/internal/sim" but not "repro/internal/simulator".
+func pathHasSegments(path, want string) bool {
+	segs := strings.Split(path, "/")
+	wantSegs := strings.Split(want, "/")
+	for i := 0; i+len(wantSegs) <= len(segs); i++ {
+		match := true
+		for j, w := range wantSegs {
+			if segs[i+j] != w {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// inScope reports whether the package path matches any of the scoped
+// segment runs.
+func inScope(path string, scopes []string) bool {
+	for _, s := range scopes {
+		if pathHasSegments(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleePkgFunc resolves a call of the form pkgname.Func(...) to the
+// imported package's path and the function name. It returns ok=false
+// for method calls, locally defined functions, and anything else.
+func calleePkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	// Generic instantiations appear as IndexExpr/IndexListExpr around
+	// the selector; the repo's analyzers only need the plain form plus
+	// runner.Map[T], so unwrap one level of index.
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// selectedField resolves sel to the struct field it denotes, or nil.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// namedIn reports whether t (after unwrapping aliases) is a named type
+// called name whose package import path contains the pkgSegs segments.
+func namedIn(t types.Type, name, pkgSegs string) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && pathHasSegments(obj.Pkg().Path(), pkgSegs)
+}
+
+// rootIdent unwraps selectors, index expressions, parens, stars, and
+// slice expressions down to the leftmost identifier, e.g. the "cfg" in
+// cfg.Tasks[i].Segments. Returns nil when the root is not an identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// enclosingFunc walks up the parent map from n to the nearest function
+// body (FuncDecl or FuncLit) and returns that body, or nil at file scope.
+func enclosingFunc(parents map[ast.Node]ast.Node, n ast.Node) *ast.BlockStmt {
+	for cur := parents[n]; cur != nil; cur = parents[cur] {
+		switch f := cur.(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}

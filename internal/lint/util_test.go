@@ -1,0 +1,40 @@
+package lint
+
+import "testing"
+
+func TestPathHasSegments(t *testing.T) {
+	cases := []struct {
+		path, want string
+		ok         bool
+	}{
+		{"repro/internal/sim", "internal/sim", true},
+		{"maporder/internal/sim", "internal/sim", true},
+		{"repro/internal/simulator", "internal/sim", false},
+		{"repro/internal/lint/analysis", "internal/analysis", false},
+		{"repro/internal/analysis", "internal/analysis", true},
+		{"internal/sim", "internal/sim", true},
+		{"sim", "internal/sim", false},
+		{"repro/internal/runner", "internal/runner", true},
+	}
+	for _, c := range cases {
+		if got := pathHasSegments(c.path, c.want); got != c.ok {
+			t.Errorf("pathHasSegments(%q, %q) = %v, want %v", c.path, c.want, got, c.ok)
+		}
+	}
+}
+
+func TestAllAnalyzersNamedAndDocumented(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("expected at least 5 analyzers, got %d", len(seen))
+	}
+}

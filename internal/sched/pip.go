@@ -36,9 +36,15 @@ func (PIP) Select(w World) Decision {
 	// nesting a cycle means deadlock, which PIP does not resolve — the
 	// bounded iteration below still terminates and the blocked jobs
 	// simply starve until their critical times (honest PIP behaviour).
+	// Iterate jobs in slice order, not over the eff map: the number of
+	// propagation passes until the fixed point (and with it the charged
+	// ops count) must not depend on randomized map iteration order.
 	for range w.Jobs {
 		changed := false
-		for j := range eff {
+		for _, j := range w.Jobs {
+			if _, live := eff[j]; !live {
+				continue
+			}
 			obj, waiting := w.Res.WaitingFor(j)
 			if !waiting {
 				continue
