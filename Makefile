@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench
+.PHONY: all build test race vet lint bench trace-demo check-bounds
 
 all: build vet lint test
 
@@ -27,3 +27,17 @@ lint: vet
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem .
+
+# Trace the canonical workload on the uniprocessor engine and export it
+# in the Chrome trace-event format: drag trace.json onto ui.perfetto.dev
+# to browse per-task, per-CPU, and scheduler tracks. Try
+# -trace-sim global / -trace-mode lockbased for the other engines, or
+# -trace-format spans for a per-job text digest.
+trace-demo:
+	$(GO) run ./cmd/rtsim -profile quick -trace trace.json -trace-format perfetto
+	@echo "wrote trace.json — open it at https://ui.perfetto.dev"
+
+# Overlay the Theorem 2 retry bound and Theorem 3 sojourn composition on
+# traced runs of the whole suite; any violation exits non-zero.
+check-bounds:
+	$(GO) run ./cmd/rtsim -profile quick -check-bounds

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,6 +20,8 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/runner"
+	"repro/internal/trace"
+	"repro/internal/trace/span"
 )
 
 // benchEntry is one experiment's wall-clock timing for -bench-json.
@@ -51,8 +54,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "text", "output format: text or csv")
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "simulation runs to execute in parallel (output is identical for any value)")
 	benchJSON := fs.String("bench-json", "", "write per-experiment wall-clock timings to `file` as JSON")
+	traceFile := fs.String("trace", "", "run the canonical trace workload and write its trace to `file`")
+	traceFormat := fs.String("trace-format", "perfetto", "trace file format: json, perfetto, or spans")
+	traceSim := fs.String("trace-sim", experiment.TraceSimUni, "traced simulator: uni, multi, or global")
+	traceMode := fs.String("trace-mode", "lockfree", "traced synchronization mode: lockfree or lockbased")
+	checkBounds := fs.Bool("check-bounds", false, "run the Theorem 2/3 bound-check suite; exit 1 on any violation")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, `usage: rtsim [flags] <experiment>... | all
+       rtsim [flags] -trace FILE [-trace-format json|perfetto|spans]
+       rtsim [flags] -check-bounds
 
 flags:
   -profile full|quick  experiment scale: full (paper-scale horizons, 5
@@ -64,6 +74,17 @@ flags:
   -bench-json FILE     also write per-experiment wall-clock seconds to
                        FILE as JSON
   -list                list experiment ids and exit
+
+observability:
+  -trace FILE          run the canonical trace workload fully observed
+                       and write the trace to FILE
+  -trace-format FMT    json (raw events), perfetto (open the file at
+                       ui.perfetto.dev), or spans (per-job text)
+  -trace-sim SIM       uni (default), multi (partitioned), or global
+  -trace-mode MODE     lockfree (default) or lockbased
+  -check-bounds        check observed retries and sojourns against the
+                       Theorem 2/3 bounds across the trace suite; any
+                       violation exits 1
 
 experiments:
 `)
@@ -93,8 +114,30 @@ experiments:
 	}
 	p.Jobs = *jobs
 
+	exitCode := 0
+	if *traceFile != "" {
+		if err := writeTrace(p, *traceFile, *traceFormat, *traceSim, *traceMode, stdout); err != nil {
+			fmt.Fprintf(stderr, "rtsim: trace: %v\n", err)
+			return 1
+		}
+	}
+	if *checkBounds {
+		report, ok, err := experiment.CheckBounds(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "rtsim: check-bounds: %v\n", err)
+			return 1
+		}
+		fmt.Fprint(stdout, report)
+		if !ok {
+			exitCode = 1
+		}
+	}
+
 	args = fs.Args()
 	if len(args) == 0 {
+		if *traceFile != "" || *checkBounds {
+			return exitCode
+		}
 		fs.Usage()
 		return 2
 	}
@@ -104,7 +147,6 @@ experiments:
 	}
 
 	report := benchReport{Profile: p.Name, Jobs: runner.Jobs(p.Jobs)}
-	exitCode := 0
 	for _, id := range ids {
 		runExp, ok := experiment.Registry[id]
 		if !ok {
@@ -140,4 +182,48 @@ experiments:
 		}
 	}
 	return exitCode
+}
+
+// writeTrace runs one fully-observed canonical-workload simulation and
+// writes its trace to file in the requested format. The stdout summary
+// and the file are pure functions of (profile, sim, mode): byte-identical
+// for any -jobs value.
+func writeTrace(p experiment.Profile, file, format, simName, mode string, stdout io.Writer) error {
+	var lockBased bool
+	switch mode {
+	case "lockfree":
+	case "lockbased":
+		lockBased = true
+	default:
+		return fmt.Errorf("unknown -trace-mode %q (want lockfree or lockbased)", mode)
+	}
+	seed := p.Seeds[0]
+	tr, err := experiment.RunTrace(p, simName, lockBased, seed)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	switch format {
+	case "json":
+		err = trace.WriteJSON(&buf, tr.Events)
+	case "perfetto":
+		err = trace.WritePerfetto(&buf, tr.Events)
+	case "spans":
+		var spans []span.JobSpan
+		if spans, err = tr.Spans(); err == nil {
+			err = span.WriteText(&buf, spans)
+		}
+	default:
+		return fmt.Errorf("unknown -trace-format %q (want json, perfetto, or spans)", format)
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(file, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "trace: sim=%s mode=%s seed=%d profile=%s events=%d horizon=%v format=%s\n",
+		tr.Sim, mode, seed, p.Name, len(tr.Events), tr.Horizon, format)
+	fmt.Fprintf(stdout, "counts: %s\n", trace.Summary(tr.Events))
+	return nil
 }

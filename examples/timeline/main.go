@@ -73,10 +73,7 @@ func main() {
 			res.Completions, res.Aborts, res.LockEvents, res.Retries)
 		fmt.Println()
 		fmt.Println(rec.Timeline(0, 6000, 72))
-		counts := rec.CountByKind()
-		fmt.Printf("events: %d dispatches, %d preempts, %d blocks, %d lock-ops, %d commits, %d retries\n",
-			counts[trace.Dispatch], counts[trace.Preempt], counts[trace.Block],
-			counts[trace.LockAcquire]+counts[trace.LockRelease], counts[trace.Commit], counts[trace.Retry])
+		fmt.Printf("events: %s\n", rec.Summary())
 		fmt.Println()
 		if mode == sim.LockBased {
 			fmt.Println("full event log (lock-based):")

@@ -1,0 +1,228 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gsim"
+	"repro/internal/multi"
+	"repro/internal/rtime"
+	"repro/internal/rua"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/trace"
+	"repro/internal/trace/check"
+	"repro/internal/trace/span"
+	"repro/internal/uam"
+)
+
+// Trace-run simulator selectors (cmd/rtsim -trace-sim).
+const (
+	TraceSimUni    = "uni"    // single-processor engine (internal/sim)
+	TraceSimMulti  = "multi"  // partitioned multiprocessor (internal/multi)
+	TraceSimGlobal = "global" // global multiprocessor (internal/gsim)
+)
+
+// TraceCPUs is the processor count traced multi/global runs use.
+const TraceCPUs = 2
+
+// TraceWorkloadSpec is the canonical workload traced runs and the
+// bound-check suite execute: the Theorem 2 validation shape (six tasks,
+// three shared objects, four accesses per job, bursty UAM) at full
+// load, where retries and preemptions are plentiful enough for the
+// timeline to be interesting.
+func TraceWorkloadSpec() WorkloadSpec {
+	return WorkloadSpec{
+		NumTasks:       6,
+		NumObjects:     3,
+		AccessesPerJob: 4,
+		MeanExec:       300 * rtime.Microsecond,
+		TargetAL:       1.0,
+		Class:          StepTUFs,
+		MaxArrivals:    2,
+	}
+}
+
+// TraceRun is one traced simulation: the full event stream plus
+// everything needed to fold and bound-check it.
+type TraceRun struct {
+	Sim       string
+	LockBased bool
+	Seed      int64
+
+	Tasks   []*task.Task
+	Horizon rtime.Time
+	Events  []trace.Event
+}
+
+// buildTraceTasks materializes the trace workload and splits it into
+// two disjoint shared-object groups: the second half of the task set
+// has its object ids shifted past the first half's. One fully-connected
+// component would be placed whole on a single processor by the
+// object-aware partitioner, collapsing the "multi" trace runs into the
+// uniprocessor ones; two components give the partitioned simulator a
+// real two-CPU timeline to trace.
+func buildTraceTasks() ([]*task.Task, error) {
+	spec := TraceWorkloadSpec()
+	tasks, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	for i := spec.NumTasks / 2; i < len(tasks); i++ {
+		for k := range tasks[i].Segments {
+			if tasks[i].Segments[k].Kind != task.Compute {
+				tasks[i].Segments[k].Object += spec.NumObjects
+			}
+		}
+	}
+	return tasks, nil
+}
+
+// RunTrace executes one fully-observed simulation of the canonical
+// trace workload on the selected simulator. The run is a pure function
+// of (profile, simName, lockBased, seed): equal inputs yield
+// byte-identical event streams.
+func RunTrace(p Profile, simName string, lockBased bool, seed int64) (*TraceRun, error) {
+	tasks, err := buildTraceTasks()
+	if err != nil {
+		return nil, err
+	}
+	horizon := horizonFor(tasks, p)
+	rec := trace.NewRecorder(0)
+	mode := sim.LockFree
+	if lockBased {
+		mode = sim.LockBased
+	}
+	newRUA := func() *rua.RUA {
+		if lockBased {
+			return rua.NewLockBased()
+		}
+		return rua.NewLockFree()
+	}
+	switch simName {
+	case TraceSimUni:
+		_, err = sim.Run(sim.Config{
+			Tasks: tasks, Scheduler: newRUA(), Mode: mode,
+			R: DefaultR, S: DefaultS, OpCost: DefaultOpCost,
+			Horizon: horizon, ArrivalKind: uam.KindJittered, Seed: seed,
+			ConservativeRetry: true, Observer: rec.Record,
+		})
+	case TraceSimMulti:
+		_, err = multi.Run(multi.Config{
+			CPUs: TraceCPUs, Tasks: tasks, Mode: mode,
+			R: DefaultR, S: DefaultS, OpCost: DefaultOpCost,
+			Horizon: horizon, ArrivalKind: uam.KindJittered, Seed: seed,
+			ConservativeRetry: true, Observer: rec.Record,
+		})
+	case TraceSimGlobal:
+		_, err = gsim.Run(gsim.Config{
+			CPUs: TraceCPUs, Tasks: tasks, Scheduler: newRUA(), Mode: mode,
+			R: DefaultR, S: DefaultS, OpCost: DefaultOpCost,
+			Horizon: horizon, ArrivalKind: uam.KindJittered, Seed: seed,
+			Observer: rec.Record,
+		})
+	default:
+		return nil, fmt.Errorf("experiment: unknown trace simulator %q (want %s|%s|%s)",
+			simName, TraceSimUni, TraceSimMulti, TraceSimGlobal)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &TraceRun{
+		Sim: simName, LockBased: lockBased, Seed: seed,
+		Tasks: tasks, Horizon: horizon, Events: rec.Events(),
+	}, nil
+}
+
+// Spans folds the run's events into per-job spans.
+func (tr *TraceRun) Spans() ([]span.JobSpan, error) {
+	return span.Build(tr.Events, tr.Horizon)
+}
+
+// CheckBounds runs the bound-check suite: every profile seed ×
+// {uniprocessor, partitioned} × {lock-free, lock-based}, traced, folded
+// into spans, and overlaid with the Theorem 2 retry bound and the
+// Theorem 3 worst-case sojourn composition. The global engine is
+// deliberately absent: its commit-time validation retries fall outside
+// Theorem 2's uniprocessor model (see internal/gsim), so it has no
+// bound to check against.
+//
+// It returns the rendered report (byte-identical for any jobs value —
+// cells fan out on runner.Map and merge by index) and whether every
+// bound held.
+func CheckBounds(p Profile) (string, bool, error) {
+	type cell struct {
+		sim       string
+		lockBased bool
+		seed      int64
+	}
+	var cells []cell
+	for _, simName := range []string{TraceSimUni, TraceSimMulti} {
+		for _, lockBased := range []bool{false, true} {
+			for _, seed := range p.Seeds {
+				cells = append(cells, cell{sim: simName, lockBased: lockBased, seed: seed})
+			}
+		}
+	}
+	type outcome struct {
+		jobs, completed int
+		retries         int64
+		report          *check.Report
+	}
+	outs, err := runner.Map(p.Jobs, len(cells), func(i int) (outcome, error) {
+		c := cells[i]
+		tr, err := RunTrace(p, c.sim, c.lockBased, c.seed)
+		if err != nil {
+			return outcome{}, err
+		}
+		spans, err := tr.Spans()
+		if err != nil {
+			return outcome{}, err
+		}
+		rep, err := check.Check(spans, tr.Tasks, check.Config{
+			Theorem2: true, Theorem3: true,
+			LockBased: c.lockBased, R: DefaultR, S: DefaultS,
+		})
+		if err != nil {
+			return outcome{}, err
+		}
+		o := outcome{jobs: len(spans), report: rep}
+		for i := range spans {
+			o.retries += spans[i].Retries
+			if spans[i].Outcome == span.Completed {
+				o.completed++
+			}
+		}
+		return o, nil
+	})
+	if err != nil {
+		return "", false, err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "bound-check suite: workload=thm2-trace profile=%s sims=uni,multi modes=lock-free,lock-based\n", p.Name)
+	fmt.Fprintf(&b, "%-7s %-11s %6s %6s %6s %8s %6s\n", "sim", "mode", "seed", "jobs", "done", "retries", "viol")
+	ok := true
+	for i, c := range cells {
+		o := outs[i]
+		mode := "lock-free"
+		if c.lockBased {
+			mode = "lock-based"
+		}
+		fmt.Fprintf(&b, "%-7s %-11s %6d %6d %6d %8d %6d\n",
+			c.sim, mode, c.seed, o.jobs, o.completed, o.retries, len(o.report.Violations))
+		if !o.report.OK() {
+			ok = false
+			for _, v := range o.report.Violations {
+				fmt.Fprintf(&b, "  VIOLATION %s\n", v)
+			}
+		}
+	}
+	if ok {
+		b.WriteString("all Theorem 2/3 bounds hold\n")
+	} else {
+		b.WriteString("BOUND VIOLATIONS FOUND\n")
+	}
+	return b.String(), ok, nil
+}

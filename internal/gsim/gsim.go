@@ -31,6 +31,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/trace"
 	"repro/internal/uam"
 )
 
@@ -50,6 +51,12 @@ type Config struct {
 	ArrivalKind uam.Kind
 	Seed        int64
 	Arrivals    []uam.Trace
+
+	// Observer, when non-nil, receives the same trace-event vocabulary
+	// internal/sim emits, with Event.CPU carrying the dispatching
+	// processor (or -1 for unbound events: arrivals, aborts, scheduler
+	// passes — the global scheduler runs on no particular CPU).
+	Observer func(trace.Event)
 }
 
 func (c *Config) validate() error {
@@ -201,6 +208,19 @@ func New(cfg Config) (*Engine, error) {
 		internalGen: make([]int64, cfg.CPUs),
 		states:      map[*task.Job]*jobState{},
 	}
+	if so, ok := cfg.Scheduler.(interface{ SetObserver(func(trace.Event)) }); ok {
+		// Scheduler-emitted events (RUA feasibility tests) are unbound to
+		// a CPU under global scheduling, like SchedPass.
+		obs := cfg.Observer
+		if obs == nil {
+			so.SetObserver(nil)
+		} else {
+			so.SetObserver(func(ev trace.Event) {
+				ev.CPU = -1
+				obs(ev)
+			})
+		}
+	}
 	if cfg.Mode == sim.LockBased {
 		e.acc = cfg.R
 	} else {
@@ -252,6 +272,23 @@ func (e *Engine) failWith(err error) {
 	}
 }
 
+// emit reports a job-bound trace event to the configured observer.
+func (e *Engine) emit(at rtime.Time, kind trace.Kind, j *task.Job, obj, cpu int) {
+	if e.cfg.Observer == nil || j == nil {
+		return
+	}
+	e.cfg.Observer(trace.Event{At: at, Kind: kind, Task: j.Task.ID, Seq: j.Seq, Object: obj, CPU: cpu})
+}
+
+// emitSched reports a scheduler pass (no job, no CPU: the global
+// scheduler is not bound to a processor in this model).
+func (e *Engine) emitSched(at rtime.Time, ops int64) {
+	if e.cfg.Observer == nil {
+		return
+	}
+	e.cfg.Observer(trace.Event{At: at, Kind: trace.SchedPass, Task: -1, Seq: -1, Object: -1, CPU: -1, Ops: ops})
+}
+
 // Run executes to the horizon.
 func (e *Engine) Run() sim.Result {
 	for len(e.events) > 0 && e.fail == nil {
@@ -274,6 +311,7 @@ func (e *Engine) Run() sim.Result {
 			e.live = append(e.live, j)
 			e.all = append(e.all, j)
 			e.res1.Arrivals++
+			e.emit(e.now, trace.Arrival, j, -1, -1)
 			e.push(event{at: j.AbsoluteCriticalTime(), kind: evCritical, job: j})
 			needResched = true
 		case evCritical:
@@ -344,8 +382,11 @@ func (e *Engine) settleCPU(cpu int) bool {
 				return false
 			}
 			e.res1.LockEvents++
-			if !granted {
+			if granted {
+				e.emit(e.runPos[cpu], trace.LockAcquire, j, obj, cpu)
+			} else {
 				j.State = task.Blocked
+				e.emit(e.runPos[cpu], trace.Block, j, obj, cpu)
 			}
 			e.stopCPU(cpu)
 			return true
@@ -358,11 +399,13 @@ func (e *Engine) settleCPU(cpu int) bool {
 					j.SegIdx--
 					j.SegDone = 0
 					j.Retries++
+					e.emit(e.runPos[cpu], trace.Retry, j, obj, cpu)
 					e.st(j).accessStart = e.runPos[cpu]
 					e.pushInternal(cpu, e.runPos[cpu].Add(j.TimeToBoundary(e.acc)))
 					continue
 				}
 				e.res.RecordCommit(obj, e.runPos[cpu])
+				e.emit(e.runPos[cpu], trace.Commit, j, obj, cpu)
 				e.pushInternal(cpu, e.runPos[cpu].Add(j.TimeToBoundary(e.acc)))
 				continue
 			}
@@ -371,6 +414,7 @@ func (e *Engine) settleCPU(cpu int) bool {
 				return false
 			}
 			e.res1.LockEvents++
+			e.emit(e.runPos[cpu], trace.LockRelease, j, obj, cpu)
 			e.stopCPU(cpu)
 			return true
 		case task.StepCompleted:
@@ -378,6 +422,7 @@ func (e *Engine) settleCPU(cpu int) bool {
 			j.Completion = e.runPos[cpu]
 			e.res.ReleaseAll(j)
 			e.res1.Completions++
+			e.emit(e.runPos[cpu], trace.Complete, j, -1, cpu)
 			e.removeLive(j)
 			e.running[cpu] = nil
 			return true
@@ -398,6 +443,9 @@ func (e *Engine) stopCPU(cpu int) {
 	}
 	if j.State == task.Running {
 		j.State = task.Ready
+		// Unlike internal/sim (whose Preempt marks the NEXT dispatch),
+		// the global engine events every deschedule at stop time.
+		e.emit(e.runPos[cpu], trace.Preempt, j, -1, cpu)
 	}
 	e.running[cpu] = nil
 }
@@ -405,11 +453,18 @@ func (e *Engine) stopCPU(cpu int) {
 func (e *Engine) abort(j *task.Job) {
 	for cpu, r := range e.running {
 		if r == j {
+			// Marking the abort first keeps stopCPU from reporting a
+			// spurious preemption for the departing job.
+			j.State = task.Aborting
 			e.stopCPU(cpu)
 		}
 	}
 	j.State = task.Aborted
 	j.AbortedAt = e.now
+	// Handlers are instantaneous in this model (AbortCost must be 0), so
+	// begin and done coincide.
+	e.emit(e.now, trace.AbortBegin, j, -1, -1)
+	e.emit(e.now, trace.AbortDone, j, -1, -1)
 	e.res.ReleaseAll(j)
 	e.removeLive(j)
 	e.res1.Aborts++
@@ -435,6 +490,7 @@ func (e *Engine) reschedule() {
 	ranked, ops := e.cfg.Scheduler.SelectTopK(w, len(e.live))
 	e.res1.SchedInvocations++
 	e.res1.SchedOps += ops
+	e.emitSched(e.now, ops)
 	overhead := rtime.Duration(math.Round(float64(ops) * e.cfg.OpCost))
 	e.res1.Overhead += overhead
 	e.dispatchGen++
@@ -532,6 +588,7 @@ func (e *Engine) tryDispatch(cpu int, j *task.Job) bool {
 		st.midAccess = false
 		if obj, in := j.InAccess(); in && e.res.CommittedAfter(obj, st.accessStart) {
 			j.RestartAccess()
+			e.emit(e.now, trace.Retry, j, obj, cpu)
 		}
 	}
 	if e.cfg.Mode == sim.LockBased {
@@ -544,6 +601,7 @@ func (e *Engine) tryDispatch(cpu int, j *task.Job) bool {
 					return false
 				}
 				e.res1.LockEvents++
+				e.emit(e.now, trace.LockAcquire, j, obj, cpu)
 			default:
 				// Lock taken earlier in this same assignment round:
 				// register the wait and leave the CPU for the next
@@ -554,6 +612,7 @@ func (e *Engine) tryDispatch(cpu int, j *task.Job) bool {
 				}
 				e.res1.LockEvents++
 				j.State = task.Blocked
+				e.emit(e.now, trace.Block, j, obj, cpu)
 				return false
 			}
 		}
@@ -565,6 +624,7 @@ func (e *Engine) tryDispatch(cpu int, j *task.Job) bool {
 	e.running[cpu] = j
 	e.runPos[cpu] = e.now
 	e.res1.CtxSwitches++
+	e.emit(e.now, trace.Dispatch, j, -1, cpu)
 	e.pushInternal(cpu, e.now.Add(j.TimeToBoundary(e.acc)))
 	return true
 }

@@ -13,7 +13,7 @@ import (
 
 func TestMaporder(t *testing.T) {
 	analysistest.Run(t, "testdata/src", lint.Maporder,
-		"maporder/internal/sim", "maporder/notscoped")
+		"maporder/internal/sim", "maporder/internal/trace", "maporder/notscoped")
 }
 
 func TestSimclock(t *testing.T) {

@@ -1,0 +1,34 @@
+// Package trace is a maporder fixture: the observability layer renders
+// event tallies and track inventories, so its import path is inside the
+// analyzer's internal/trace scope.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BadSummary renders a per-kind tally straight from the map: flagged.
+func BadSummary(counts map[string]int, emit func(string)) {
+	for k, n := range counts { // want `range over map counts`
+		emit(fmt.Sprintf("%s=%d", k, n))
+	}
+}
+
+// GoodTrackInventory collects track ids and sorts them before any
+// rendering: the blessed idiom, accepted without annotation.
+func GoodTrackInventory(tracks map[int]bool) []int {
+	out := make([]int, 0, len(tracks))
+	for id := range tracks {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BadOpenSlices walks open slices in map order to close them: flagged.
+func BadOpenSlices(open map[int]string, close func(int)) {
+	for cpu := range open { // want `range over map open`
+		close(cpu)
+	}
+}

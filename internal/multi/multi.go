@@ -25,6 +25,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/trace"
 	"repro/internal/uam"
 )
 
@@ -49,6 +50,13 @@ type Config struct {
 	ArrivalKind       uam.Kind
 	Seed              int64
 	ConservativeRetry bool
+
+	// Observer, when non-nil, receives every partition engine's trace
+	// events with Event.CPU rewritten to the partition index. Partitions
+	// run sequentially in CPU order, so the merged stream is grouped by
+	// CPU, not globally time-ordered — consumers sort by Event.At
+	// (trace.WritePerfetto and trace/span.Build already do).
+	Observer func(trace.Event)
 }
 
 // Result aggregates a partitioned run.
@@ -189,6 +197,13 @@ func Run(cfg Config) (Result, error) {
 			res.PerCPU[cpu] = sim.Result{Horizon: cfg.Horizon}
 			continue
 		}
+		var obs func(trace.Event)
+		if cfg.Observer != nil {
+			obs = func(ev trace.Event) {
+				ev.CPU = cpu
+				cfg.Observer(ev)
+			}
+		}
 		r, err := sim.Run(sim.Config{
 			Tasks:             part,
 			Scheduler:         newSched(),
@@ -200,6 +215,7 @@ func Run(cfg Config) (Result, error) {
 			ArrivalKind:       cfg.ArrivalKind,
 			Seed:              cfg.Seed + int64(cpu)*104729,
 			ConservativeRetry: cfg.ConservativeRetry,
+			Observer:          obs,
 		})
 		if err != nil {
 			return Result{}, fmt.Errorf("multi: cpu %d: %w", cpu, err)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/rtime"
 	"repro/internal/sched"
 	"repro/internal/task"
+	"repro/internal/trace"
 )
 
 // RUA is a configured RUA scheduler. Use NewLockBased or NewLockFree.
@@ -33,6 +34,7 @@ import (
 // pure: reuse changes allocation behaviour only, never op counts.
 type RUA struct {
 	lockFree bool
+	observer func(trace.Event)
 
 	// Per-Select scratch, reset (not reallocated) on every pass.
 	live     []*task.Job
@@ -54,6 +56,21 @@ func NewLockBased() *RUA { return &RUA{lockFree: false} }
 // chain is the job itself, deadlock detection vanishes, and the schedule
 // construction drops from O(n² log n) to O(n²).
 func NewLockFree() *RUA { return &RUA{lockFree: true} }
+
+// SetObserver attaches a trace observer that receives one FeasOK or
+// FeasFail event per job examined in step 5 of each scheduling pass
+// (Task/Seq name the examined job, Ops the operations charged while
+// inserting and feasibility-testing it). Observation never changes
+// charged op counts. The engine running this scheduler emits the
+// enclosing SchedPass event; give both the same recorder.
+func (r *RUA) SetObserver(obs func(trace.Event)) { r.observer = obs }
+
+func (r *RUA) emitFeas(at rtime.Time, kind trace.Kind, j *task.Job, ops int64) {
+	if r.observer == nil {
+		return
+	}
+	r.observer(trace.Event{At: at, Kind: kind, Task: j.Task.ID, Seq: j.Seq, Object: -1, Ops: ops})
+}
 
 // Name implements sched.Scheduler.
 func (r *RUA) Name() string {
@@ -388,12 +405,15 @@ func (r *RUA) selectFull(w sched.World) (sched.Decision, []entry) {
 			continue
 		}
 		m := cur.mark()
+		before := ops
 		cur.insertChain(chains[j])
 		if cur.feasible(w.Now, w.Acc) {
 			// Accepted: history up to here can never be rolled back.
 			cur.journal = cur.journal[:0]
+			r.emitFeas(w.Now, trace.FeasOK, j, ops-before)
 		} else {
 			cur.rollback(m)
+			r.emitFeas(w.Now, trace.FeasFail, j, ops-before)
 		}
 	}
 

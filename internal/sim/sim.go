@@ -85,7 +85,12 @@ type Config struct {
 
 	// Observer, when non-nil, receives a trace event for every
 	// scheduling-relevant state change (arrivals, dispatches, blocks,
-	// commits, retries, completions, aborts).
+	// commits, retries, completions, aborts) plus one SchedPass per
+	// scheduler invocation. If the Scheduler implements
+	// SetObserver(func(trace.Event)) — as RUA does for its
+	// FeasOK/FeasFail events — the engine wires it to the same observer
+	// (and clears it when Observer is nil, so reused scheduler instances
+	// never leak events to a previous run's recorder).
 	Observer func(trace.Event)
 
 	// ConservativeRetry selects retry accounting: true re-runs a
@@ -304,6 +309,9 @@ func New(cfg Config) (*Engine, error) {
 		cfg: cfg,
 		res: resource.NewMap(),
 	}
+	if so, ok := cfg.Scheduler.(interface{ SetObserver(func(trace.Event)) }); ok {
+		so.SetObserver(cfg.Observer)
+	}
 	if cfg.Mode == LockBased {
 		e.acc = cfg.R
 	} else {
@@ -389,6 +397,14 @@ func (e *Engine) emit(at rtime.Time, kind trace.Kind, j *task.Job, obj int) {
 		return
 	}
 	e.cfg.Observer(trace.Event{At: at, Kind: kind, Task: j.Task.ID, Seq: j.Seq, Object: obj})
+}
+
+// emitSched reports a scheduler-level event (no job attached).
+func (e *Engine) emitSched(at rtime.Time, kind trace.Kind, ops int64) {
+	if e.cfg.Observer == nil {
+		return
+	}
+	e.cfg.Observer(trace.Event{At: at, Kind: kind, Task: -1, Seq: -1, Object: -1, Ops: ops})
 }
 
 // Run executes the simulation to the horizon and returns the result.
@@ -609,6 +625,7 @@ func (e *Engine) reschedule() {
 	d := e.cfg.Scheduler.Select(w)
 	e.res1.SchedInvocations++
 	e.res1.SchedOps += d.Ops
+	e.emitSched(e.now, trace.SchedPass, d.Ops)
 	overhead := rtime.Duration(math.Round(float64(d.Ops) * e.cfg.OpCost))
 	e.res1.Overhead += overhead
 	for _, v := range d.Abort {

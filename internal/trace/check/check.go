@@ -1,0 +1,219 @@
+// Package check overlays the paper's analytical bounds on observed
+// per-job spans: each job's retry count is compared against the
+// Theorem 2 bound f_i ≤ 3·a_i + Σ_{j≠i} 2·a_j·(⌈C_i/W_j⌉+1), and each
+// completed job's sojourn against the Theorem 3 worst-case composition
+// (u_i + I_i + m_i·s + R_i lock-free, u_i + I_i + m_i·r + B_i
+// lock-based), both evaluated by internal/analysis. A violation is a
+// first-class error: either the simulator diverged from the model or
+// the bound's preconditions were broken, and both are bugs worth
+// failing a build over.
+//
+// Scope: Theorem 2 is proved for RUA on a single processor. It holds
+// per-partition under internal/multi (checking a partition against the
+// full task set is loosening-only, hence sound), but does NOT transfer
+// to the global-scheduling engine, where truly parallel conflicting
+// accesses make commit-time validation retries exceed the
+// scheduling-event count — disable Theorem2 when checking gsim traces.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/rtime"
+	"repro/internal/task"
+	"repro/internal/trace/span"
+)
+
+// ErrViolation tags reports with at least one bound violation.
+var ErrViolation = errors.New("check: analytical bound violated")
+
+// Config selects which bounds to evaluate and supplies the access-time
+// parameters the formulas need.
+type Config struct {
+	Theorem2 bool // check per-job retries against RetryBound
+	Theorem3 bool // check completed-job sojourns against the worst-case composition
+
+	// LockBased marks the observed run as lock-based sharing: Theorem 3
+	// then uses the lock-based composition, and Theorem 2 (a lock-free
+	// result) is skipped regardless of the flag above.
+	LockBased bool
+
+	R rtime.Duration // r: lock-based access time
+	S rtime.Duration // s: lock-free access time
+}
+
+// Violation is one job exceeding one bound.
+type Violation struct {
+	Theorem  int // 2 or 3
+	Task     int
+	Seq      int
+	Observed int64 // retries (Theorem 2) or sojourn microseconds (Theorem 3)
+	Bound    int64
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	if v.Theorem == 2 {
+		return fmt.Sprintf("theorem 2: J[%d,%d] retried %d times, bound %d", v.Task, v.Seq, v.Observed, v.Bound)
+	}
+	return fmt.Sprintf("theorem 3: J[%d,%d] sojourn %v, bound %v",
+		v.Task, v.Seq, rtime.Duration(v.Observed), rtime.Duration(v.Bound))
+}
+
+// TaskReport aggregates one task's observed extremes next to its
+// analytical bounds. Bounds are -1 when the corresponding theorem was
+// not evaluated.
+type TaskReport struct {
+	Task       int
+	Jobs       int // spans observed
+	Completed  int
+	MaxRetries int64
+	RetryBound int64
+
+	MaxSojourn   rtime.Duration
+	SojournBound rtime.Duration
+}
+
+// Report is the outcome of one Check call.
+type Report struct {
+	Tasks      []TaskReport // ascending task id
+	Violations []Violation  // span order: ascending (task, seq), theorem 2 before 3
+}
+
+// OK reports whether every evaluated bound held.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Err returns nil when OK, otherwise an ErrViolation-wrapped error
+// naming the first violation and the total count.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("%w: %s (%d total)", ErrViolation, r.Violations[0], len(r.Violations))
+}
+
+// WriteText renders the per-task table and any violations,
+// deterministically.
+func (r *Report) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %6s %6s %10s %10s %12s %12s\n",
+		"task", "jobs", "done", "maxRetry", "f_bound", "maxSojourn", "sojBound")
+	for _, tr := range r.Tasks {
+		fb, sb := "-", "-"
+		if tr.RetryBound >= 0 {
+			fb = fmt.Sprintf("%d", tr.RetryBound)
+		}
+		if tr.SojournBound >= 0 {
+			sb = tr.SojournBound.String()
+		}
+		fmt.Fprintf(&b, "T%-5d %6d %6d %10d %10s %12v %12s\n",
+			tr.Task, tr.Jobs, tr.Completed, tr.MaxRetries, fb, tr.MaxSojourn, sb)
+	}
+	if r.OK() {
+		b.WriteString("bounds: OK\n")
+	} else {
+		fmt.Fprintf(&b, "bounds: %d violation(s)\n", len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  %s\n", v)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Check evaluates the configured bounds over spans produced from a run
+// of tasks. Every span's Task id must name a task in tasks; bounds are
+// computed from the full task set (sound, if loose, for a partition's
+// spans under multi). The error return reports evaluation problems
+// (unknown task, invalid formula inputs) — bound violations land in the
+// Report, not the error.
+func Check(spans []span.JobSpan, tasks []*task.Task, cfg Config) (*Report, error) {
+	byID := make(map[int]int, len(tasks))
+	for i, t := range tasks {
+		if _, dup := byID[t.ID]; dup {
+			return nil, fmt.Errorf("check: duplicate task id %d", t.ID)
+		}
+		byID[t.ID] = i
+	}
+
+	checkT2 := cfg.Theorem2 && !cfg.LockBased
+	retryBound := make([]int64, len(tasks))
+	sojournBound := make([]rtime.Duration, len(tasks))
+	for i := range tasks {
+		retryBound[i] = -1
+		sojournBound[i] = -1
+		if checkT2 {
+			fb, err := analysis.RetryBound(i, tasks)
+			if err != nil {
+				return nil, err
+			}
+			retryBound[i] = fb
+		}
+		if cfg.Theorem3 {
+			in, err := analysis.InputsFor(i, tasks, cfg.R, cfg.S)
+			if err != nil {
+				return nil, err
+			}
+			acc := cfg.S
+			if cfg.LockBased {
+				acc = cfg.R
+			}
+			in.I, err = analysis.Interference(i, tasks, acc)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.LockBased {
+				sojournBound[i] = in.LockBasedSojourn()
+			} else {
+				sojournBound[i] = in.LockFreeSojourn()
+			}
+		}
+	}
+
+	rep := &Report{Tasks: make([]TaskReport, len(tasks))}
+	for i, t := range tasks {
+		rep.Tasks[i] = TaskReport{Task: t.ID, RetryBound: retryBound[i], SojournBound: sojournBound[i]}
+	}
+	sort.Slice(rep.Tasks, func(a, b int) bool { return rep.Tasks[a].Task < rep.Tasks[b].Task })
+	slot := make(map[int]*TaskReport, len(rep.Tasks))
+	for i := range rep.Tasks {
+		slot[rep.Tasks[i].Task] = &rep.Tasks[i]
+	}
+
+	for si := range spans {
+		s := &spans[si]
+		i, ok := byID[s.Task]
+		if !ok {
+			return nil, fmt.Errorf("check: span for unknown task %d", s.Task)
+		}
+		tr := slot[s.Task]
+		tr.Jobs++
+		if s.Retries > tr.MaxRetries {
+			tr.MaxRetries = s.Retries
+		}
+		if checkT2 && s.Retries > retryBound[i] {
+			rep.Violations = append(rep.Violations, Violation{
+				Theorem: 2, Task: s.Task, Seq: s.Seq, Observed: s.Retries, Bound: retryBound[i],
+			})
+		}
+		if s.Outcome != span.Completed {
+			continue
+		}
+		tr.Completed++
+		soj := s.Sojourn()
+		if soj > tr.MaxSojourn {
+			tr.MaxSojourn = soj
+		}
+		if cfg.Theorem3 && soj > sojournBound[i] {
+			rep.Violations = append(rep.Violations, Violation{
+				Theorem: 3, Task: s.Task, Seq: s.Seq, Observed: soj.Micros(), Bound: sojournBound[i].Micros(),
+			})
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,60 @@
+package trace_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/trace/span"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace files")
+
+// TestGoldenTrace locks down the exact rendered bytes of the span and
+// Perfetto exporters for a small fixed workload. Any change to event
+// emission order, span folding, or exporter formatting shows up as a
+// golden diff; regenerate deliberately with
+//
+//	go test ./internal/trace -run TestGoldenTrace -update
+func TestGoldenTrace(t *testing.T) {
+	events := perfettoTrace(t, 1)
+
+	spans, err := span.Build(events, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spansOut, perfettoOut bytes.Buffer
+	if err := span.WriteText(&spansOut, spans); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WritePerfetto(&perfettoOut, events); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, g := range []struct {
+		file string
+		got  []byte
+	}{
+		{"golden_spans.txt", spansOut.Bytes()},
+		{"golden_perfetto.json", perfettoOut.Bytes()},
+	} {
+		path := filepath.Join("testdata", g.file)
+		if *updateGolden {
+			if err := os.WriteFile(path, g.got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run with -update to create)", err)
+		}
+		if !bytes.Equal(g.got, want) {
+			t.Errorf("%s differs from golden (run with -update after a deliberate change)\n--- got ---\n%s",
+				g.file, g.got)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/rtime"
+	"repro/internal/rua"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/trace"
+	"repro/internal/tuf"
+	"repro/internal/uam"
+)
+
+// chromeEvent is the subset of the trace-event format the tests decode.
+type chromeEvent struct {
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	Name string         `json:"name"`
+	Args map[string]any `json:"args"`
+}
+
+func perfettoTrace(t *testing.T, seed int64) []trace.Event {
+	t.Helper()
+	tasks := []*task.Task{
+		{ID: 0, Name: "T0", TUF: tuf.MustStep(1, 900),
+			Arrival:  uam.Spec{L: 0, A: 2, W: 1200},
+			Segments: task.InterleavedSegments(150, 2, []int{0, 1})},
+		{ID: 1, Name: "T1", TUF: tuf.MustStep(1, 700),
+			Arrival:  uam.Spec{L: 0, A: 2, W: 1000},
+			Segments: task.InterleavedSegments(100, 2, []int{1, 0})},
+	}
+	rec := trace.NewRecorder(0)
+	_, err := sim.Run(sim.Config{
+		Tasks: tasks, Scheduler: rua.NewLockFree(), Mode: sim.LockFree,
+		R: 100 * rtime.Microsecond, S: 5 * rtime.Microsecond, OpCost: 0.02,
+		Horizon: 6000, ArrivalKind: uam.KindJittered, Seed: seed,
+		ConservativeRetry: true, Observer: rec.Record,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Events()
+}
+
+func TestWritePerfettoDeterministicAndValid(t *testing.T) {
+	events := perfettoTrace(t, 1)
+	var a, b bytes.Buffer
+	if err := trace.WritePerfetto(&a, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WritePerfetto(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WritePerfetto is not byte-deterministic")
+	}
+
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+
+	var meta, slices, instants int
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+			if n, _ := e.Args["name"].(string); n != "" {
+				names[n] = true
+			}
+		case "X":
+			slices++
+			if e.Dur < 0 {
+				t.Fatalf("negative slice duration: %+v", e)
+			}
+			if e.Pid != 1 && e.Pid != 2 {
+				t.Fatalf("slice on unexpected pid: %+v", e)
+			}
+		case "i":
+			instants++
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if meta == 0 || slices == 0 || instants == 0 {
+		t.Fatalf("missing event classes: meta=%d slices=%d instants=%d", meta, slices, instants)
+	}
+	for _, want := range []string{"tasks", "cpus", "scheduler", "T0", "T1", "CPU0"} {
+		if !names[want] {
+			t.Fatalf("missing track %q; have %v", want, names)
+		}
+	}
+}
+
+func TestWritePerfettoSlicesMatchDispatches(t *testing.T) {
+	events := perfettoTrace(t, 2)
+	var buf bytes.Buffer
+	if err := trace.WritePerfetto(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var dispatches, taskRunSlices, cpuSlices int
+	for _, e := range events {
+		if e.Kind == trace.Dispatch {
+			dispatches++
+		}
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		switch {
+		case e.Pid == 1 && e.Name == "run":
+			taskRunSlices++
+		case e.Pid == 2 && strings.HasPrefix(e.Name, "J["):
+			cpuSlices++
+		default:
+			t.Fatalf("unexpected slice: %+v", e)
+		}
+	}
+	// Every dispatch opens exactly one run slice on the task track and
+	// its mirror on the CPU track; all slices eventually close.
+	if taskRunSlices != dispatches || cpuSlices != dispatches {
+		t.Fatalf("dispatches=%d taskRunSlices=%d cpuSlices=%d", dispatches, taskRunSlices, cpuSlices)
+	}
+}
+
+func TestWritePerfettoEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := trace.WritePerfetto(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace output invalid: %v", err)
+	}
+}

@@ -1,0 +1,356 @@
+// Package span folds a raw trace event stream into per-job spans: one
+// span per job J[i,j], covering arrival → departure, decomposed into
+// contiguous segments (running on a CPU, ready, blocked on a lock,
+// aborting) with derived per-job statistics — retry count, blocking
+// time, sojourn time. Spans are the per-job unit of analysis the
+// paper's bounds speak about: Theorem 2 bounds a span's retry count,
+// Theorem 3 its sojourn, and the blocking decomposition underlies the
+// lock-based comparison. internal/trace/check overlays those bounds on
+// spans built here.
+//
+// Building is deterministic: events are stable-sorted by virtual time
+// (ties keep the recorder's deterministic order), jobs are keyed by
+// (task, seq), and output is ordered by that key — equal traces yield
+// byte-identical renderings.
+package span
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/rtime"
+	"repro/internal/trace"
+)
+
+// ErrTrace reports a malformed or truncated event stream (e.g. a
+// recorder limit dropped the arrivals the span model needs).
+var ErrTrace = errors.New("span: malformed trace")
+
+// Kind classifies a segment of a job's lifetime.
+type Kind int
+
+// Segment kinds.
+const (
+	// Run is time dispatched on a processor (including any scheduler
+	// latency between the dispatch decision and the next trace event —
+	// the trace has no finer boundary).
+	Run Kind = iota
+	// Ready is time live but neither running nor blocked.
+	Ready
+	// Blocked is lock-based time waiting for an object held by another
+	// job.
+	Blocked
+	// Aborting is time between critical-time expiry and the abort
+	// handler's completion.
+	Aborting
+)
+
+var kindNames = [...]string{Run: "run", Ready: "ready", Blocked: "blocked", Aborting: "aborting"}
+
+// String renders the segment kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Segment is one contiguous state interval [From, To) of a job.
+type Segment struct {
+	From, To rtime.Time
+	Kind     Kind
+	CPU      int // processor for Run segments, -1 otherwise
+}
+
+// Dur returns the segment length.
+func (s Segment) Dur() rtime.Duration { return s.To.Sub(s.From) }
+
+// Outcome is how a job left the system within the trace.
+type Outcome int
+
+// Outcomes.
+const (
+	Unfinished Outcome = iota // still live at the end of the trace
+	Completed
+	Aborted
+)
+
+var outcomeNames = [...]string{Unfinished: "unfinished", Completed: "completed", Aborted: "aborted"}
+
+// String renders the outcome.
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// JobSpan is one job's reconstructed timeline with derived statistics.
+// Segments tile [Arrival, End) exactly: contiguous, non-overlapping,
+// zero-length intervals omitted.
+type JobSpan struct {
+	Task int
+	Seq  int
+
+	Arrival rtime.Time
+	End     rtime.Time // completion, abort-done, or end-of-trace instant
+	Outcome Outcome
+
+	Segments []Segment
+
+	Retries    int64 // the f_i Theorem 2 bounds
+	Commits    int64
+	Dispatches int64
+
+	RunTime     rtime.Duration
+	ReadyTime   rtime.Duration
+	BlockedTime rtime.Duration // the basis of the paper's B_i
+	AbortTime   rtime.Duration
+}
+
+// Sojourn returns End − Arrival for completed jobs, 0 otherwise
+// (matching task.Job.Sojourn).
+func (s *JobSpan) Sojourn() rtime.Duration {
+	if s.Outcome != Completed {
+		return 0
+	}
+	return s.End.Sub(s.Arrival)
+}
+
+// Lifetime returns End − Arrival regardless of outcome.
+func (s *JobSpan) Lifetime() rtime.Duration { return s.End.Sub(s.Arrival) }
+
+// state is the per-job folding machine.
+type state struct {
+	span     JobSpan
+	curKind  Kind
+	curCPU   int
+	curStart rtime.Time
+	done     bool
+}
+
+// close seals the current segment at instant to and accumulates its
+// duration into the per-kind totals.
+func (st *state) close(to rtime.Time) {
+	d := to.Sub(st.curStart)
+	if d < 0 {
+		d = 0
+		to = st.curStart
+	}
+	if d > 0 {
+		st.span.Segments = append(st.span.Segments, Segment{From: st.curStart, To: to, Kind: st.curKind, CPU: st.curCPU})
+	}
+	switch st.curKind {
+	case Run:
+		st.span.RunTime += d
+	case Ready:
+		st.span.ReadyTime += d
+	case Blocked:
+		st.span.BlockedTime += d
+	case Aborting:
+		st.span.AbortTime += d
+	}
+	st.curStart = to
+}
+
+func (st *state) open(kind Kind, cpu int) {
+	st.curKind = kind
+	st.curCPU = cpu
+}
+
+// Build folds events into per-job spans. end is the instant unfinished
+// jobs' final segments are sealed at (the simulation horizon, or the
+// last event time when the horizon is unknown); an end before the last
+// event is clamped to it. Events must contain every job's Arrival (use
+// an unbounded Recorder); scheduler-level events are ignored.
+func Build(events []trace.Event, end rtime.Time) ([]JobSpan, error) {
+	evs := make([]trace.Event, len(events))
+	copy(evs, events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+
+	states := map[jobKey]*state{}
+	var keys []jobKey
+	for _, e := range evs {
+		// Scheduler-level events carry no job state transition (FeasOK and
+		// FeasFail name the examined job but do not move it).
+		if e.Task < 0 || e.Kind == trace.SchedPass || e.Kind == trace.FeasOK || e.Kind == trace.FeasFail {
+			continue
+		}
+		k := jobKey{e.Task, e.Seq}
+		st := states[k]
+		if e.Kind == trace.Arrival {
+			if st != nil {
+				return nil, fmt.Errorf("%w: duplicate arrival for J[%d,%d]", ErrTrace, e.Task, e.Seq)
+			}
+			st = &state{span: JobSpan{Task: e.Task, Seq: e.Seq, Arrival: e.At}, curKind: Ready, curCPU: -1, curStart: e.At}
+			states[k] = st
+			keys = append(keys, k)
+			continue
+		}
+		if st == nil {
+			return nil, fmt.Errorf("%w: %v for J[%d,%d] before its arrival (recorder limit?)", ErrTrace, e.Kind, e.Task, e.Seq)
+		}
+		if st.done {
+			return nil, fmt.Errorf("%w: %v for J[%d,%d] after its departure", ErrTrace, e.Kind, e.Task, e.Seq)
+		}
+		switch e.Kind {
+		case trace.Dispatch:
+			st.close(e.At)
+			st.open(Run, cpu0(e.CPU))
+			st.span.Dispatches++
+		case trace.Preempt:
+			// Emitted only for descheduled runners; in other states it is
+			// a marker (the uniprocessor engine also tags blocked jobs
+			// whose processor moved on).
+			if st.curKind == Run {
+				st.close(e.At)
+				st.open(Ready, -1)
+			}
+		case trace.Block:
+			st.close(e.At)
+			st.open(Blocked, -1)
+		case trace.Retry:
+			st.span.Retries++
+		case trace.Commit:
+			st.span.Commits++
+		case trace.LockAcquire, trace.LockRelease:
+			// Markers only; occupancy state does not change here.
+		case trace.Complete:
+			st.close(e.At)
+			st.done = true
+			st.span.End = e.At
+			st.span.Outcome = Completed
+		case trace.AbortBegin:
+			st.close(e.At)
+			st.open(Aborting, -1)
+		case trace.AbortDone:
+			st.close(e.At)
+			st.done = true
+			st.span.End = e.At
+			st.span.Outcome = Aborted
+		default:
+			return nil, fmt.Errorf("%w: unknown event kind %v", ErrTrace, e.Kind)
+		}
+	}
+	// Seal unfinished jobs at the end of the trace.
+	for _, k := range keys {
+		st := states[k]
+		if st.done {
+			continue
+		}
+		to := end
+		if to < st.curStart {
+			to = st.curStart
+		}
+		st.close(to)
+		st.span.End = to
+		st.span.Outcome = Unfinished
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].task != keys[j].task {
+			return keys[i].task < keys[j].task
+		}
+		return keys[i].seq < keys[j].seq
+	})
+	out := make([]JobSpan, len(keys))
+	for i, k := range keys {
+		out[i] = states[k].span
+	}
+	return out, nil
+}
+
+// cpu0 maps unbound (-1) CPUs onto processor 0, mirroring
+// trace.WritePerfetto.
+func cpu0(c int) int {
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// WriteText renders spans as a deterministic human-readable listing,
+// one header line per job followed by its segments.
+func WriteText(w io.Writer, spans []JobSpan) error {
+	var b strings.Builder
+	for i := range spans {
+		s := &spans[i]
+		fmt.Fprintf(&b, "J[%d,%d] %v..%v %s retries=%d commits=%d dispatches=%d run=%v ready=%v blocked=%v aborting=%v",
+			s.Task, s.Seq, s.Arrival, s.End, s.Outcome, s.Retries, s.Commits, s.Dispatches,
+			s.RunTime, s.ReadyTime, s.BlockedTime, s.AbortTime)
+		if s.Outcome == Completed {
+			fmt.Fprintf(&b, " sojourn=%v", s.Sojourn())
+		}
+		b.WriteByte('\n')
+		for _, seg := range s.Segments {
+			if seg.Kind == Run {
+				fmt.Fprintf(&b, "  [%v %v) %s cpu%d\n", seg.From, seg.To, seg.Kind, seg.CPU)
+			} else {
+				fmt.Fprintf(&b, "  [%v %v) %s\n", seg.From, seg.To, seg.Kind)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonSegment and jsonSpan fix the exported JSON shape (microsecond
+// integers for all instants/durations).
+type jsonSegment struct {
+	FromUS int64  `json:"from_us"`
+	ToUS   int64  `json:"to_us"`
+	Kind   string `json:"kind"`
+	CPU    *int   `json:"cpu,omitempty"`
+}
+
+type jsonSpan struct {
+	Task       int           `json:"task"`
+	Seq        int           `json:"seq"`
+	ArrivalUS  int64         `json:"arrival_us"`
+	EndUS      int64         `json:"end_us"`
+	Outcome    string        `json:"outcome"`
+	Retries    int64         `json:"retries"`
+	Commits    int64         `json:"commits"`
+	Dispatches int64         `json:"dispatches"`
+	RunUS      int64         `json:"run_us"`
+	ReadyUS    int64         `json:"ready_us"`
+	BlockedUS  int64         `json:"blocked_us"`
+	AbortUS    int64         `json:"abort_us"`
+	SojournUS  int64         `json:"sojourn_us"`
+	Segments   []jsonSegment `json:"segments"`
+}
+
+// WriteJSON renders spans as a deterministic JSON array.
+func WriteJSON(w io.Writer, spans []JobSpan) error {
+	out := make([]jsonSpan, len(spans))
+	for i := range spans {
+		s := &spans[i]
+		js := jsonSpan{
+			Task: s.Task, Seq: s.Seq,
+			ArrivalUS: s.Arrival.Micros(), EndUS: s.End.Micros(),
+			Outcome: s.Outcome.String(),
+			Retries: s.Retries, Commits: s.Commits, Dispatches: s.Dispatches,
+			RunUS: s.RunTime.Micros(), ReadyUS: s.ReadyTime.Micros(),
+			BlockedUS: s.BlockedTime.Micros(), AbortUS: s.AbortTime.Micros(),
+			SojournUS: s.Sojourn().Micros(),
+			Segments:  make([]jsonSegment, len(s.Segments)),
+		}
+		for k, seg := range s.Segments {
+			jseg := jsonSegment{FromUS: seg.From.Micros(), ToUS: seg.To.Micros(), Kind: seg.Kind.String()}
+			if seg.Kind == Run {
+				cpu := seg.CPU
+				jseg.CPU = &cpu
+			}
+			js.Segments[k] = jseg
+		}
+		out[i] = js
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+type jobKey struct{ task, seq int }

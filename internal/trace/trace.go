@@ -31,6 +31,14 @@ const (
 	Complete
 	AbortBegin
 	AbortDone
+	// SchedPass records one scheduler invocation: Ops carries the charged
+	// operation count of the pass (§3.6 cost model). Task and Seq are -1.
+	SchedPass
+	// FeasOK and FeasFail record one tentative-schedule feasibility test
+	// inside an RUA scheduling pass (§3.4): Task/Seq identify the examined
+	// job, Ops the operations charged while inserting and testing it.
+	FeasOK
+	FeasFail
 )
 
 var kindNames = [...]string{
@@ -45,6 +53,9 @@ var kindNames = [...]string{
 	Complete:    "complete",
 	AbortBegin:  "abort",
 	AbortDone:   "abort-done",
+	SchedPass:   "sched-pass",
+	FeasOK:      "feas-ok",
+	FeasFail:    "feas-fail",
 }
 
 // String renders the kind tag.
@@ -62,14 +73,31 @@ type Event struct {
 	Task   int
 	Seq    int
 	Object int // object id for lock/commit/retry events, else -1
+
+	// CPU is the processor the event happened on: always 0 on the
+	// uniprocessor engine, the partition index under internal/multi, the
+	// dispatching processor under internal/gsim, and -1 for events not
+	// bound to a processor (arrivals, scheduler passes on the global
+	// engine).
+	CPU int
+
+	// Ops carries the charged operation count for SchedPass and
+	// FeasOK/FeasFail events, 0 otherwise.
+	Ops int64
 }
 
 // String renders one log line.
 func (e Event) String() string {
-	if e.Object >= 0 {
+	switch {
+	case e.Kind == SchedPass:
+		return fmt.Sprintf("%-10s %-10s ops=%d", e.At, e.Kind, e.Ops)
+	case e.Kind == FeasOK || e.Kind == FeasFail:
+		return fmt.Sprintf("%-10s %-10s J[%d,%d] ops=%d", e.At, e.Kind, e.Task, e.Seq, e.Ops)
+	case e.Object >= 0:
 		return fmt.Sprintf("%-10s %-10s J[%d,%d] obj=%d", e.At, e.Kind, e.Task, e.Seq, e.Object)
+	default:
+		return fmt.Sprintf("%-10s %-10s J[%d,%d]", e.At, e.Kind, e.Task, e.Seq)
 	}
-	return fmt.Sprintf("%-10s %-10s J[%d,%d]", e.At, e.Kind, e.Task, e.Seq)
 }
 
 // Recorder accumulates events. It is not safe for concurrent use; the
@@ -100,7 +128,9 @@ func (r *Recorder) Events() []Event { return r.events }
 // Len returns the number of retained events.
 func (r *Recorder) Len() int { return len(r.events) }
 
-// CountByKind tallies events per kind.
+// CountByKind tallies events per kind. The result is a map, so callers
+// that PRINT counts must not range over it — render KindCounts instead,
+// which is deterministically ordered.
 func (r *Recorder) CountByKind() map[Kind]int {
 	m := map[Kind]int{}
 	for _, e := range r.events {
@@ -109,24 +139,75 @@ func (r *Recorder) CountByKind() map[Kind]int {
 	return m
 }
 
-// WriteJSON streams the recorded events as a JSON array of objects with
-// microsecond timestamps — a stable format for external tooling (trace
-// viewers, notebooks).
-func (r *Recorder) WriteJSON(w io.Writer) error {
+// KindCount is one entry of the deterministic per-kind tally.
+type KindCount struct {
+	Kind Kind
+	N    int
+}
+
+// KindCounts tallies events per kind in ascending Kind order, skipping
+// kinds with zero events — the rendering-safe counterpart of
+// CountByKind (map iteration order is randomized per run; this slice is
+// byte-identical across runs).
+func KindCounts(events []Event) []KindCount {
+	var tally [len(kindNames)]int
+	for _, e := range events {
+		if k := int(e.Kind); k >= 0 && k < len(tally) {
+			tally[k]++
+		}
+	}
+	out := make([]KindCount, 0, len(tally))
+	for k, n := range tally {
+		if n > 0 {
+			out = append(out, KindCount{Kind: Kind(k), N: n})
+		}
+	}
+	return out
+}
+
+// KindCounts tallies the recorder's events; see the package-level
+// KindCounts.
+func (r *Recorder) KindCounts() []KindCount { return KindCounts(r.events) }
+
+// Summary renders the per-kind tally as one deterministic line, e.g.
+// "arrive=4 dispatch=9 commit=6 complete=4".
+func Summary(events []Event) string {
+	var b strings.Builder
+	for i, kc := range KindCounts(events) {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", kc.Kind, kc.N)
+	}
+	return b.String()
+}
+
+// Summary renders the recorder's per-kind tally; see the package-level
+// Summary.
+func (r *Recorder) Summary() string { return Summary(r.events) }
+
+// WriteJSON streams events as a JSON array of objects with microsecond
+// timestamps — a stable format for external tooling (trace viewers,
+// notebooks).
+func WriteJSON(w io.Writer, events []Event) error {
 	type jsonEvent struct {
 		AtMicros int64  `json:"at_us"`
 		Kind     string `json:"kind"`
 		Task     int    `json:"task"`
 		Seq      int    `json:"seq"`
 		Object   *int   `json:"object,omitempty"`
+		CPU      int    `json:"cpu,omitempty"`
+		Ops      int64  `json:"ops,omitempty"`
 	}
-	out := make([]jsonEvent, len(r.events))
-	for i, e := range r.events {
+	out := make([]jsonEvent, len(events))
+	for i, e := range events {
 		je := jsonEvent{
 			AtMicros: e.At.Micros(),
 			Kind:     e.Kind.String(),
 			Task:     e.Task,
 			Seq:      e.Seq,
+			CPU:      e.CPU,
+			Ops:      e.Ops,
 		}
 		if e.Object >= 0 {
 			obj := e.Object
@@ -137,6 +218,10 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
 }
+
+// WriteJSON streams the recorder's events; see the package-level
+// WriteJSON.
+func (r *Recorder) WriteJSON(w io.Writer) error { return WriteJSON(w, r.events) }
 
 // Log renders the full event log, one line per event.
 func (r *Recorder) Log() string {
@@ -168,10 +253,12 @@ func (r *Recorder) Timeline(from, to rtime.Time, width int) string {
 	if slice <= 0 {
 		slice = 1
 	}
-	// Collect task ids.
+	// Collect task ids (scheduler-level events carry no task).
 	taskSet := map[int]bool{}
 	for _, e := range r.events {
-		taskSet[e.Task] = true
+		if e.Task >= 0 {
+			taskSet[e.Task] = true
+		}
 	}
 	tasks := make([]int, 0, len(taskSet))
 	for t := range taskSet {
@@ -204,8 +291,8 @@ func (r *Recorder) Timeline(from, to rtime.Time, width int) string {
 	prevCol := 0
 	paint := func(upto int) {
 		for c := prevCol; c < upto && c < width; c++ {
-			for t, n := range live {
-				if n <= 0 {
+			for _, t := range tasks {
+				if live[t] <= 0 {
 					continue
 				}
 				ch := byte('.')
@@ -222,7 +309,7 @@ func (r *Recorder) Timeline(from, to rtime.Time, width int) string {
 		}
 	}
 	for _, e := range r.events {
-		if e.At < from || e.At >= to {
+		if e.At < from || e.At >= to || e.Task < 0 {
 			continue
 		}
 		paint(col(e.At))
