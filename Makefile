@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench trace-demo check-bounds
+.PHONY: all build test race vet lint bench trace-demo check-bounds \
+	report metrics bench-baseline bench-diff profile
 
 all: build vet lint test
 
@@ -41,3 +42,35 @@ trace-demo:
 # traced runs of the whole suite; any violation exits non-zero.
 check-bounds:
 	$(GO) run ./cmd/rtsim -profile quick -check-bounds
+
+# Fold the canonical workload on every simulator × mode and print the
+# distribution digest (p50/p95/p99/max next to each mean, Theorem 2/3
+# bounds alongside).
+metrics:
+	$(GO) run ./cmd/rtsim -profile quick -metrics
+
+# Full report: per-distribution and per-window CSVs plus a
+# self-contained report/report.html with inline SVG charts. The listed
+# experiments become the report's figure sections.
+report:
+	$(GO) run ./cmd/rtsim -profile quick -report report fig9 fig10 fig11 fig12 fig13 fig14
+	@echo "wrote report/report.html — open it in any browser"
+
+# Refresh the committed wall-clock baseline cmd/benchdiff compares CI
+# runs against. Absolute seconds are machine-specific; benchdiff
+# -normalize compares per-experiment shares, so a baseline from any
+# reasonably fast machine works.
+bench-baseline:
+	$(GO) run ./cmd/rtsim -profile quick -bench-json BENCH_PR4.json all > /dev/null
+
+# Compare a fresh timing run against the committed baseline; exits
+# non-zero past a 2x relative regression.
+bench-diff:
+	$(GO) run ./cmd/rtsim -profile quick -bench-json bench-current.json all > /dev/null
+	$(GO) run ./cmd/benchdiff -normalize -min 0.05 -fail 2.0 BENCH_PR4.json bench-current.json
+
+# CPU + heap profiles of the canonical metrics fold; inspect with
+# `go tool pprof cpu.pprof`.
+profile:
+	$(GO) run ./cmd/rtsim -profile quick -cpuprofile cpu.pprof -memprofile mem.pprof -metrics > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof — inspect with: go tool pprof cpu.pprof"

@@ -1,0 +1,188 @@
+// Command benchdiff compares two rtsim -bench-json timing documents
+// and renders a per-experiment verdict table, in the spirit of
+// benchstat: a baseline committed to the repo against a fresh run.
+//
+//	rtsim -profile quick -bench-json base.json all
+//	...change something...
+//	rtsim -profile quick -bench-json cur.json all
+//	benchdiff base.json cur.json
+//
+// Absolute wall-clock seconds are machine-dependent, so CI compares
+// *shares*: -normalize divides each experiment's time by the document
+// total, making the ratio columns scale-invariant across hosts — a
+// regression then means "this experiment got slower relative to the
+// rest of the suite".
+//
+// Exit status: 0 when no experiment crosses -fail, 1 when any does,
+// 2 on usage or parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// benchEntry mirrors cmd/rtsim's -bench-json entry.
+type benchEntry struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
+// benchReport mirrors cmd/rtsim's -bench-json document.
+type benchReport struct {
+	Profile     string       `json:"profile"`
+	Jobs        int          `json:"jobs"`
+	Experiments []benchEntry `json:"experiments"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// load reads and validates one bench-json document.
+func load(path string) (*benchReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Experiments) == 0 {
+		return nil, fmt.Errorf("%s: no experiments", path)
+	}
+	return &r, nil
+}
+
+// total sums a document's seconds.
+func total(r *benchReport) float64 {
+	var t float64
+	for _, e := range r.Experiments {
+		t += e.Seconds
+	}
+	return t
+}
+
+// run is main with dependencies injected for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	warn := fs.Float64("warn", 1.25, "ratio above which an experiment is flagged WARN")
+	fail := fs.Float64("fail", 2.0, "ratio above which an experiment is flagged FAIL (exit 1)")
+	normalize := fs.Bool("normalize", false, "compare each experiment's share of total time instead of absolute seconds (use across machines)")
+	minSeconds := fs.Float64("min", 0, "ignore experiments whose baseline or current run took under `seconds` (timer noise dominates tiny runs)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, `usage: benchdiff [flags] BASELINE.json CURRENT.json
+
+Compares two rtsim -bench-json documents experiment by experiment.
+
+flags:
+  -warn R       flag WARN when current/baseline exceeds R (default 1.25)
+  -fail R       flag FAIL and exit 1 when the ratio exceeds R (default 2.0)
+  -normalize    compare shares of total suite time, not absolute seconds;
+                robust when baseline and current ran on different hosts
+  -min S        never flag experiments under S seconds in either document;
+                sub-millisecond runs are timer noise, not signal
+`)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	if *warn <= 0 || *fail <= 0 || *fail < *warn {
+		fmt.Fprintf(stderr, "benchdiff: need 0 < -warn <= -fail (got warn=%v fail=%v)\n", *warn, *fail)
+		return 2
+	}
+	base, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	cur, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	if base.Profile != cur.Profile {
+		fmt.Fprintf(stderr, "benchdiff: profile mismatch: baseline %q vs current %q — ratios are not comparable\n",
+			base.Profile, cur.Profile)
+		return 2
+	}
+
+	baseTotal, curTotal := total(base), total(cur)
+	metric := func(e benchEntry, docTotal float64) float64 {
+		if *normalize && docTotal > 0 {
+			return e.Seconds / docTotal
+		}
+		return e.Seconds
+	}
+	unit := "seconds"
+	if *normalize {
+		unit = "share of suite"
+	}
+	curByID := make(map[string]benchEntry, len(cur.Experiments))
+	for _, e := range cur.Experiments {
+		curByID[e.ID] = e
+	}
+
+	fmt.Fprintf(stdout, "benchdiff: profile=%s metric=%s warn=%.2fx fail=%.2fx\n", base.Profile, unit, *warn, *fail)
+	fmt.Fprintf(stdout, "%-18s %10s %10s %7s  %s\n", "experiment", "baseline", "current", "ratio", "verdict")
+	failed := 0
+	// Baseline array order keeps the table deterministic (no map walk).
+	for _, be := range base.Experiments {
+		ce, ok := curByID[be.ID]
+		if !ok {
+			fmt.Fprintf(stdout, "%-18s %10.4f %10s %7s  %s\n", be.ID, metric(be, baseTotal), "-", "-", "MISSING")
+			continue
+		}
+		delete(curByID, be.ID)
+		b, c := metric(be, baseTotal), metric(ce, curTotal)
+		verdict := "ok"
+		ratio := 0.0
+		switch {
+		case be.Seconds < *minSeconds || ce.Seconds < *minSeconds:
+			// A sub-threshold timing on either side makes the ratio
+			// noise; a real regression pushes BOTH runs' big experiments
+			// over any sensible floor.
+			verdict = "tiny"
+		case b <= 0:
+			verdict = "no-baseline"
+		default:
+			ratio = c / b
+			switch {
+			case ratio > *fail:
+				verdict = "FAIL"
+				failed++
+			case ratio > *warn:
+				verdict = "WARN"
+			case ratio < 1/(*warn):
+				verdict = "faster"
+			}
+		}
+		rs := "-"
+		if ratio > 0 {
+			rs = fmt.Sprintf("%.2fx", ratio)
+		}
+		fmt.Fprintf(stdout, "%-18s %10.4f %10.4f %7s  %s\n", be.ID, b, c, rs, verdict)
+	}
+	// Experiments only the current run has, in its array order.
+	for _, ce := range cur.Experiments {
+		if _, ok := curByID[ce.ID]; !ok {
+			continue
+		}
+		fmt.Fprintf(stdout, "%-18s %10s %10.4f %7s  %s\n", ce.ID, "-", metric(ce, curTotal), "-", "NEW")
+	}
+	if failed > 0 {
+		fmt.Fprintf(stdout, "%d experiment(s) regressed past %.2fx\n", failed, *fail)
+		return 1
+	}
+	fmt.Fprintln(stdout, "no regressions past the fail threshold")
+	return 0
+}

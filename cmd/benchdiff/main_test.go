@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// exec runs the CLI and returns (exit code, stdout, stderr).
+func exec(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestIdenticalInputs: comparing a document against itself exits 0
+// with every verdict ok.
+func TestIdenticalInputs(t *testing.T) {
+	code, out, errOut := exec(t, "testdata/base.json", "testdata/base.json")
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, errOut)
+	}
+	if strings.Contains(out, "WARN") || strings.Contains(out, "FAIL") {
+		t.Fatalf("identical inputs flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "no regressions past the fail threshold") {
+		t.Fatalf("missing pass line:\n%s", out)
+	}
+	if got := strings.Count(out, "1.00x"); got != 3 {
+		t.Fatalf("want 3 unity ratios, got %d:\n%s", got, out)
+	}
+}
+
+// TestRegressionFails: a 2.6x regression on fig9 crosses the default
+// 2.0x fail threshold and exits 1.
+func TestRegressionFails(t *testing.T) {
+	code, out, _ := exec(t, "testdata/base.json", "testdata/regressed.json")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "fig9") || !strings.Contains(out, "FAIL") {
+		t.Fatalf("fig9 regression not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "2.60x") {
+		t.Fatalf("ratio missing:\n%s", out)
+	}
+	if got := strings.Count(out, "FAIL"); got != 1 {
+		t.Fatalf("want exactly one FAIL row, got %d:\n%s", got, out)
+	}
+}
+
+// TestRegressionWithinWarn: raising -fail past the regression demotes
+// it to WARN and exits 0 (the CI soft-fail mode).
+func TestRegressionWithinWarn(t *testing.T) {
+	code, out, _ := exec(t, "-fail", "3.0", "testdata/base.json", "testdata/regressed.json")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "WARN") {
+		t.Fatalf("regression not warned:\n%s", out)
+	}
+}
+
+// TestNormalize: a uniformly 3x slower machine shows no regression
+// under -normalize (shares are unchanged), but fails absolute mode.
+func TestNormalize(t *testing.T) {
+	code, out, _ := exec(t, "-normalize", "testdata/base.json", "testdata/scaled.json")
+	if code != 0 {
+		t.Fatalf("normalized uniform scaling exit = %d\n%s", code, out)
+	}
+	if strings.Contains(out, "FAIL") || strings.Contains(out, "WARN") {
+		t.Fatalf("normalized uniform scaling flagged:\n%s", out)
+	}
+	code, out, _ = exec(t, "testdata/base.json", "testdata/scaled.json")
+	if code != 1 {
+		t.Fatalf("absolute 3x scaling exit = %d, want 1\n%s", code, out)
+	}
+}
+
+// TestMinFloor: -min exempts sub-threshold experiments from flagging.
+func TestMinFloor(t *testing.T) {
+	// fig9 regresses 2.6x but both runs sit under -min 5.
+	code, out, _ := exec(t, "-min", "5", "testdata/base.json", "testdata/regressed.json")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "tiny") || strings.Contains(out, "FAIL") {
+		t.Fatalf("sub-threshold rows not exempted:\n%s", out)
+	}
+}
+
+// TestUsageErrors: bad invocations exit 2.
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"testdata/base.json"},
+		{"testdata/base.json", "testdata/nonexistent.json"},
+		{"-warn", "2.0", "-fail", "1.5", "testdata/base.json", "testdata/base.json"},
+	} {
+		if code, _, _ := exec(t, args...); code != 2 {
+			t.Fatalf("args %v: exit = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestDeterministicOutput: two renders are byte-identical.
+func TestDeterministicOutput(t *testing.T) {
+	_, a, _ := exec(t, "testdata/base.json", "testdata/regressed.json")
+	_, b, _ := exec(t, "testdata/base.json", "testdata/regressed.json")
+	if a != b {
+		t.Fatalf("output not deterministic:\n%s\n---\n%s", a, b)
+	}
+}

@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiment"
@@ -59,10 +61,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceSim := fs.String("trace-sim", experiment.TraceSimUni, "traced simulator: uni, multi, or global")
 	traceMode := fs.String("trace-mode", "lockfree", "traced synchronization mode: lockfree or lockbased")
 	checkBounds := fs.Bool("check-bounds", false, "run the Theorem 2/3 bound-check suite; exit 1 on any violation")
+	reportDir := fs.String("report", "", "write the canonical-workload CSV+HTML report into `dir` (experiment args become its figure sections)")
+	metrics := fs.Bool("metrics", false, "print the canonical-workload metrics digest")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to `file`")
+	memProfile := fs.String("memprofile", "", "write a heap profile to `file` on exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, `usage: rtsim [flags] <experiment>... | all
        rtsim [flags] -trace FILE [-trace-format json|perfetto|spans]
        rtsim [flags] -check-bounds
+       rtsim [flags] -metrics
+       rtsim [flags] -report DIR [<experiment>...]
 
 flags:
   -profile full|quick  experiment scale: full (paper-scale horizons, 5
@@ -85,6 +93,15 @@ observability:
   -check-bounds        check observed retries and sojourns against the
                        Theorem 2/3 bounds across the trace suite; any
                        violation exits 1
+  -metrics             fold the canonical workload on every simulator ×
+                       mode into distribution digests (p50/p95/p99/max
+                       vs the Theorem 2/3 bounds) and print them
+  -report DIR          write the full report into DIR: per-distribution
+                       and per-window CSVs plus a self-contained
+                       report.html; experiment args listed after the
+                       flags become the report's figure sections
+  -cpuprofile FILE     write a CPU profile of the whole invocation
+  -memprofile FILE     write a heap profile on exit
 
 experiments:
 `)
@@ -114,6 +131,37 @@ experiments:
 	}
 	p.Jobs = *jobs
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "rtsim: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "rtsim: cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "rtsim: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "rtsim: memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	exitCode := 0
 	if *traceFile != "" {
 		if err := writeTrace(p, *traceFile, *traceFormat, *traceSim, *traceMode, stdout); err != nil {
@@ -134,6 +182,33 @@ experiments:
 	}
 
 	args = fs.Args()
+	if *metrics || *reportDir != "" {
+		// Positional args are the report's figure sections, not a
+		// separate experiment run; "all" means every registered one.
+		figIDs := args
+		if len(args) == 1 && args[0] == "all" {
+			figIDs = experiment.Names()
+		}
+		if *metrics {
+			// The digest skips the figure sweeps: it is the fast look.
+			rep, err := experiment.BuildReport(p, nil)
+			if err != nil {
+				fmt.Fprintf(stderr, "rtsim: metrics: %v\n", err)
+				return 1
+			}
+			if err := rep.WriteText(stdout); err != nil {
+				fmt.Fprintf(stderr, "rtsim: metrics: %v\n", err)
+				return 1
+			}
+		}
+		if *reportDir != "" {
+			if err := writeReport(p, *reportDir, figIDs, stdout); err != nil {
+				fmt.Fprintf(stderr, "rtsim: report: %v\n", err)
+				return 1
+			}
+		}
+		return exitCode
+	}
 	if len(args) == 0 {
 		if *traceFile != "" || *checkBounds {
 			return exitCode
@@ -182,6 +257,34 @@ experiments:
 		}
 	}
 	return exitCode
+}
+
+// writeReport builds the canonical-workload report and writes its CSV
+// artifacts plus the self-contained HTML page into dir. The stdout
+// listing and every file are byte-identical for any -jobs value.
+func writeReport(p experiment.Profile, dir string, figIDs []string, stdout io.Writer) error {
+	rep, err := experiment.BuildReport(p, figIDs)
+	if err != nil {
+		return err
+	}
+	names, err := rep.WriteCSVDir(dir)
+	if err != nil {
+		return err
+	}
+	var html bytes.Buffer
+	if err := rep.WriteHTML(&html); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "report.html"), html.Bytes(), 0o644); err != nil {
+		return err
+	}
+	names = append(names, "report.html")
+	fmt.Fprintf(stdout, "report: profile=%s runs=%d figs=%d files=%d dir=%s\n",
+		p.Name, len(rep.Runs), len(rep.Figs), len(names), dir)
+	for _, n := range names {
+		fmt.Fprintf(stdout, "  %s\n", n)
+	}
+	return nil
 }
 
 // writeTrace runs one fully-observed canonical-workload simulation and

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runReport executes the CLI's -report path and returns stdout plus
+// every generated file keyed by name.
+func runReport(t *testing.T, jobs int, extra ...string) (string, map[string]string) {
+	t.Helper()
+	dir := t.TempDir()
+	args := append([]string{
+		"-profile", "quick", "-jobs", strconv.Itoa(jobs), "-report", dir,
+	}, extra...)
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("rtsim -report exited %d\nstderr: %s", code, stderr.String())
+	}
+	files := map[string]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[e.Name()] = string(b)
+	}
+	// The stdout listing names the temp dir; normalize it away so
+	// serial and parallel invocations compare equal.
+	return strings.ReplaceAll(stdout.String(), dir, "DIR"), files
+}
+
+// TestReportDeterministicAcrossJobs is the acceptance check: every
+// artifact of -report, and the stdout listing, are byte-identical
+// between -jobs 1 and -jobs NumCPU.
+func TestReportDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the trace grid twice plus a figure sweep")
+	}
+	out1, files1 := runReport(t, 1, "costs")
+	outN, filesN := runReport(t, runtime.NumCPU(), "costs")
+	if out1 != outN {
+		t.Fatalf("stdout differs:\n-jobs 1:\n%s\n-jobs %d:\n%s", out1, runtime.NumCPU(), outN)
+	}
+	if len(files1) != len(filesN) {
+		t.Fatalf("file sets differ: %d vs %d", len(files1), len(filesN))
+	}
+	for name, body := range files1 {
+		other, ok := filesN[name]
+		if !ok {
+			t.Fatalf("file %s missing from parallel run", name)
+		}
+		if body != other {
+			t.Fatalf("file %s differs between -jobs 1 and -jobs %d", name, runtime.NumCPU())
+		}
+	}
+	for _, want := range []string{"report.html", "summary.csv", "costs.csv", "uni-lockfree_series.csv"} {
+		if _, ok := files1[want]; !ok {
+			t.Fatalf("missing artifact %s", want)
+		}
+	}
+	if !strings.Contains(files1["report.html"], "theorem 2 bound") {
+		t.Fatal("report.html missing the Theorem 2 bound overlay")
+	}
+}
+
+// TestMetricsDeterministicAcrossJobs: the -metrics digest is a pure
+// function of the flags.
+func TestMetricsDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the trace grid twice")
+	}
+	render := func(jobs int) string {
+		var stdout, stderr bytes.Buffer
+		args := []string{"-profile", "quick", "-jobs", strconv.Itoa(jobs), "-metrics"}
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("rtsim -metrics exited %d\nstderr: %s", code, stderr.String())
+		}
+		return stdout.String()
+	}
+	a, b := render(1), render(runtime.NumCPU())
+	if a != b {
+		t.Fatalf("-metrics digest differs across -jobs:\n%s\n---\n%s", a, b)
+	}
+	for _, want := range []string{"run uni-lockfree", "run global-lockbased", "bound="} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("digest missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// TestReportBadFigure: an unknown figure id fails cleanly.
+func TestReportBadFigure(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-profile", "quick", "-report", t.TempDir(), "nosuchfig"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "nosuchfig") {
+		t.Fatalf("stderr does not name the bad figure: %s", stderr.String())
+	}
+}
+
+// TestProfileFlags: -cpuprofile and -memprofile write non-empty pprof
+// files without touching stdout.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-profile", "quick", "-cpuprofile", cpu, "-memprofile", mem, "-metrics",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, stderr.String())
+	}
+	for _, f := range []string{cpu, mem} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", f)
+		}
+	}
+	if !strings.Contains(stdout.String(), "run uni-lockfree") {
+		t.Fatal("profiling flags disturbed the -metrics digest")
+	}
+}

@@ -1,0 +1,216 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/metrics/hist"
+	"repro/internal/metrics/series"
+	"repro/internal/report"
+	"repro/internal/rtime"
+	"repro/internal/runner"
+	"repro/internal/trace"
+	"repro/internal/trace/check"
+	"repro/internal/trace/span"
+)
+
+// reportCombos is the fixed run grid of BuildReport: every simulator in
+// both synchronization modes, in the order the report's sections appear.
+var reportCombos = []struct {
+	sim       string
+	lockBased bool
+}{
+	{TraceSimUni, false},
+	{TraceSimUni, true},
+	{TraceSimMulti, false},
+	{TraceSimMulti, true},
+	{TraceSimGlobal, false},
+	{TraceSimGlobal, true},
+}
+
+// Histogram shapes shared by every run so cross-seed merges line up.
+func newRetryHist() *hist.Hist { return hist.Exp2(1 << 12) }
+
+func newSojournHist() *hist.Hist { return hist.Exp2(1 << 26) }
+
+// BuildReport runs the canonical trace workload across every simulator
+// × mode × profile seed, folds each combo's traces into distribution
+// histograms, a virtual-time series (first seed), and the Theorem 2/3
+// bound check, then attaches the requested figure tables. Cells fan out
+// on runner.Map and merge by index, so the result — and everything
+// rendered from it — is identical for any p.Jobs value.
+func BuildReport(p Profile, figIDs []string) (*report.Report, error) {
+	type cell struct {
+		combo int
+		seed  int64
+		first bool // first seed of its combo: keeps events for the series
+	}
+	var cells []cell
+	for ci := range reportCombos {
+		for si, seed := range p.Seeds {
+			cells = append(cells, cell{combo: ci, seed: seed, first: si == 0})
+		}
+	}
+	type outcome struct {
+		spans   []span.JobSpan
+		horizon rtime.Time
+		events  []trace.Event // first seed only
+		check   *check.Report
+	}
+	outs, err := runner.Map(p.Jobs, len(cells), func(i int) (outcome, error) {
+		c := cells[i]
+		combo := reportCombos[c.combo]
+		tr, err := RunTrace(p, combo.sim, combo.lockBased, c.seed)
+		if err != nil {
+			return outcome{}, err
+		}
+		spans, err := tr.Spans()
+		if err != nil {
+			return outcome{}, err
+		}
+		o := outcome{spans: spans, horizon: tr.Horizon}
+		if c.first {
+			o.events = tr.Events
+		}
+		// The global engine's commit-time validation retries fall outside
+		// Theorem 2's model (see internal/gsim), so its runs carry no
+		// bound check; uni and multi check every seed's spans.
+		if combo.sim != TraceSimGlobal {
+			rep, err := check.Check(spans, tr.Tasks, check.Config{
+				Theorem2: true, Theorem3: true,
+				LockBased: combo.lockBased, R: DefaultR, S: DefaultS,
+			})
+			if err != nil {
+				return outcome{}, err
+			}
+			o.check = rep
+		}
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &report.Report{
+		Title:    "rtsim canonical-workload report",
+		Profile:  p.Name,
+		Workload: "thm2-trace",
+	}
+	for ci, combo := range reportCombos {
+		mode := "lockfree"
+		modeLabel := "lock-free"
+		if combo.lockBased {
+			mode = "lockbased"
+			modeLabel = "lock-based"
+		}
+		run := report.Run{
+			Name: combo.sim + "-" + mode,
+			Sim:  combo.sim,
+			Mode: modeLabel,
+		}
+		retries, sojourn := newRetryHist(), newSojournHist()
+		var merged *check.Report
+		for i, c := range cells {
+			if c.combo != ci {
+				continue
+			}
+			o := outs[i]
+			run.Seeds = append(run.Seeds, c.seed)
+			for k := range o.spans {
+				s := &o.spans[k]
+				retries.Add(s.Retries)
+				switch s.Outcome {
+				case span.Completed:
+					run.Completed++
+					sojourn.Add(s.Sojourn().Micros())
+				case span.Aborted:
+					run.Aborted++
+				}
+				run.Jobs++
+			}
+			merged = mergeChecks(merged, o.check)
+			if c.first {
+				cpus := 1
+				if combo.sim != TraceSimUni {
+					cpus = TraceCPUs
+				}
+				sr, err := series.FromEvents(o.events, o.horizon, series.Config{
+					Window: series.WindowFor(o.horizon, 0), CPUs: cpus,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("experiment: fold %s series: %w", run.Name, err)
+				}
+				run.Series = sr
+			}
+		}
+		retryBound, sojournBound := int64(-1), int64(-1)
+		if merged != nil {
+			for _, tr := range merged.Tasks {
+				if !combo.lockBased && tr.RetryBound > retryBound {
+					retryBound = tr.RetryBound
+				}
+				if b := tr.SojournBound.Micros(); tr.SojournBound >= 0 && b > sojournBound {
+					sojournBound = b
+				}
+			}
+		}
+		run.Dists = []report.Dist{
+			{Name: "retries", Title: "retries per job", Unit: "retries",
+				Hist: retries, Bound: retryBound, BoundLabel: "theorem 2 bound"},
+			{Name: "sojourn_us", Title: "sojourn time of completed jobs", Unit: "µs",
+				Hist: sojourn, Bound: sojournBound, BoundLabel: "theorem 3 bound"},
+		}
+		run.Check = merged
+		rep.Runs = append(rep.Runs, run)
+	}
+
+	for _, id := range figIDs {
+		r, ok := Registry[id]
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown experiment %q for report", id)
+		}
+		tables, err := r(p)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: report fig %s: %w", id, err)
+		}
+		for _, t := range tables {
+			rep.Figs = append(rep.Figs, report.Table{
+				ID: t.ID, Title: t.Title, Note: t.Note,
+				Columns: t.Columns, Rows: t.Rows,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// mergeChecks folds per-seed bound checks of one combo into a single
+// report: per-task maxima of observed extremes (bounds are seed-
+// independent), violations concatenated in seed order.
+func mergeChecks(into, from *check.Report) *check.Report {
+	if from == nil {
+		return into
+	}
+	if into == nil {
+		cp := *from
+		cp.Tasks = append([]check.TaskReport(nil), from.Tasks...)
+		cp.Violations = append([]check.Violation(nil), from.Violations...)
+		return &cp
+	}
+	for i := range from.Tasks {
+		ft := from.Tasks[i]
+		if i >= len(into.Tasks) || into.Tasks[i].Task != ft.Task {
+			into.Tasks = append(into.Tasks, ft)
+			continue
+		}
+		it := &into.Tasks[i]
+		it.Jobs += ft.Jobs
+		it.Completed += ft.Completed
+		if ft.MaxRetries > it.MaxRetries {
+			it.MaxRetries = ft.MaxRetries
+		}
+		if ft.MaxSojourn > it.MaxSojourn {
+			it.MaxSojourn = ft.MaxSojourn
+		}
+	}
+	into.Violations = append(into.Violations, from.Violations...)
+	return into
+}

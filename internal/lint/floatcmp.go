@@ -12,7 +12,7 @@ import (
 // metrics live; exact float equality there either encodes a hidden
 // assumption ("this sum is exactly 0.0") or silently stops firing after
 // an unrelated reordering changes rounding.
-var floatcmpScope = []string{"internal/metrics", "internal/analysis", "internal/experiment"}
+var floatcmpScope = []string{"internal/metrics", "internal/analysis", "internal/experiment", "internal/report"}
 
 // Floatcmp flags == and != between floating-point operands in the
 // metrics/analysis/experiment packages. The NaN self-test idiom

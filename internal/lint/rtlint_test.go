@@ -13,7 +13,8 @@ import (
 
 func TestMaporder(t *testing.T) {
 	analysistest.Run(t, "testdata/src", lint.Maporder,
-		"maporder/internal/sim", "maporder/internal/trace", "maporder/notscoped")
+		"maporder/internal/sim", "maporder/internal/trace", "maporder/notscoped",
+		"maporder/internal/report", "maporder/internal/metrics/hist")
 }
 
 func TestSimclock(t *testing.T) {
@@ -33,7 +34,7 @@ func TestSharedtask(t *testing.T) {
 
 func TestFloatcmp(t *testing.T) {
 	analysistest.Run(t, "testdata/src", lint.Floatcmp,
-		"floatcmp/internal/metrics")
+		"floatcmp/internal/metrics", "floatcmp/internal/report")
 }
 
 // TestIgnoreDirective proves the suppression contract: a justified

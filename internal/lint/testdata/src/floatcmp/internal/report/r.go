@@ -1,0 +1,32 @@
+// Package report is a floatcmp fixture: chart scales are derived
+// floats, so exact comparisons here are the classic way a tick loop
+// runs one short on some inputs.
+package report
+
+// BadTickLoopGuard compares an accumulated tick position exactly
+// against the axis maximum: flagged.
+func BadTickLoopGuard(step, max float64) int {
+	n := 0
+	for v := 0.0; v == max; v += step { // want `float comparison v == max`
+		n++
+	}
+	return n
+}
+
+// BadScaleCheck compares two computed scale factors: flagged.
+func BadScaleCheck(plotW, span float64) bool {
+	return plotW/span == span/plotW // want `float comparison plotW / span == span / plotW`
+}
+
+// GoodOrdering uses an ordering comparison, which is fine.
+func GoodOrdering(y, yMax float64) float64 {
+	if y > yMax {
+		return yMax
+	}
+	return y
+}
+
+// GoodIntCoords compares integer pixel offsets: not floats.
+func GoodIntCoords(a, b int) bool {
+	return a == b
+}

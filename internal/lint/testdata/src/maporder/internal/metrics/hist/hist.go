@@ -1,0 +1,13 @@
+// Package hist is a maporder fixture one directory below the declared
+// internal/metrics scope: pathHasSegments matches segment runs, so the
+// nested histogram package inherits the parent scope with no extra
+// configuration.
+package hist
+
+// BadBucketDump renders per-bucket counts in map order: flagged even
+// though the package path is internal/metrics/hist, not internal/metrics.
+func BadBucketDump(counts map[int64]int64, emit func(int64, int64)) {
+	for hi, n := range counts { // want `range over map counts`
+		emit(hi, n)
+	}
+}

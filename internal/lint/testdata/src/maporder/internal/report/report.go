@@ -1,0 +1,37 @@
+// Package report is a maporder fixture: the report renderer promises
+// byte-identical artifacts, so its import path is inside the analyzer's
+// internal/report scope.
+package report
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BadArtifactListing writes file names straight out of the map: the
+// listing order would change run to run, flagged.
+func BadArtifactListing(files map[string][]byte, emit func(string)) {
+	for name := range files { // want `range over map files`
+		emit(name)
+	}
+}
+
+// GoodArtifactListing collects and sorts before rendering: the blessed
+// idiom, accepted without annotation.
+func GoodArtifactListing(files map[string][]byte, emit func(string)) {
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		emit(n)
+	}
+}
+
+// BadLegendRender walks the series color map while emitting SVG: flagged.
+func BadLegendRender(colors map[string]string, emit func(string)) {
+	for series, color := range colors { // want `range over map colors`
+		emit(fmt.Sprintf("%s=%s", series, color))
+	}
+}

@@ -150,6 +150,65 @@ func TestFindCMLValidation(t *testing.T) {
 	}
 }
 
+// TestFindCMLAllPass: when even the heaviest load misses nothing the
+// CML is the last grid point, not stuck at an earlier one.
+func TestFindCMLAllPass(t *testing.T) {
+	loads := []float64{0.2, 0.5, 0.9}
+	cml, cmrs, err := FindCML(CMLConfig{Build: buildAt, Loads: loads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cml != 0.9 {
+		t.Fatalf("CML = %v, want last load 0.9 (cmrs=%v)", cml, cmrs)
+	}
+	for i, c := range cmrs {
+		if c != 1 {
+			t.Fatalf("load %v missed: cmrs=%v", loads[i], cmrs)
+		}
+	}
+}
+
+// buildTiny builds a run whose horizon ends before any job's critical
+// time, so Analyze releases nothing.
+func buildTiny(al float64) (sim.Config, error) {
+	sc, err := buildAt(al)
+	sc.Horizon = 10 // first critical time is ≥ 1000
+	return sc, err
+}
+
+// TestFindCMLZeroReleased exercises the vacuous-load sentinel: a load
+// that releases no jobs is skipped rather than counted as a pass, even
+// when the tolerance would accept CMR = 0.
+func TestFindCMLZeroReleased(t *testing.T) {
+	cml, cmrs, err := FindCML(CMLConfig{
+		Build: buildTiny, Loads: []float64{0.5, 1.0},
+		MissTolerance: 1, // accepts any CMR — only the sentinel keeps cml at 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cml != 0 {
+		t.Fatalf("CML = %v, want 0 for vacuous loads", cml)
+	}
+	for _, c := range cmrs {
+		if c != 0 {
+			t.Fatalf("vacuous cmrs = %v", cmrs)
+		}
+	}
+}
+
+// TestSummarizeIdentical: zero variance yields a zero confidence
+// interval, not NaN.
+func TestSummarizeIdentical(t *testing.T) {
+	s := Summarize([]float64{4, 4, 4, 4})
+	if s.N != 4 || s.Mean != 4 || s.CI95 != 0 {
+		t.Fatalf("identical summarize = %+v", s)
+	}
+	if math.IsNaN(s.CI95) || math.IsNaN(s.Mean) {
+		t.Fatalf("NaN crept in: %+v", s)
+	}
+}
+
 func TestPerTask(t *testing.T) {
 	mk := func(id int) *task.Task {
 		return &task.Task{
@@ -181,5 +240,38 @@ func TestPerTask(t *testing.T) {
 	}
 	if per[1].AUR != 1.0 || per[1].CMR != 1.0 {
 		t.Fatalf("task1 = %+v", per[1])
+	}
+}
+
+// TestPerTaskAbortedOnly: a task whose every job aborts gets zero
+// rates (not NaN) and correct counts.
+func TestPerTaskAbortedOnly(t *testing.T) {
+	tk := &task.Task{
+		ID: 3, Name: "doomed", TUF: tuf.MustStep(10, 1000),
+		Arrival:  uam.Spec{L: 0, A: 1, W: 2000},
+		Segments: task.InterleavedSegments(100, 0, nil),
+	}
+	j1 := task.NewJob(tk, 0, 0)
+	j1.State = task.Aborted
+	j1.Retries = 5
+	j2 := task.NewJob(tk, 1, 100)
+	j2.State = task.Aborting
+	r := sim.Result{Jobs: []*task.Job{j1, j2}, Horizon: 10_000}
+	per := PerTask(r)
+	if len(per) != 1 {
+		t.Fatalf("tasks = %d", len(per))
+	}
+	st := per[0]
+	if st.Released != 2 || st.Completed != 0 || st.Aborted != 2 || st.Met != 0 {
+		t.Fatalf("counts = %+v", st)
+	}
+	if st.AUR != 0 || st.CMR != 0 {
+		t.Fatalf("rates = %+v", st)
+	}
+	if math.IsNaN(st.AUR) || math.IsNaN(st.CMR) {
+		t.Fatalf("NaN rates: %+v", st)
+	}
+	if st.Retries != 5 {
+		t.Fatalf("retries = %d", st.Retries)
 	}
 }

@@ -1,0 +1,381 @@
+// Package series folds a raw trace event stream into virtual-time
+// series: per-window event rates (arrivals, completions, aborts,
+// retries, blockings, commits, scheduler passes and their charged
+// operations) and time-weighted level tracks (ready-queue depth, busy
+// processors). Where internal/trace/span reconstructs each job's
+// timeline, this package answers the orthogonal question — what did
+// the *system* look like over time — which is what the report's
+// load/backlog charts plot.
+//
+// A Recorder is fed through the engines' existing Observer plumbing
+// (sim.Config.Observer, multi.Config.Observer, gsim.Config.Observer);
+// it buffers events and folds them on Series(), stable-sorting by
+// virtual time first so the partitioned engine's interleaved
+// per-partition streams fold identically to a globally ordered one.
+// Equal traces yield byte-identical CSV renderings.
+package series
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/rtime"
+	"repro/internal/trace"
+)
+
+// ErrTrace reports a malformed or truncated event stream.
+var ErrTrace = errors.New("series: malformed trace")
+
+// ErrConfig reports an unusable configuration.
+var ErrConfig = errors.New("series: invalid config")
+
+// DefaultWindows is the window count WindowFor targets: enough columns
+// for a figure-grade chart, few enough that every window holds events.
+const DefaultWindows = 120
+
+// WindowFor picks a window width that tiles horizon into about target
+// windows (DefaultWindows when target ≤ 0), never below one tick.
+func WindowFor(horizon rtime.Time, target int) rtime.Duration {
+	if target <= 0 {
+		target = DefaultWindows
+	}
+	w := rtime.Duration((int64(horizon) + int64(target) - 1) / int64(target))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Config parameterizes the fold.
+type Config struct {
+	// Window is the bucket width in virtual time; required.
+	Window rtime.Duration
+	// CPUs is the processor count of the traced engine, used to report
+	// utilization; clamped to ≥ 1.
+	CPUs int
+}
+
+// Point is one window [Start, Start+Window) of the folded run.
+type Point struct {
+	Start rtime.Time
+
+	// Event deltas inside the window.
+	Arrivals    int64
+	Completions int64
+	Aborts      int64
+	Retries     int64
+	Blocks      int64
+	Commits     int64
+	Preempts    int64
+	SchedPasses int64
+	SchedOps    int64 // charged operations of the window's passes
+
+	// Level integrals: Σ level·dt over the window, in tick·jobs and
+	// tick·CPUs. Divide by the window's covered ticks for the mean.
+	ReadyTicks int64
+	BusyTicks  int64
+	// Window maxima of the level tracks.
+	ReadyMax int64
+	BusyMax  int64
+}
+
+// Series is the folded run.
+type Series struct {
+	Window rtime.Duration
+	End    rtime.Time // horizon, extended to the last event if later
+	CPUs   int
+	Points []Point
+}
+
+// Covered returns how many ticks of window i the run actually spans
+// (the last window may be partial).
+func (s *Series) Covered(i int) rtime.Duration {
+	start := s.Points[i].Start
+	end := start.Add(s.Window)
+	if end > s.End {
+		end = s.End
+	}
+	return end.Sub(start)
+}
+
+// Totals sums the event deltas and integrals across all windows; the
+// Start, ReadyMax, and BusyMax fields hold 0/series-wide maxima.
+func (s *Series) Totals() Point {
+	var t Point
+	for _, p := range s.Points {
+		t.Arrivals += p.Arrivals
+		t.Completions += p.Completions
+		t.Aborts += p.Aborts
+		t.Retries += p.Retries
+		t.Blocks += p.Blocks
+		t.Commits += p.Commits
+		t.Preempts += p.Preempts
+		t.SchedPasses += p.SchedPasses
+		t.SchedOps += p.SchedOps
+		t.ReadyTicks += p.ReadyTicks
+		t.BusyTicks += p.BusyTicks
+		if p.ReadyMax > t.ReadyMax {
+			t.ReadyMax = p.ReadyMax
+		}
+		if p.BusyMax > t.BusyMax {
+			t.BusyMax = p.BusyMax
+		}
+	}
+	return t
+}
+
+// Recorder buffers trace events for folding. Like trace.Recorder it is
+// single-goroutine by design; attach it via Observer().
+type Recorder struct {
+	cfg Config
+	evs []trace.Event
+}
+
+// NewRecorder returns a Recorder folding with cfg.
+func NewRecorder(cfg Config) *Recorder { return &Recorder{cfg: cfg} }
+
+// Observe buffers one event.
+func (r *Recorder) Observe(e trace.Event) { r.evs = append(r.evs, e) }
+
+// Observer returns Observe bound as an engine callback.
+func (r *Recorder) Observer() func(trace.Event) { return r.Observe }
+
+// Events returns the buffered events.
+func (r *Recorder) Events() []trace.Event { return r.evs }
+
+// Series folds the buffered events; see FromEvents.
+func (r *Recorder) Series(horizon rtime.Time) (*Series, error) {
+	return FromEvents(r.evs, horizon, r.cfg)
+}
+
+// jobKey identifies a job across the stream.
+type jobKey struct{ task, seq int }
+
+// jobPhase is the per-job state the level tracks derive from.
+type jobPhase int
+
+const (
+	phaseReady jobPhase = iota
+	phaseRun
+	phaseBlocked
+	phaseAborting
+	phaseDone
+)
+
+// folder walks the sorted stream maintaining level counters and the
+// per-window accumulators.
+type folder struct {
+	window rtime.Duration
+	points []Point
+
+	lastT rtime.Time
+	idx   int // current window index
+
+	ready int64 // jobs in phaseReady
+	busy  int64 // jobs in phaseRun
+}
+
+// advance integrates the level tracks from lastT to t, splitting at
+// window boundaries, and moves the window cursor so that an event at t
+// lands in the window containing t.
+func (f *folder) advance(t rtime.Time) {
+	for f.lastT < t {
+		p := &f.points[f.idx]
+		wEnd := p.Start.Add(f.window)
+		seg := t
+		if wEnd < seg {
+			seg = wEnd
+		}
+		dt := int64(seg.Sub(f.lastT))
+		p.ReadyTicks += f.ready * dt
+		p.BusyTicks += f.busy * dt
+		f.lastT = seg
+		if f.lastT == wEnd && f.idx+1 < len(f.points) {
+			f.idx++
+			// Entering a window: the carried-over levels seed its maxima.
+			np := &f.points[f.idx]
+			np.ReadyMax = f.ready
+			np.BusyMax = f.busy
+		}
+	}
+}
+
+// level applies a ready/busy delta and refreshes the current window's
+// maxima.
+func (f *folder) level(dReady, dBusy int64) {
+	f.ready += dReady
+	f.busy += dBusy
+	p := &f.points[f.idx]
+	if f.ready > p.ReadyMax {
+		p.ReadyMax = f.ready
+	}
+	if f.busy > p.BusyMax {
+		p.BusyMax = f.busy
+	}
+}
+
+// FromEvents folds events into a Series. horizon seals the run's end;
+// when events extend past it, the end is clamped up to the last event.
+// The stream must contain every job's Arrival (use an unbounded
+// recorder); scheduler-level events contribute to the pass/ops tracks
+// without moving any job.
+func FromEvents(events []trace.Event, horizon rtime.Time, cfg Config) (*Series, error) {
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("%w: Window must be positive, got %v", ErrConfig, cfg.Window)
+	}
+	if cfg.CPUs < 1 {
+		cfg.CPUs = 1
+	}
+	evs := make([]trace.Event, len(events))
+	copy(evs, events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+
+	end := horizon
+	if n := len(evs); n > 0 && evs[n-1].At > end {
+		end = evs[n-1].At
+	}
+	if end < 1 {
+		end = 1
+	}
+	nWin := int((int64(end) + int64(cfg.Window) - 1) / int64(cfg.Window))
+	if nWin < 1 {
+		nWin = 1
+	}
+	f := &folder{window: cfg.Window, points: make([]Point, nWin)}
+	for i := range f.points {
+		f.points[i].Start = rtime.Time(int64(cfg.Window) * int64(i))
+	}
+
+	phase := map[jobKey]jobPhase{}
+	for _, e := range evs {
+		f.advance(e.At)
+		p := &f.points[f.idx]
+		if e.Kind == trace.SchedPass {
+			p.SchedPasses++
+			p.SchedOps += e.Ops
+			continue
+		}
+		if e.Task < 0 || e.Kind == trace.FeasOK || e.Kind == trace.FeasFail {
+			// Feasibility probes name a job but do not move it; their cost
+			// is already inside the enclosing pass's Ops.
+			continue
+		}
+		k := jobKey{e.Task, e.Seq}
+		ph, seen := phase[k]
+		if e.Kind == trace.Arrival {
+			if seen {
+				return nil, fmt.Errorf("%w: duplicate arrival for J[%d,%d]", ErrTrace, e.Task, e.Seq)
+			}
+			phase[k] = phaseReady
+			p.Arrivals++
+			f.level(+1, 0)
+			continue
+		}
+		if !seen {
+			return nil, fmt.Errorf("%w: %v for J[%d,%d] before its arrival (recorder limit?)", ErrTrace, e.Kind, e.Task, e.Seq)
+		}
+		if ph == phaseDone {
+			return nil, fmt.Errorf("%w: %v for J[%d,%d] after its departure", ErrTrace, e.Kind, e.Task, e.Seq)
+		}
+		leave := func() {
+			switch ph {
+			case phaseReady:
+				f.level(-1, 0)
+			case phaseRun:
+				f.level(0, -1)
+			}
+		}
+		switch e.Kind {
+		case trace.Dispatch:
+			leave()
+			phase[k] = phaseRun
+			f.level(0, +1)
+		case trace.Preempt:
+			// Only descheduled runners move; elsewhere it is a marker (the
+			// uniprocessor engine also tags blocked jobs whose CPU moved on).
+			p.Preempts++
+			if ph == phaseRun {
+				f.level(0, -1)
+				phase[k] = phaseReady
+				f.level(+1, 0)
+			}
+		case trace.Block:
+			leave()
+			phase[k] = phaseBlocked
+			p.Blocks++
+		case trace.Retry:
+			p.Retries++
+		case trace.Commit:
+			p.Commits++
+		case trace.LockAcquire, trace.LockRelease:
+			// Markers only.
+		case trace.Complete:
+			leave()
+			phase[k] = phaseDone
+			p.Completions++
+		case trace.AbortBegin:
+			leave()
+			phase[k] = phaseAborting
+		case trace.AbortDone:
+			leave()
+			phase[k] = phaseDone
+			p.Aborts++
+		default:
+			return nil, fmt.Errorf("%w: unknown event kind %v", ErrTrace, e.Kind)
+		}
+	}
+	f.advance(end)
+	return &Series{Window: cfg.Window, End: end, CPUs: cfg.CPUs, Points: f.points}, nil
+}
+
+// csvHeader is the fixed column set of WriteCSV.
+var csvHeader = []string{
+	"start_us", "arrivals", "completions", "aborts", "retries", "blocks",
+	"commits", "preempts", "sched_passes", "sched_ops",
+	"ready_mean", "ready_max", "busy_mean", "busy_max",
+}
+
+// WriteCSV renders the series deterministically, one row per window.
+// Mean levels are formatted with four decimals — the only floating
+// point in the package, computed at render time from exact integer
+// integrals.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for i, p := range s.Points {
+		dt := int64(s.Covered(i))
+		meanOf := func(ticks int64) string {
+			if dt <= 0 {
+				return "0.0000"
+			}
+			return strconv.FormatFloat(float64(ticks)/float64(dt), 'f', 4, 64)
+		}
+		row := []string{
+			strconv.FormatInt(int64(p.Start), 10),
+			strconv.FormatInt(p.Arrivals, 10),
+			strconv.FormatInt(p.Completions, 10),
+			strconv.FormatInt(p.Aborts, 10),
+			strconv.FormatInt(p.Retries, 10),
+			strconv.FormatInt(p.Blocks, 10),
+			strconv.FormatInt(p.Commits, 10),
+			strconv.FormatInt(p.Preempts, 10),
+			strconv.FormatInt(p.SchedPasses, 10),
+			strconv.FormatInt(p.SchedOps, 10),
+			meanOf(p.ReadyTicks),
+			strconv.FormatInt(p.ReadyMax, 10),
+			meanOf(p.BusyTicks),
+			strconv.FormatInt(p.BusyMax, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
