@@ -1,7 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench trace-demo check-bounds \
-	report metrics bench-baseline bench-diff profile
+.PHONY: all build test race race-all stress vet lint bench trace-demo \
+	check-bounds report metrics bench-baseline bench-diff profile \
+	fuzz-smoke
 
 all: build vet lint test
 
@@ -15,6 +16,16 @@ test:
 # race-clean: runs share task templates read-only and merge by index.
 race:
 	$(GO) test -race ./internal/runner/... ./internal/experiment/...
+
+# Full race sweep, twice: -count=2 defeats test caching and shakes out
+# order-dependent interleavings; the lockfree stress tests (N writers ×
+# M readers per structure) are the main customers.
+race-all:
+	$(GO) test -race -count=2 ./...
+
+# Just the lock-free structure stress tests, full-size, under -race.
+stress:
+	$(GO) test -race -run TestStress -count=2 ./internal/lockfree/
 
 vet:
 	$(GO) vet ./...
@@ -53,7 +64,7 @@ metrics:
 # self-contained report/report.html with inline SVG charts. The listed
 # experiments become the report's figure sections.
 report:
-	$(GO) run ./cmd/rtsim -profile quick -report report fig9 fig10 fig11 fig12 fig13 fig14
+	$(GO) run ./cmd/rtsim -profile quick -report report fig9 fig10 fig11 fig12 fig13 fig14 faults
 	@echo "wrote report/report.html — open it in any browser"
 
 # Refresh the committed wall-clock baseline cmd/benchdiff compares CI
@@ -68,6 +79,19 @@ bench-baseline:
 bench-diff:
 	$(GO) run ./cmd/rtsim -profile quick -bench-json bench-current.json all > /dev/null
 	$(GO) run ./cmd/benchdiff -normalize -min 0.05 -fail 2.0 BENCH_PR4.json bench-current.json
+
+# Short coverage-guided fuzz of every native fuzz target (committed
+# corpora under */testdata/fuzz seed each run). Go allows one -fuzz
+# target per invocation, so each gets its own line; FUZZTIME scales the
+# smoke to budget.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./cmd/benchdiff
+	$(GO) test -run NONE -fuzz '^FuzzBuild$$' -fuzztime $(FUZZTIME) ./internal/trace/span
+	$(GO) test -run NONE -fuzz '^FuzzStepConservation$$' -fuzztime $(FUZZTIME) ./internal/task
+	$(GO) test -run NONE -fuzz '^FuzzValidateNoPanic$$' -fuzztime $(FUZZTIME) ./internal/task
+	$(GO) test -run NONE -fuzz '^FuzzGenerateSatisfiesSpec$$' -fuzztime $(FUZZTIME) ./internal/uam
+	$(GO) test -run NONE -fuzz '^FuzzCheckTraceNoPanic$$' -fuzztime $(FUZZTIME) ./internal/uam
 
 # CPU + heap profiles of the canonical metrics fold; inspect with
 # `go tool pprof cpu.pprof`.

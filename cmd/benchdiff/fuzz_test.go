@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzParse throws arbitrary bytes at the bench-json parser. A document
+// either parses into a report every downstream consumer can trust —
+// non-empty, finite non-negative timings, a finite total — or is
+// rejected with an error; it must never panic, and the outcome must be
+// deterministic.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`{"profile":"quick","jobs":4,"experiments":[{"id":"fig9","seconds":1.5},{"id":"thm2","seconds":0.25}]}`))
+	f.Add([]byte(`{"profile":"full","jobs":1,"experiments":[]}`))
+	f.Add([]byte(`{"experiments":[{"id":"","seconds":1}]}`))
+	f.Add([]byte(`{"experiments":[{"id":"x","seconds":-3}]}`))
+	f.Add([]byte(`{"experiments":[{"id":"x","seconds":1e999}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r1, err1 := parse("fuzz", data)
+		r2, err2 := parse("fuzz", data)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("parse not deterministic: err1=%v err2=%v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		b1, _ := json.Marshal(r1)
+		b2, _ := json.Marshal(r2)
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("parse not deterministic:\n%s\n%s", b1, b2)
+		}
+		if len(r1.Experiments) == 0 {
+			t.Fatal("parse accepted a document with no experiments")
+		}
+		for _, e := range r1.Experiments {
+			if e.ID == "" {
+				t.Fatal("parse accepted an empty experiment id")
+			}
+			if e.Seconds < 0 || math.IsNaN(e.Seconds) || math.IsInf(e.Seconds, 0) {
+				t.Fatalf("parse accepted invalid seconds %v for %s", e.Seconds, e.ID)
+			}
+		}
+		if tot := total(r1); tot < 0 || math.IsNaN(tot) || math.IsInf(tot, 0) {
+			t.Fatalf("accepted document has invalid total %v", tot)
+		}
+	})
+}

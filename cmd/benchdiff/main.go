@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 )
 
@@ -42,20 +43,36 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// parse validates one bench-json document from its raw bytes. Every
+// invariant the diff below relies on is enforced here: at least one
+// experiment, non-empty ids, and finite non-negative seconds (ratios
+// of negative or non-finite timings would render nonsense verdicts).
+func parse(name string, b []byte) (*benchReport, error) {
+	var r benchReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if len(r.Experiments) == 0 {
+		return nil, fmt.Errorf("%s: no experiments", name)
+	}
+	for _, e := range r.Experiments {
+		if e.ID == "" {
+			return nil, fmt.Errorf("%s: experiment with empty id", name)
+		}
+		if e.Seconds < 0 || math.IsNaN(e.Seconds) || math.IsInf(e.Seconds, 0) {
+			return nil, fmt.Errorf("%s: experiment %s: invalid seconds %v", name, e.ID, e.Seconds)
+		}
+	}
+	return &r, nil
+}
+
 // load reads and validates one bench-json document.
 func load(path string) (*benchReport, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var r benchReport
-	if err := json.Unmarshal(b, &r); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	if len(r.Experiments) == 0 {
-		return nil, fmt.Errorf("%s: no experiments", path)
-	}
-	return &r, nil
+	return parse(path, b)
 }
 
 // total sums a document's seconds.

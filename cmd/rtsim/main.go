@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/fault"
 	"repro/internal/runner"
 	"repro/internal/trace"
 	"repro/internal/trace/span"
@@ -61,6 +62,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceSim := fs.String("trace-sim", experiment.TraceSimUni, "traced simulator: uni, multi, or global")
 	traceMode := fs.String("trace-mode", "lockfree", "traced synchronization mode: lockfree or lockbased")
 	checkBounds := fs.Bool("check-bounds", false, "run the Theorem 2/3 bound-check suite; exit 1 on any violation")
+	faults := fs.String("faults", "", "inject a deterministic fault plan into traced runs: off, light, heavy, or key=value pairs (see internal/fault)")
+	faultSeed := fs.Int64("fault-seed", 0, "override the fault plan's seed (0 keeps the plan's own)")
 	reportDir := fs.String("report", "", "write the canonical-workload CSV+HTML report into `dir` (experiment args become its figure sections)")
 	metrics := fs.Bool("metrics", false, "print the canonical-workload metrics digest")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to `file`")
@@ -93,6 +96,16 @@ observability:
   -check-bounds        check observed retries and sojourns against the
                        Theorem 2/3 bounds across the trace suite; any
                        violation exits 1
+  -faults PLAN         inject a seeded, deterministic fault plan (arrival
+                       bursts/jitter, execution overruns, phantom CAS
+                       failures, scheduler stalls) into every traced run:
+                       off, light, heavy, or comma-separated key=value
+                       pairs (seed, burstp, burstn, jitterp, jitterus,
+                       overrunp, overrunfrac, casp, casmax, stallp,
+                       stallus, intensity); bound checks re-run against
+                       the plan's inflated arrival curves and flag
+                       model-exceeding violations as expected
+  -fault-seed N        override the fault plan's seed (0 keeps it)
   -metrics             fold the canonical workload on every simulator ×
                        mode into distribution digests (p50/p95/p99/max
                        vs the Theorem 2/3 bounds) and print them
@@ -130,6 +143,17 @@ experiments:
 		return 2
 	}
 	p.Jobs = *jobs
+	if *faults != "" {
+		plan, err := fault.ParsePlan(*faults)
+		if err != nil {
+			fmt.Fprintf(stderr, "rtsim: %v\n", err)
+			return 2
+		}
+		if *faultSeed != 0 && plan != nil {
+			plan.Seed = *faultSeed
+		}
+		p.Fault = plan
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -651,6 +651,7 @@ var Registry = map[string]Runner{
 	"multicpu":        MultiCPU,
 	"globalcpu":       GlobalCPU,
 	"lockdisc":        LockDisciplines,
+	"faults":          FaultSweep,
 }
 
 // Names returns the registered experiment ids in sorted order.

@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/rtime"
+	"repro/internal/rua"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/uam"
+)
+
+// FaultSweep sweeps the heavy fault plan's intensity from 0 (fault-free)
+// to 1 and contrasts lock-free RUA with and without admission-control
+// shedding. It is the overload/robustness experiment the paper's §6 does
+// not run but its §3.5 abort-handler model invites: as injected arrival
+// bursts, execution overruns, phantom CAS failures, and scheduler stalls
+// intensify, accrued utility should degrade gracefully — and the
+// shedding variant should convert doomed-job thrash into early aborts
+// without ever dropping a feasible job.
+//
+// Determinism: the plan seed is fixed and injection decisions are pure
+// hashes of (seed, task, indices), so every cell is a pure function of
+// its grid slot; cells fan out on runner.Map and merge by index, making
+// the rendered table byte-identical for any Jobs value.
+func FaultSweep(p Profile) ([]*Table, error) {
+	t := &Table{
+		ID:    "faults",
+		Title: "fault-injection sweep: lock-free RUA, plain vs admission-control shedding",
+		Note: fmt.Sprintf("heavy plan scaled by intensity; r=%v s=%v; mean ± 95%% CI over %d seeds",
+			DefaultR, DefaultS, len(p.Seeds)),
+		Columns: []string{"intensity", "AUR_plain", "AUR_shed", "CMR_plain", "CMR_shed",
+			"inj_retries", "overruns", "stalls", "sheds"},
+	}
+	intensities := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	if p.Name == Quick.Name {
+		intensities = []float64{0, 0.5, 1.0}
+	}
+	w := WorkloadSpec{
+		NumTasks: 10, NumObjects: 5, AccessesPerJob: 4,
+		MeanExec: 500 * rtime.Microsecond, TargetAL: 1.0,
+		Class: StepTUFs, MaxArrivals: 2,
+	}
+	template, err := w.Build()
+	if err != nil {
+		return nil, err
+	}
+	horizon := horizonFor(template, p)
+
+	base := fault.Heavy()
+	base.Seed = 1
+
+	// Grid: intensity × seed × {plain, shed}; index-addressed results.
+	type cell struct {
+		stats      metrics.RunStats
+		injRetries int64
+		overruns   int64
+		stalls     int64
+		sheds      int64
+	}
+	nSeeds := len(p.Seeds)
+	cells, err := runner.Map(p.Jobs, len(intensities)*nSeeds*2, func(i int) (cell, error) {
+		ii := i / (2 * nSeeds)
+		seed := p.Seeds[(i/2)%nSeeds]
+		shed := i%2 == 1
+		plan := base.Scale(intensities[ii])
+		s := rua.NewLockFree()
+		if shed {
+			s = s.WithDegradation()
+		}
+		res, err := sim.Run(sim.Config{
+			Tasks: task.CloneAll(template), Scheduler: s, Mode: sim.LockFree,
+			R: DefaultR, S: DefaultS, OpCost: DefaultOpCost,
+			Horizon: horizon, ArrivalKind: uam.KindJittered, Seed: seed,
+			ConservativeRetry: true, Fault: plan,
+		})
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{
+			stats:      metrics.Analyze(res),
+			injRetries: res.FaultRetries,
+			overruns:   res.FaultOverruns,
+			stalls:     res.FaultStalls,
+			sheds:      res.SchedAborts,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ii, intensity := range intensities {
+		var plain, shed []metrics.RunStats
+		var injRetries, overruns, stalls, sheds int64
+		for si := 0; si < nSeeds; si++ {
+			idx := (ii*nSeeds + si) * 2
+			plain = append(plain, cells[idx].stats)
+			shed = append(shed, cells[idx+1].stats)
+			for _, c := range []cell{cells[idx], cells[idx+1]} {
+				injRetries += c.injRetries
+				overruns += c.overruns
+				stalls += c.stalls
+			}
+			sheds += cells[idx+1].sheds
+		}
+		t.AddRow(intensity,
+			means(plain, func(s metrics.RunStats) float64 { return s.AUR }).String(),
+			means(shed, func(s metrics.RunStats) float64 { return s.AUR }).String(),
+			means(plain, func(s metrics.RunStats) float64 { return s.CMR }).String(),
+			means(shed, func(s metrics.RunStats) float64 { return s.CMR }).String(),
+			injRetries, overruns, stalls, sheds,
+		)
+	}
+	return []*Table{t}, nil
+}

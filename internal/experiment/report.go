@@ -75,10 +75,7 @@ func BuildReport(p Profile, figIDs []string) (*report.Report, error) {
 		// Theorem 2's model (see internal/gsim), so its runs carry no
 		// bound check; uni and multi check every seed's spans.
 		if combo.sim != TraceSimGlobal {
-			rep, err := check.Check(spans, tr.Tasks, check.Config{
-				Theorem2: true, Theorem3: true,
-				LockBased: combo.lockBased, R: DefaultR, S: DefaultS,
-			})
+			rep, err := check.Check(spans, tr.Tasks, boundCheckConfig(p, combo.lockBased, tr.Tasks))
 			if err != nil {
 				return outcome{}, err
 			}
@@ -124,6 +121,9 @@ func BuildReport(p Profile, figIDs []string) (*report.Report, error) {
 					sojourn.Add(s.Sojourn().Micros())
 				case span.Aborted:
 					run.Aborted++
+				}
+				if s.Shed {
+					run.Shed++
 				}
 				run.Jobs++
 			}

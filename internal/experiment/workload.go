@@ -8,6 +8,7 @@ package experiment
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/rtime"
 	"repro/internal/task"
 	"repro/internal/tuf"
@@ -156,6 +157,15 @@ type Profile struct {
 	// are merged by index, so rendered tables are byte-identical for any
 	// Jobs value — see DESIGN.md "Parallel experiment engine".
 	Jobs int
+
+	// Fault, when non-nil and active, is injected into every traced run
+	// (RunTrace) and the bound-check suite (CheckBounds): lock-free trace
+	// runs get the admission-control RUA variant so sheds appear in the
+	// timeline, and bounds are re-checked against the plan's effective
+	// (inflated) arrival curves with model-exceeding violations flagged
+	// expected. Nil (or a zero plan) leaves every run byte-identical to
+	// the fault-free path. See DESIGN.md §5e.
+	Fault *fault.Plan
 }
 
 // Quick is a small profile for unit tests (one seed, short horizon).

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fault"
 	"repro/internal/resource"
 	"repro/internal/rtime"
 	"repro/internal/sched"
@@ -57,6 +58,12 @@ type Config struct {
 	// processor (or -1 for unbound events: arrivals, aborts, scheduler
 	// passes — the global scheduler runs on no particular CPU).
 	Observer func(trace.Event)
+
+	// Fault, when active, injects deterministic faults exactly as
+	// sim.Config.Fault does; see internal/fault. Phantom-writer CAS
+	// failures compose with this engine's real commit-time validation:
+	// a commit must survive both to land.
+	Fault *fault.Plan
 }
 
 func (c *Config) validate() error {
@@ -167,6 +174,7 @@ func (h *eventHeap) pop() event {
 type jobState struct {
 	accessStart rtime.Time
 	midAccess   bool
+	casAttempt  int // phantom-CAS failures suffered on the current access
 }
 
 // Engine executes one global multiprocessor run.
@@ -239,8 +247,15 @@ func New(cfg Config) (*Engine, error) {
 			}
 			tr = g.Generate(cfg.ArrivalKind, cfg.Horizon)
 		}
+		tr, injected := cfg.Fault.PerturbArrivals(t.ID, tr, cfg.Horizon)
+		u := t.ComputeTime()
 		for k, at := range tr {
-			e.push(event{at: at, kind: evArrival, job: task.NewJob(t, k, at)})
+			j := task.NewJob(t, k, at)
+			if injected != nil && injected[k] {
+				j.Injected = true
+			}
+			j.SetOverrun(cfg.Fault.Overrun(t.ID, k, u))
+			e.push(event{at: at, kind: evArrival, job: j})
 		}
 	}
 	return e, nil
@@ -280,13 +295,13 @@ func (e *Engine) emit(at rtime.Time, kind trace.Kind, j *task.Job, obj, cpu int)
 	e.cfg.Observer(trace.Event{At: at, Kind: kind, Task: j.Task.ID, Seq: j.Seq, Object: obj, CPU: cpu})
 }
 
-// emitSched reports a scheduler pass (no job, no CPU: the global
+// emitSched reports a scheduler-level event (no job, no CPU: the global
 // scheduler is not bound to a processor in this model).
-func (e *Engine) emitSched(at rtime.Time, ops int64) {
+func (e *Engine) emitSched(at rtime.Time, kind trace.Kind, ops int64) {
 	if e.cfg.Observer == nil {
 		return
 	}
-	e.cfg.Observer(trace.Event{At: at, Kind: trace.SchedPass, Task: -1, Seq: -1, Object: -1, CPU: -1, Ops: ops})
+	e.cfg.Observer(trace.Event{At: at, Kind: kind, Task: -1, Seq: -1, Object: -1, CPU: -1, Ops: ops})
 }
 
 // Run executes to the horizon.
@@ -312,6 +327,14 @@ func (e *Engine) Run() sim.Result {
 			e.all = append(e.all, j)
 			e.res1.Arrivals++
 			e.emit(e.now, trace.Arrival, j, -1, -1)
+			if j.Injected {
+				e.res1.FaultArrivals++
+				e.emit(e.now, trace.FaultArrival, j, -1, -1)
+			}
+			if j.Overrun > 0 {
+				e.res1.FaultOverruns++
+				e.emit(e.now, trace.FaultOverrun, j, -1, -1)
+			}
 			e.push(event{at: j.AbsoluteCriticalTime(), kind: evCritical, job: j})
 			needResched = true
 		case evCritical:
@@ -395,15 +418,30 @@ func (e *Engine) settleCPU(cpu int) bool {
 			if e.cfg.Mode == sim.LockFree {
 				// Commit-time validation: a conflicting commit since this
 				// access began fails the CAS; re-run the access.
-				if e.res.CommittedAfter(obj, e.st(j).accessStart) {
+				st := e.st(j)
+				if e.res.CommittedAfter(obj, st.accessStart) {
 					j.SegIdx--
 					j.SegDone = 0
 					j.Retries++
 					e.emit(e.runPos[cpu], trace.Retry, j, obj, cpu)
-					e.st(j).accessStart = e.runPos[cpu]
+					st.accessStart = e.runPos[cpu]
 					e.pushInternal(cpu, e.runPos[cpu].Add(j.TimeToBoundary(e.acc)))
 					continue
 				}
+				// A commit that survives real validation can still lose to
+				// an injected phantom writer.
+				if e.cfg.Fault.PhantomCAS(j.Task.ID, j.Seq, j.SegIdx-1, st.casAttempt) {
+					st.casAttempt++
+					j.SegIdx--
+					j.SegDone = 0
+					j.Retries++
+					e.res1.FaultRetries++
+					e.emit(e.runPos[cpu], trace.FaultRetry, j, obj, cpu)
+					st.accessStart = e.runPos[cpu]
+					e.pushInternal(cpu, e.runPos[cpu].Add(j.TimeToBoundary(e.acc)))
+					continue
+				}
+				st.casAttempt = 0
 				e.res.RecordCommit(obj, e.runPos[cpu])
 				e.emit(e.runPos[cpu], trace.Commit, j, obj, cpu)
 				e.pushInternal(cpu, e.runPos[cpu].Add(j.TimeToBoundary(e.acc)))
@@ -487,12 +525,32 @@ func (e *Engine) reschedule() {
 		Acc:       e.acc,
 		LockBased: e.cfg.Mode == sim.LockBased,
 	}
-	ranked, ops := e.cfg.Scheduler.SelectTopK(w, len(e.live))
+	var ranked, aborts []*task.Job
+	var ops int64
+	if ab, ok := e.cfg.Scheduler.(sched.TopKAborter); ok {
+		// Schedulers with abort decisions (RUA's admission-control
+		// shedding) surface them here; plain TopK schedulers cannot.
+		ranked, aborts, ops = ab.SelectTopKAbort(w, len(e.live))
+	} else {
+		ranked, ops = e.cfg.Scheduler.SelectTopK(w, len(e.live))
+	}
 	e.res1.SchedInvocations++
 	e.res1.SchedOps += ops
-	e.emitSched(e.now, ops)
+	e.emitSched(e.now, trace.SchedPass, ops)
 	overhead := rtime.Duration(math.Round(float64(ops) * e.cfg.OpCost))
 	e.res1.Overhead += overhead
+	if stall := e.cfg.Fault.Stall(e.res1.SchedInvocations); stall > 0 {
+		e.res1.FaultStalls++
+		e.res1.StallTime += stall
+		e.emitSched(e.now, trace.FaultStall, int64(stall))
+		overhead += stall
+	}
+	e.res1.SchedAborts += int64(len(aborts))
+	for _, v := range aborts {
+		if !v.Done() {
+			e.abort(v)
+		}
+	}
 	e.dispatchGen++
 	e.pendingRun = ranked
 	start := rtime.MaxTime(e.busyUntil, e.now)

@@ -1,0 +1,458 @@
+package lockfree
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// Stress tests: every structure under real concurrent load on real
+// atomics, designed to run under -race. Each test encodes the
+// structure's own invariant — element conservation and per-producer
+// FIFO for the queues, conservation for the stack, linearizable set
+// semantics for the list, strict SPSC ordering for the ring, lost-
+// update freedom for the register, and cross-component consistency for
+// the snapshot — rather than just "does not crash".
+
+// stressN scales iteration counts down under -short and up when many
+// cores are available to actually interleave.
+func stressN(t *testing.T, full int) int {
+	t.Helper()
+	if testing.Short() {
+		return full / 10
+	}
+	return full
+}
+
+// item tags a value with its producer and per-producer sequence so
+// consumers can check conservation and order.
+type item struct {
+	producer int
+	seq      int
+}
+
+// checkConservation asserts every (producer, seq) in [0,perProducer)
+// × [0,producers) was consumed exactly once, and that each consumer saw
+// each producer's items in FIFO order when fifo is set.
+func checkConservation(t *testing.T, consumed [][]item, producers, perProducer int, fifo bool) {
+	t.Helper()
+	seen := make([][]bool, producers)
+	for p := range seen {
+		seen[p] = make([]bool, perProducer)
+	}
+	total := 0
+	for ci, items := range consumed {
+		last := make([]int, producers)
+		for p := range last {
+			last[p] = -1
+		}
+		for _, it := range items {
+			if it.producer < 0 || it.producer >= producers || it.seq < 0 || it.seq >= perProducer {
+				t.Fatalf("consumer %d saw out-of-range item %+v", ci, it)
+			}
+			if seen[it.producer][it.seq] {
+				t.Fatalf("item %+v consumed twice", it)
+			}
+			seen[it.producer][it.seq] = true
+			total++
+			if fifo {
+				if it.seq <= last[it.producer] {
+					t.Fatalf("consumer %d saw producer %d seq %d after seq %d (FIFO violated)",
+						ci, it.producer, it.seq, last[it.producer])
+				}
+				last[it.producer] = it.seq
+			}
+		}
+	}
+	if want := producers * perProducer; total != want {
+		t.Fatalf("consumed %d items, want %d (lost elements)", total, want)
+	}
+}
+
+func TestStressQueue(t *testing.T) {
+	const producers, consumers = 4, 4
+	perProducer := stressN(t, 5000)
+	q := NewQueue[item]()
+	consumed := make([][]item, consumers)
+	var wg sync.WaitGroup
+	var done sync.WaitGroup
+	done.Add(producers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer done.Done()
+			for s := 0; s < perProducer; s++ {
+				q.Enqueue(item{producer: p, seq: s})
+			}
+		}(p)
+	}
+	stop := make(chan struct{})
+	go func() { done.Wait(); close(stop) }()
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				it, ok := q.Dequeue()
+				if ok {
+					consumed[c] = append(consumed[c], it)
+					continue
+				}
+				select {
+				case <-stop:
+					// Producers finished; drain what's left and exit.
+					for {
+						it, ok := q.Dequeue()
+						if !ok {
+							return
+						}
+						consumed[c] = append(consumed[c], it)
+					}
+				default:
+					runtime.Gosched()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	checkConservation(t, consumed, producers, perProducer, true)
+	if q.Len() != 0 {
+		t.Fatalf("drained queue has Len %d", q.Len())
+	}
+}
+
+func TestStressBoundedQueue(t *testing.T) {
+	const producers, consumers, capacity = 4, 4, 8
+	perProducer := stressN(t, 5000)
+	q, err := NewBoundedQueue[item](capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumed := make([][]item, consumers)
+	var wg sync.WaitGroup
+	var done sync.WaitGroup
+	done.Add(producers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer done.Done()
+			for s := 0; s < perProducer; s++ {
+				for !q.Enqueue(item{producer: p, seq: s}) {
+					runtime.Gosched() // full: consumers must make room
+				}
+			}
+		}(p)
+	}
+	stop := make(chan struct{})
+	go func() { done.Wait(); close(stop) }()
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				it, ok := q.Dequeue()
+				if ok {
+					if n := q.Len(); n < 0 || n > capacity {
+						t.Errorf("Len %d outside [0,%d]", n, capacity)
+						return
+					}
+					consumed[c] = append(consumed[c], it)
+					continue
+				}
+				select {
+				case <-stop:
+					for {
+						it, ok := q.Dequeue()
+						if !ok {
+							return
+						}
+						consumed[c] = append(consumed[c], it)
+					}
+				default:
+					runtime.Gosched()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	checkConservation(t, consumed, producers, perProducer, true)
+	if q.Len() != 0 {
+		t.Fatalf("drained queue has Len %d", q.Len())
+	}
+}
+
+func TestStressStack(t *testing.T) {
+	const producers, consumers = 4, 4
+	perProducer := stressN(t, 5000)
+	var st Stack[item]
+	consumed := make([][]item, consumers)
+	var wg sync.WaitGroup
+	var done sync.WaitGroup
+	done.Add(producers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer done.Done()
+			for s := 0; s < perProducer; s++ {
+				st.Push(item{producer: p, seq: s})
+			}
+		}(p)
+	}
+	stop := make(chan struct{})
+	go func() { done.Wait(); close(stop) }()
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				it, ok := st.Pop()
+				if ok {
+					consumed[c] = append(consumed[c], it)
+					continue
+				}
+				select {
+				case <-stop:
+					for {
+						it, ok := st.Pop()
+						if !ok {
+							return
+						}
+						consumed[c] = append(consumed[c], it)
+					}
+				default:
+					runtime.Gosched()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	// LIFO gives no cross-goroutine order guarantee; conservation must
+	// still hold exactly.
+	checkConservation(t, consumed, producers, perProducer, false)
+	if st.Len() != 0 {
+		t.Fatalf("drained stack has Len %d", st.Len())
+	}
+}
+
+func TestStressList(t *testing.T) {
+	const workers = 4
+	perWorker := stressN(t, 2000)
+	l := NewList()
+	var wg sync.WaitGroup
+	// Writers own disjoint key ranges: insert every key, delete the odd
+	// ones, leaving exactly the even keys.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w * perWorker)
+			for k := 0; k < perWorker; k++ {
+				key := base + int64(k)
+				if !l.Insert(key) {
+					t.Errorf("insert %d failed (key owned by this worker)", key)
+					return
+				}
+				if k%2 == 1 {
+					if !l.Delete(key) {
+						t.Errorf("delete %d failed right after insert", key)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Readers: Keys() must always be sorted and duplicate-free, even
+	// mid-churn.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				keys := l.Keys()
+				for i := 1; i < len(keys); i++ {
+					if keys[i] <= keys[i-1] {
+						t.Errorf("Keys() not strictly sorted: %d then %d", keys[i-1], keys[i])
+						return
+					}
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if t.Failed() {
+		return
+	}
+	want := workers * ((perWorker + 1) / 2)
+	if l.Len() != want {
+		t.Fatalf("final Len %d, want %d", l.Len(), want)
+	}
+	for w := 0; w < workers; w++ {
+		base := int64(w * perWorker)
+		for k := 0; k < perWorker; k++ {
+			key := base + int64(k)
+			if got, want := l.Contains(key), k%2 == 0; got != want {
+				t.Fatalf("Contains(%d) = %v, want %v", key, got, want)
+			}
+		}
+	}
+}
+
+// TestStressRing exercises the ring's single-producer single-consumer
+// contract (its only supported concurrency): the consumer must observe
+// exactly 0..n-1 in order.
+func TestStressRing(t *testing.T) {
+	n := stressN(t, 100000)
+	r, err := NewRing[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := 0; v < n; v++ {
+			for !r.Offer(v) {
+				runtime.Gosched()
+			}
+		}
+	}()
+	next := 0
+	for next < n {
+		v, ok := r.Poll()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if v != next {
+			t.Fatalf("ring delivered %d, want %d (SPSC order broken)", v, next)
+		}
+		next++
+	}
+	wg.Wait()
+	if _, ok := r.Poll(); ok {
+		t.Fatal("ring non-empty after consuming every offer")
+	}
+}
+
+func TestStressRegister(t *testing.T) {
+	const writers = 4
+	perWriter := stressN(t, 5000)
+	r := NewRegister(0)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Update(func(v int) int { return v + 1 })
+			}
+		}()
+	}
+	// Readers: the (value, version) pair they see must be monotonically
+	// non-decreasing — versions never go backwards.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var lastVer uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, ver := r.Read()
+				if ver < lastVer {
+					t.Errorf("register version went backwards: %d after %d", ver, lastVer)
+					return
+				}
+				lastVer = ver
+				runtime.Gosched()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if t.Failed() {
+		return
+	}
+	want := writers * perWriter
+	if v, ver := r.Read(); v != want || ver != uint64(want) {
+		t.Fatalf("final (value, version) = (%d, %d), want (%d, %d) — lost updates", v, ver, want, want)
+	}
+}
+
+func TestStressSnapshot(t *testing.T) {
+	const components, scanners = 4, 4
+	perComponent := stressN(t, 5000)
+	s := NewSnapshot(components, 0)
+	var wg sync.WaitGroup
+	// One updater per component (Update is wait-free but single-writer
+	// per cell), counting up by 1.
+	for c := 0; c < components; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for v := 1; v <= perComponent; v++ {
+				s.Update(c, v)
+			}
+		}(c)
+	}
+	stop := make(chan struct{})
+	var scans sync.WaitGroup
+	for sc := 0; sc < scanners; sc++ {
+		scans.Add(1)
+		go func() {
+			defer scans.Done()
+			prev := make([]int, components)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := s.Scan()
+				for i, v := range snap {
+					// Values count up, so a linearizable scan can never
+					// observe a component going backwards across scans.
+					if v < prev[i] {
+						t.Errorf("scan component %d went backwards: %d after %d", i, v, prev[i])
+						return
+					}
+					prev[i] = v
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scans.Wait()
+	if t.Failed() {
+		return
+	}
+	final := s.Scan()
+	vers := s.Versions()
+	for i := 0; i < components; i++ {
+		if final[i] != perComponent || vers[i] != uint64(perComponent) {
+			t.Fatalf("component %d final (value, version) = (%d, %d), want (%d, %d)",
+				i, final[i], vers[i], perComponent, perComponent)
+		}
+	}
+}

@@ -309,10 +309,14 @@ func FromEvents(events []trace.Event, horizon rtime.Time, cfg Config) (*Series, 
 			p.Blocks++
 		case trace.Retry:
 			p.Retries++
+		case trace.FaultRetry:
+			// A phantom-writer retry is still a retry of the job.
+			p.Retries++
 		case trace.Commit:
 			p.Commits++
-		case trace.LockAcquire, trace.LockRelease:
-			// Markers only.
+		case trace.LockAcquire, trace.LockRelease, trace.FaultArrival, trace.FaultOverrun, trace.Shed:
+			// Markers only. (FaultStall carries Task=-1 and is skipped with
+			// the other scheduler-level events above.)
 		case trace.Complete:
 			leave()
 			phase[k] = phaseDone

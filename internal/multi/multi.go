@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/rtime"
 	"repro/internal/rua"
@@ -50,6 +51,12 @@ type Config struct {
 	ArrivalKind       uam.Kind
 	Seed              int64
 	ConservativeRetry bool
+
+	// Fault, when non-nil and active, injects the same seeded fault plan
+	// into every partition engine. The plan is shared unchanged: decisions
+	// are pure hashes of (plan seed, task ID, indices), so a task is
+	// perturbed identically regardless of which CPU it lands on.
+	Fault *fault.Plan
 
 	// Observer, when non-nil, receives every partition engine's trace
 	// events with Event.CPU rewritten to the partition index. Partitions
@@ -215,6 +222,7 @@ func Run(cfg Config) (Result, error) {
 			ArrivalKind:       cfg.ArrivalKind,
 			Seed:              cfg.Seed + int64(cpu)*104729,
 			ConservativeRetry: cfg.ConservativeRetry,
+			Fault:             cfg.Fault,
 			Observer:          obs,
 		})
 		if err != nil {
@@ -230,6 +238,12 @@ func Run(cfg Config) (Result, error) {
 		merged.SchedOps += r.SchedOps
 		merged.Overhead += r.Overhead
 		merged.ExecTime += r.ExecTime
+		merged.FaultArrivals += r.FaultArrivals
+		merged.FaultOverruns += r.FaultOverruns
+		merged.FaultRetries += r.FaultRetries
+		merged.FaultStalls += r.FaultStalls
+		merged.SchedAborts += r.SchedAborts
+		merged.StallTime += r.StallTime
 	}
 	res.Stats = metrics.Analyze(merged)
 	return res, nil

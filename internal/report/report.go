@@ -57,6 +57,7 @@ type Run struct {
 	Jobs      int64
 	Completed int64
 	Aborted   int64
+	Shed      int64 // admission-control drops (subset of Aborted), fault runs only
 
 	Dists  []Dist
 	Series *series.Series
@@ -290,8 +291,12 @@ func (r *Report) WriteText(w io.Writer) error {
 	fmt.Fprintf(&b, "metrics: %s workload=%s profile=%s runs=%d\n", r.Title, r.Workload, r.Profile, len(r.Runs))
 	for i := range r.Runs {
 		run := &r.Runs[i]
-		fmt.Fprintf(&b, "run %s sim=%s mode=%s seeds=%d jobs=%d completed=%d aborted=%d violations=%d\n",
-			run.Name, run.Sim, run.Mode, len(run.Seeds), run.Jobs, run.Completed, run.Aborted, len(run.Violations()))
+		shed := ""
+		if run.Shed > 0 {
+			shed = fmt.Sprintf(" shed=%d", run.Shed)
+		}
+		fmt.Fprintf(&b, "run %s sim=%s mode=%s seeds=%d jobs=%d completed=%d aborted=%d%s violations=%d\n",
+			run.Name, run.Sim, run.Mode, len(run.Seeds), run.Jobs, run.Completed, run.Aborted, shed, len(run.Violations()))
 		for _, d := range run.Dists {
 			s := d.Hist.Summarize()
 			bound := "-"

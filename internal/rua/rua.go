@@ -34,6 +34,7 @@ import (
 // pure: reuse changes allocation behaviour only, never op counts.
 type RUA struct {
 	lockFree bool
+	degrade  bool
 	observer func(trace.Event)
 
 	// Per-Select scratch, reset (not reallocated) on every pass.
@@ -57,6 +58,20 @@ func NewLockBased() *RUA { return &RUA{lockFree: false} }
 // construction drops from O(n² log n) to O(n²).
 func NewLockFree() *RUA { return &RUA{lockFree: true} }
 
+// WithDegradation enables graceful degradation (admission control under
+// overload): a job that fails its feasibility test AND can no longer
+// meet its critical time even running alone from now on is shed —
+// aborted immediately — instead of lingering to thrash the scheduler
+// and burn its abort handler at critical-time expiry. The laxity test
+// guarantees a job is never shed while it could still complete: in
+// particular, a job feasible at its release cannot be shed at release.
+// Each shed is reported to the observer as a trace.Shed event and rides
+// on Decision.Abort. Returns the receiver for chaining.
+func (r *RUA) WithDegradation() *RUA {
+	r.degrade = true
+	return r
+}
+
 // SetObserver attaches a trace observer that receives one FeasOK or
 // FeasFail event per job examined in step 5 of each scheduling pass
 // (Task/Seq name the examined job, Ops the operations charged while
@@ -74,10 +89,14 @@ func (r *RUA) emitFeas(at rtime.Time, kind trace.Kind, j *task.Job, ops int64) {
 
 // Name implements sched.Scheduler.
 func (r *RUA) Name() string {
+	name := "rua-lockbased"
 	if r.lockFree {
-		return "rua-lockfree"
+		name = "rua-lockfree"
 	}
-	return "rua-lockbased"
+	if r.degrade {
+		name += "+shed"
+	}
+	return name
 }
 
 // entry is one slot of the (tentative) schedule: a job and its effective
@@ -273,6 +292,21 @@ func (r *RUA) SelectTopK(w sched.World, k int) ([]*task.Job, int64) {
 	return out, d.Ops
 }
 
+// SelectTopKAbort implements sched.TopKAborter: SelectTopK plus the
+// pass's abort decisions (deadlock victims, degradation sheds), so
+// global engines can honor them.
+func (r *RUA) SelectTopKAbort(w sched.World, k int) (ranked, abort []*task.Job, ops int64) {
+	d, entries := r.selectFull(w)
+	out := make([]*task.Job, 0, k)
+	for _, e := range entries {
+		if len(out) == k {
+			break
+		}
+		out = append(out, e.job)
+	}
+	return out, d.Abort, d.Ops
+}
+
 // Select implements sched.Scheduler — the full RUA pass of §3:
 // dependency chains, deadlock handling, PUDs, PUD-ordered examination,
 // ECF insertion with feasibility testing, and head dispatch.
@@ -414,6 +448,19 @@ func (r *RUA) selectFull(w sched.World) (sched.Decision, []entry) {
 		} else {
 			cur.rollback(m)
 			r.emitFeas(w.Now, trace.FeasFail, j, ops-before)
+			if r.degrade {
+				// Admission control: a job that cannot meet its critical
+				// time even running alone from now on is doomed — shed it
+				// now rather than letting it thrash subsequent passes. The
+				// laxity comparison is one charged operation.
+				ops++
+				if w.Now.Add(j.Remaining(w.Acc)).After(j.AbsoluteCriticalTime()) {
+					aborts = append(aborts, j)
+					if r.observer != nil {
+						r.observer(trace.Event{At: w.Now, Kind: trace.Shed, Task: j.Task.ID, Seq: j.Seq, Object: -1})
+					}
+				}
+			}
 		}
 	}
 

@@ -18,6 +18,18 @@ type TopK interface {
 	SelectTopK(w World, k int) ([]*task.Job, int64)
 }
 
+// TopKAborter extends TopK for schedulers whose ranking pass also
+// produces abort decisions — RUA's admission-control shedding under
+// overload. Global engines consult this interface when present so shed
+// jobs actually leave the system instead of being silently re-ranked
+// every pass.
+type TopKAborter interface {
+	TopK
+	// SelectTopKAbort is SelectTopK plus the pass's abort list, in
+	// deterministic order.
+	SelectTopKAbort(w World, k int) (ranked, abort []*task.Job, ops int64)
+}
+
 // SelectTopK implements TopK for EDF: the k earliest critical times.
 func (e EDF) SelectTopK(w World, k int) ([]*task.Job, int64) {
 	return topKBy(w, k, func(a, b *task.Job) bool { return earlier(a, b) })

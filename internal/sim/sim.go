@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fault"
 	"repro/internal/resource"
 	"repro/internal/rtime"
 	"repro/internal/sched"
@@ -98,6 +99,14 @@ type Config struct {
 	// between (the adversary Theorem 2 bounds); false retries only when a
 	// conflicting commit actually landed on the same object.
 	ConservativeRetry bool
+
+	// Fault, when active, injects deterministic faults (internal/fault):
+	// arrival jitter/bursts applied to the generated or explicit traces,
+	// per-job execution overruns, phantom-writer CAS failures on
+	// lock-free commits, and transient CPU stalls at scheduler passes.
+	// A nil or inactive plan leaves the run bit-for-bit identical to one
+	// without the field.
+	Fault *fault.Plan
 }
 
 func (c *Config) validate() error {
@@ -167,14 +176,23 @@ type Result struct {
 	AccessTime rtime.Duration
 	Accesses   int64
 
+	// Fault-injection accounting; all zero on fault-free runs.
+	FaultArrivals int64 // jobs whose release was jittered or injected
+	FaultOverruns int64 // jobs carrying hidden execution demand
+	FaultRetries  int64 // lock-free retries forced by phantom writers
+	FaultStalls   int64 // scheduler passes hit by a transient stall
+	SchedAborts   int64 // jobs aborted by scheduler decision (sheds, deadlock victims)
+
+	StallTime rtime.Duration // CPU time lost to injected stalls
+
 	Horizon rtime.Time
 	Err     error
 }
 
 // Busy returns the total CPU time consumed: job execution, scheduler
-// overhead, and abort handlers.
+// overhead, abort handlers, and injected stalls.
 func (r Result) Busy() rtime.Duration {
-	return r.ExecTime + r.Overhead + r.HandlerTime
+	return r.ExecTime + r.Overhead + r.HandlerTime + r.StallTime
 }
 
 // Utilization returns Busy divided by the horizon, the processor's
@@ -269,6 +287,8 @@ type runState struct {
 
 	entrySeg  int        // segment index of the stamped access entry (-1 none)
 	entryTime rtime.Time // when the job first reached that access boundary
+
+	casAttempt int // phantom-CAS failures suffered on the current access
 }
 
 // Engine executes one configured run.
@@ -318,6 +338,7 @@ func New(cfg Config) (*Engine, error) {
 		e.acc = cfg.S
 	}
 	traces := make([]uam.Trace, len(cfg.Tasks))
+	injected := make([][]bool, len(cfg.Tasks))
 	arrivals := 0
 	for i, t := range cfg.Tasks {
 		if cfg.Arrivals != nil {
@@ -331,6 +352,10 @@ func New(cfg Config) (*Engine, error) {
 			}
 			traces[i] = g.Generate(cfg.ArrivalKind, cfg.Horizon)
 		}
+		// Fault injection perturbs the releases AFTER generation (or on
+		// top of explicit traces), keyed purely by (plan seed, task id,
+		// arrival index) so every engine perturbs a task identically.
+		traces[i], injected[i] = cfg.Fault.PerturbArrivals(t.ID, traces[i], cfg.Horizon)
 		arrivals += len(traces[i])
 	}
 	// Each arrival contributes at most an arrival plus a critical-time
@@ -341,8 +366,13 @@ func New(cfg Config) (*Engine, error) {
 	e.allJobs = make([]*task.Job, 0, arrivals)
 	e.rstates = make(map[*task.Job]*runState, arrivals)
 	for i, t := range cfg.Tasks {
+		u := t.ComputeTime()
 		for k, at := range traces[i] {
 			j := task.NewJob(t, k, at)
+			if injected[i] != nil && injected[i][k] {
+				j.Injected = true
+			}
+			j.SetOverrun(cfg.Fault.Overrun(t.ID, k, u))
 			e.push(event{at: at, kind: evArrival, job: j})
 		}
 	}
@@ -429,6 +459,14 @@ func (e *Engine) Run() Result {
 			e.allJobs = append(e.allJobs, j)
 			e.res1.Arrivals++
 			e.emit(e.now, trace.Arrival, j, -1)
+			if j.Injected {
+				e.res1.FaultArrivals++
+				e.emit(e.now, trace.FaultArrival, j, -1)
+			}
+			if j.Overrun > 0 {
+				e.res1.FaultOverruns++
+				e.emit(e.now, trace.FaultOverrun, j, -1)
+			}
 			e.push(event{at: j.AbsoluteCriticalTime(), kind: evCritical, job: j})
 			needResched = true
 		case evCritical:
@@ -509,12 +547,29 @@ func (e *Engine) settle() bool {
 			return true
 		case task.StepAccessEnd:
 			obj := j.Task.Segments[j.SegIdx-1].Object
-			if st := e.rs(j); st.entrySeg == j.SegIdx-1 {
+			st := e.rs(j)
+			if e.cfg.Mode == LockFree && e.cfg.Fault.PhantomCAS(j.Task.ID, j.Seq, j.SegIdx-1, st.casAttempt) {
+				// An injected phantom writer wins the commit race: the
+				// access retries without any real conflicting commit. The
+				// entry stamp survives, so AccessTime keeps accumulating
+				// through the retry like it does for real interference.
+				st.casAttempt++
+				j.SegIdx--
+				j.SegDone = 0
+				j.Retries++
+				e.res1.FaultRetries++
+				e.emit(e.runPos, trace.FaultRetry, j, obj)
+				st.accessStart = e.runPos
+				e.pushInternal(e.runPos.Add(j.TimeToBoundary(e.acc)))
+				continue
+			}
+			if st.entrySeg == j.SegIdx-1 {
 				e.res1.AccessTime += e.runPos.Sub(st.entryTime)
 				e.res1.Accesses++
 				st.entrySeg = -1
 			}
 			if e.cfg.Mode == LockFree {
+				st.casAttempt = 0
 				e.res.RecordCommit(obj, e.runPos)
 				e.emit(e.runPos, trace.Commit, j, obj)
 				e.pushInternal(e.runPos.Add(j.TimeToBoundary(e.acc)))
@@ -628,6 +683,16 @@ func (e *Engine) reschedule() {
 	e.emitSched(e.now, trace.SchedPass, d.Ops)
 	overhead := rtime.Duration(math.Round(float64(d.Ops) * e.cfg.OpCost))
 	e.res1.Overhead += overhead
+	if stall := e.cfg.Fault.Stall(e.res1.SchedInvocations); stall > 0 {
+		// A transient CPU stall lands on this pass: the processor is
+		// occupied for the extra ticks exactly like scheduler overhead,
+		// but accounted separately.
+		e.res1.FaultStalls++
+		e.res1.StallTime += stall
+		e.emitSched(e.now, trace.FaultStall, int64(stall))
+		overhead += stall
+	}
+	e.res1.SchedAborts += int64(len(d.Abort))
 	for _, v := range d.Abort {
 		e.beginAbort(v)
 	}

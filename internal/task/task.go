@@ -304,6 +304,16 @@ type Job struct {
 	Blockings int64 // lock-based blocking episodes (the basis of B_i)
 	Preempts  int64 // times preempted while running
 	Disp      int64 // times dispatched
+
+	// Fault injection (internal/fault). Overrun is extra execution
+	// demand hidden in segment OverrunSeg: the execution substrate
+	// (Step, TimeToBoundary) pays it, but Remaining — what schedulers
+	// plan against — keeps reporting the declared demand, exactly like
+	// a real job running past its declared c_i. Injected marks a job
+	// whose release was perturbed (jittered or burst-injected).
+	Overrun    rtime.Duration
+	OverrunSeg int
+	Injected   bool
 }
 
 // NewJob returns a fresh job for the j-th invocation of t released at ar.
@@ -331,7 +341,29 @@ func (j *Job) segLen(acc rtime.Duration) rtime.Duration {
 	case Lock, Unlock:
 		return 0
 	default:
-		return s.D
+		d := s.D
+		if j.Overrun > 0 && j.SegIdx == j.OverrunSeg {
+			d += j.Overrun
+		}
+		return d
+	}
+}
+
+// SetOverrun injects extra execution demand d into the job's first
+// compute segment. Only the execution substrate pays it — Remaining
+// still reports the declared demand — so schedulers and feasibility
+// tests keep planning against the task's advertised c_i while the job
+// actually runs long. No-op when d ≤ 0 or the task has no compute
+// segment.
+func (j *Job) SetOverrun(d rtime.Duration) {
+	if d <= 0 {
+		return
+	}
+	for k, s := range j.Task.Segments {
+		if s.Kind == Compute {
+			j.Overrun, j.OverrunSeg = d, k
+			return
+		}
 	}
 }
 

@@ -47,7 +47,7 @@ func WritePerfetto(w io.Writer, events []Event) error {
 		switch e.Kind {
 		case Dispatch:
 			cpuSet[cpu0(e.CPU)] = true
-		case SchedPass, FeasOK, FeasFail:
+		case SchedPass, FeasOK, FeasFail, FaultStall:
 			schedCPUSet[e.CPU] = true
 		}
 		if e.At > end {
@@ -110,7 +110,8 @@ func WritePerfetto(w io.Writer, events []Event) error {
 			}
 		}
 		switch e.Kind {
-		case Arrival, Commit, Retry, Block, LockAcquire, LockRelease, AbortBegin, AbortDone, Complete:
+		case Arrival, Commit, Retry, Block, LockAcquire, LockRelease, AbortBegin, AbortDone, Complete,
+			FaultArrival, FaultOverrun, FaultRetry, Shed:
 			args := fmt.Sprintf(`{"seq":%d}`, e.Seq)
 			if e.Object >= 0 {
 				args = fmt.Sprintf(`{"seq":%d,"object":%d}`, e.Seq, e.Object)
@@ -118,6 +119,8 @@ func WritePerfetto(w io.Writer, events []Event) error {
 			pw.instant(1, e.Task+1, e.At, e.Kind.String(), args)
 		case SchedPass:
 			pw.instant(3, e.CPU+2, e.At, "sched-pass", fmt.Sprintf(`{"ops":%d}`, e.Ops))
+		case FaultStall:
+			pw.instant(3, e.CPU+2, e.At, "fault-stall", fmt.Sprintf(`{"ops":%d}`, e.Ops))
 		case FeasOK, FeasFail:
 			pw.instant(3, e.CPU+2, e.At, e.Kind.String(),
 				fmt.Sprintf(`{"task":%d,"seq":%d,"ops":%d}`, e.Task, e.Seq, e.Ops))

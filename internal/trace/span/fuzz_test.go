@@ -1,0 +1,99 @@
+package span
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/rtime"
+	"repro/internal/trace"
+)
+
+// decodeEvents turns fuzz bytes into an event stream, 6 bytes per
+// event: kind, task, seq, time, object, cpu. Small moduli keep the
+// stream colliding on a handful of jobs so the folder's per-job state
+// machine actually gets exercised instead of seeing one event per job.
+func decodeEvents(data []byte) []trace.Event {
+	numKinds := int(trace.Shed) + 2 // +1 past the last kind: exercise the unknown-kind error path too
+	var evs []trace.Event
+	for i := 0; i+6 <= len(data); i += 6 {
+		evs = append(evs, trace.Event{
+			Kind:   trace.Kind(int(data[i]) % numKinds),
+			Task:   int(data[i+1]%5) - 1, // -1 = scheduler-level events
+			Seq:    int(data[i+2] % 3),
+			At:     rtime.Time(data[i+3]) * 16,
+			Object: int(data[i+4]%3) - 1,
+			CPU:    int(data[i+5]%3) - 1,
+		})
+	}
+	return evs
+}
+
+// FuzzBuild folds arbitrary event streams. Malformed streams must be
+// rejected with ErrTrace — never a panic — and accepted streams must
+// fold into well-formed spans that both renderers can serialize. The
+// fold must also be deterministic: same events, same spans.
+func FuzzBuild(f *testing.F) {
+	// A well-formed life cycle: arrival, dispatch, retry, commit,
+	// complete for J[0,0] (task byte 1 → task 0).
+	f.Add([]byte{
+		0, 1, 0, 0, 0, 1, // arrival
+		5, 1, 0, 1, 0, 1, // dispatch
+		2, 1, 0, 2, 1, 1, // retry
+		1, 1, 0, 3, 1, 1, // commit
+		8, 1, 0, 4, 0, 1, // complete
+	})
+	// An orphan event (no arrival) and a duplicate arrival.
+	f.Add([]byte{5, 1, 0, 1, 0, 1})
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 1, 0, 2, 0, 1})
+	// Fault kinds riding on a live job.
+	f.Add([]byte{
+		0, 2, 1, 0, 0, 1, // arrival J[1,1]
+		14, 2, 1, 1, 0, 1, // fault-retry
+		17, 2, 1, 2, 0, 1, // shed
+		11, 2, 1, 3, 0, 1, // abort-begin
+		12, 2, 1, 4, 0, 1, // abort-done
+	})
+	f.Add([]byte{})
+	const end = rtime.Time(256 * 16)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs := decodeEvents(data)
+		spans, err := Build(evs, end)
+		spans2, err2 := Build(evs, end)
+		if (err == nil) != (err2 == nil) || !reflect.DeepEqual(spans, spans2) {
+			t.Fatalf("Build not deterministic: (%v, %v) vs (%v, %v)", spans, err, spans2, err2)
+		}
+		if err != nil {
+			return // rejection is fine; panics and false accepts are not
+		}
+		seen := map[[2]int]bool{}
+		for i := range spans {
+			s := &spans[i]
+			key := [2]int{s.Task, s.Seq}
+			if seen[key] {
+				t.Fatalf("duplicate span for J[%d,%d]", s.Task, s.Seq)
+			}
+			seen[key] = true
+			if s.End < s.Arrival {
+				t.Fatalf("J[%d,%d] ends %v before its arrival %v", s.Task, s.Seq, s.End, s.Arrival)
+			}
+			if s.Retries < 0 || s.InjectedRetries < 0 || s.InjectedRetries > s.Retries {
+				t.Fatalf("J[%d,%d] inconsistent retries: total %d injected %d", s.Task, s.Seq, s.Retries, s.InjectedRetries)
+			}
+			if s.Outcome == Completed && s.Sojourn() < 0 {
+				t.Fatalf("J[%d,%d] negative sojourn %v", s.Task, s.Seq, s.Sojourn())
+			}
+		}
+		var text, js strings.Builder
+		if err := WriteText(&text, spans); err != nil {
+			t.Fatalf("WriteText: %v", err)
+		}
+		if err := WriteJSON(&js, spans); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		if !json.Valid([]byte(js.String())) {
+			t.Fatalf("WriteJSON produced invalid JSON:\n%s", js.String())
+		}
+	})
+}

@@ -110,6 +110,14 @@ type JobSpan struct {
 	ReadyTime   rtime.Duration
 	BlockedTime rtime.Duration // the basis of the paper's B_i
 	AbortTime   rtime.Duration
+
+	// Fault injection (internal/fault). InjectedRetries counts the
+	// subset of Retries forced by phantom writers; Injected marks a job
+	// whose release or demand was perturbed; Shed marks a job dropped by
+	// the admission-control policy (its Outcome is Aborted).
+	InjectedRetries int64
+	Injected        bool
+	Shed            bool
 }
 
 // Sojourn returns End − Arrival for completed jobs, 0 otherwise
@@ -215,8 +223,18 @@ func Build(events []trace.Event, end rtime.Time) ([]JobSpan, error) {
 			st.open(Blocked, -1)
 		case trace.Retry:
 			st.span.Retries++
+		case trace.FaultRetry:
+			// A phantom-writer retry is a real retry of the job — it counts
+			// toward the f_i Theorem 2 speaks about — but is tallied
+			// separately so check can attribute expected violations.
+			st.span.Retries++
+			st.span.InjectedRetries++
 		case trace.Commit:
 			st.span.Commits++
+		case trace.FaultArrival, trace.FaultOverrun:
+			st.span.Injected = true
+		case trace.Shed:
+			st.span.Shed = true
 		case trace.LockAcquire, trace.LockRelease:
 			// Markers only; occupancy state does not change here.
 		case trace.Complete:
@@ -284,6 +302,17 @@ func WriteText(w io.Writer, spans []JobSpan) error {
 		if s.Outcome == Completed {
 			fmt.Fprintf(&b, " sojourn=%v", s.Sojourn())
 		}
+		// Fault annotations render only when present, keeping fault-free
+		// listings byte-identical to the pre-injection format.
+		if s.InjectedRetries > 0 {
+			fmt.Fprintf(&b, " injected-retries=%d", s.InjectedRetries)
+		}
+		if s.Injected {
+			b.WriteString(" injected")
+		}
+		if s.Shed {
+			b.WriteString(" shed")
+		}
 		b.WriteByte('\n')
 		for _, seg := range s.Segments {
 			if seg.Kind == Run {
@@ -307,20 +336,27 @@ type jsonSegment struct {
 }
 
 type jsonSpan struct {
-	Task       int           `json:"task"`
-	Seq        int           `json:"seq"`
-	ArrivalUS  int64         `json:"arrival_us"`
-	EndUS      int64         `json:"end_us"`
-	Outcome    string        `json:"outcome"`
-	Retries    int64         `json:"retries"`
-	Commits    int64         `json:"commits"`
-	Dispatches int64         `json:"dispatches"`
-	RunUS      int64         `json:"run_us"`
-	ReadyUS    int64         `json:"ready_us"`
-	BlockedUS  int64         `json:"blocked_us"`
-	AbortUS    int64         `json:"abort_us"`
-	SojournUS  int64         `json:"sojourn_us"`
-	Segments   []jsonSegment `json:"segments"`
+	Task       int    `json:"task"`
+	Seq        int    `json:"seq"`
+	ArrivalUS  int64  `json:"arrival_us"`
+	EndUS      int64  `json:"end_us"`
+	Outcome    string `json:"outcome"`
+	Retries    int64  `json:"retries"`
+	Commits    int64  `json:"commits"`
+	Dispatches int64  `json:"dispatches"`
+	RunUS      int64  `json:"run_us"`
+	ReadyUS    int64  `json:"ready_us"`
+	BlockedUS  int64  `json:"blocked_us"`
+	AbortUS    int64  `json:"abort_us"`
+	SojournUS  int64  `json:"sojourn_us"`
+
+	// Fault annotations; omitted when zero so fault-free documents keep
+	// their original shape.
+	InjectedRetries int64 `json:"injected_retries,omitempty"`
+	Injected        bool  `json:"injected,omitempty"`
+	Shed            bool  `json:"shed,omitempty"`
+
+	Segments []jsonSegment `json:"segments"`
 }
 
 // WriteJSON renders spans as a deterministic JSON array.
@@ -335,8 +371,11 @@ func WriteJSON(w io.Writer, spans []JobSpan) error {
 			Retries: s.Retries, Commits: s.Commits, Dispatches: s.Dispatches,
 			RunUS: s.RunTime.Micros(), ReadyUS: s.ReadyTime.Micros(),
 			BlockedUS: s.BlockedTime.Micros(), AbortUS: s.AbortTime.Micros(),
-			SojournUS: s.Sojourn().Micros(),
-			Segments:  make([]jsonSegment, len(s.Segments)),
+			SojournUS:       s.Sojourn().Micros(),
+			InjectedRetries: s.InjectedRetries,
+			Injected:        s.Injected,
+			Shed:            s.Shed,
+			Segments:        make([]jsonSegment, len(s.Segments)),
 		}
 		for k, seg := range s.Segments {
 			jseg := jsonSegment{FromUS: seg.From.Micros(), ToUS: seg.To.Micros(), Kind: seg.Kind.String()}

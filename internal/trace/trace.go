@@ -39,23 +39,43 @@ const (
 	// job, Ops the operations charged while inserting and testing it.
 	FeasOK
 	FeasFail
+	// Fault-injection markers (internal/fault). FaultArrival tags a job
+	// whose release was perturbed (jittered or burst-injected) and
+	// FaultOverrun one carrying hidden execution demand; both follow the
+	// job's Arrival at the same instant. FaultRetry is a lock-free retry
+	// forced by an injected phantom writer rather than a real commit.
+	// FaultStall records a transient CPU stall charged at a scheduler
+	// pass (Task and Seq are -1; Ops carries the stall ticks).
+	FaultArrival
+	FaultOverrun
+	FaultRetry
+	FaultStall
+	// Shed records the admission-control policy dropping a job it judged
+	// infeasible under overload (graceful degradation); the engine's
+	// abort events follow.
+	Shed
 )
 
 var kindNames = [...]string{
-	Arrival:     "arrive",
-	Dispatch:    "dispatch",
-	Preempt:     "preempt",
-	Block:       "block",
-	LockAcquire: "lock",
-	LockRelease: "unlock",
-	Commit:      "commit",
-	Retry:       "retry",
-	Complete:    "complete",
-	AbortBegin:  "abort",
-	AbortDone:   "abort-done",
-	SchedPass:   "sched-pass",
-	FeasOK:      "feas-ok",
-	FeasFail:    "feas-fail",
+	Arrival:      "arrive",
+	Dispatch:     "dispatch",
+	Preempt:      "preempt",
+	Block:        "block",
+	LockAcquire:  "lock",
+	LockRelease:  "unlock",
+	Commit:       "commit",
+	Retry:        "retry",
+	Complete:     "complete",
+	AbortBegin:   "abort",
+	AbortDone:    "abort-done",
+	SchedPass:    "sched-pass",
+	FeasOK:       "feas-ok",
+	FeasFail:     "feas-fail",
+	FaultArrival: "fault-arrive",
+	FaultOverrun: "fault-overrun",
+	FaultRetry:   "fault-retry",
+	FaultStall:   "fault-stall",
+	Shed:         "shed",
 }
 
 // String renders the kind tag.

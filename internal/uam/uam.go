@@ -86,6 +86,30 @@ func (s Spec) MeanRate() float64 {
 	return (float64(s.L) + float64(s.A)) / (2 * float64(s.W))
 }
 
+// Inflated returns the loosest spec that a conforming trace still obeys
+// after adversarial perturbation: each arrival may be delayed by up to
+// jitter ticks, and up to extra additional arrivals may be injected at
+// each natural arrival instant. The window stays W; the burst bound
+// becomes MaxArrivalsIn(W+jitter)·(1+extra), because every arrival
+// landing in a window [x, x+W) after delays of ≤ jitter originated in
+// [x−jitter, x+W), and each original arrival brings at most extra
+// copies. Delays can empty a window, so the minimum bound drops to 0.
+// Fault injection uses this to compute the effective ⟨l,a,W⟩ vector
+// Theorem 2 is re-checked against when the declared one is violated.
+func (s Spec) Inflated(jitter rtime.Duration, extra int) Spec {
+	if jitter < 0 {
+		jitter = 0
+	}
+	if extra < 0 {
+		extra = 0
+	}
+	if jitter == 0 && extra == 0 {
+		return s
+	}
+	a := s.MaxArrivalsIn(s.W+jitter) * int64(1+extra)
+	return Spec{L: 0, A: int(a), W: s.W}
+}
+
 // Trace is a non-decreasing sequence of arrival instants.
 type Trace []rtime.Time
 
