@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: all build test race race-all stress vet lint bench trace-demo \
 	check-bounds report metrics bench-baseline bench-diff profile \
-	fuzz-smoke
+	fuzz-smoke scale-smoke
 
 all: build vet lint test
 
@@ -40,6 +40,12 @@ lint: vet
 bench:
 	$(GO) test -run NONE -bench . -benchmem .
 
+# One n=10⁴ uniprocessor run on the clustered scale workload (single
+# seed, phased arrivals): proves the 10⁴-task configuration completes
+# quickly and stays at CMR ≥ 0.9 without paying for the full sweep.
+scale-smoke:
+	$(GO) test -short -run TestScaleSmoke -v ./internal/experiment/
+
 # Trace the canonical workload on the uniprocessor engine and export it
 # in the Chrome trace-event format: drag trace.json onto ui.perfetto.dev
 # to browse per-task, per-CPU, and scheduler tracks. Try
@@ -72,13 +78,13 @@ report:
 # -normalize compares per-experiment shares, so a baseline from any
 # reasonably fast machine works.
 bench-baseline:
-	$(GO) run ./cmd/rtsim -profile quick -bench-json BENCH_PR4.json all > /dev/null
+	$(GO) run ./cmd/rtsim -profile quick -bench-json BENCH_PR6.json all > /dev/null
 
 # Compare a fresh timing run against the committed baseline; exits
 # non-zero past a 2x relative regression.
 bench-diff:
 	$(GO) run ./cmd/rtsim -profile quick -bench-json bench-current.json all > /dev/null
-	$(GO) run ./cmd/benchdiff -normalize -min 0.05 -fail 2.0 BENCH_PR4.json bench-current.json
+	$(GO) run ./cmd/benchdiff -normalize -min 0.05 -fail 2.0 BENCH_PR6.json bench-current.json
 
 # Short coverage-guided fuzz of every native fuzz target (committed
 # corpora under */testdata/fuzz seed each run). Go allows one -fuzz

@@ -1,0 +1,123 @@
+// Scale benchmarks: the PR6 additions measured at task-set sizes
+// n ∈ 10²–10⁴ on the clustered scale workload.
+//
+//	BenchmarkScaleSelect        → one RUA pass over n live jobs (0 allocs/op
+//	                              steady state; warmed scratch)
+//	BenchmarkScaleSelectTopK    → SelectTopKAbort (gsim's per-event call)
+//	BenchmarkScaleEngineRun     → full uniprocessor event loop, 3 windows
+//
+// The companion before/after pairs live next to the structures they
+// compare: internal/rtime/wheel (BenchmarkWheelChurn vs BenchmarkRefChurn)
+// and internal/rua (BenchmarkFeasTreePass vs BenchmarkFeasSliceRefPass).
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/resource"
+	"repro/internal/rtime"
+	"repro/internal/rua"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/uam"
+)
+
+var scaleBenchNs = []int{100, 1000, 10_000}
+
+// scaleWorld builds a live set of n ready jobs over the clustered scale
+// workload — the world one Select pass sees.
+func scaleWorld(b *testing.B, n int, lockBased bool) sched.World {
+	tasks, err := experiment.ScaleWorkload(n, 0.4, experiment.StepTUFs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := make([]*task.Job, n)
+	for i, tk := range tasks {
+		jobs[i] = task.NewJob(tk, 0, rtime.Time(i))
+	}
+	return sched.World{Now: 0, Jobs: jobs, Res: resource.NewMap(), Acc: 10, LockBased: lockBased}
+}
+
+// BenchmarkScaleSelect measures one full RUA scheduling pass over n live
+// jobs. After the first warm-up pass grows the scratch arenas, every
+// iteration must run allocation-free (the rua package enforces the same
+// property as a hard test, TestSelectSteadyStateNoAlloc).
+func BenchmarkScaleSelect(b *testing.B) {
+	for _, n := range scaleBenchNs {
+		for _, mode := range []string{"lockfree", "lockbased"} {
+			b.Run(fmt.Sprintf("%s/n=%d", mode, n), func(b *testing.B) {
+				w := scaleWorld(b, n, mode == "lockbased")
+				s := rua.NewLockFree()
+				if mode == "lockbased" {
+					s = rua.NewLockBased()
+				}
+				s.Select(w) // warm the scratch to steady state
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Select(w)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkScaleSelectTopK measures the global engine's per-event call:
+// a full pass plus extraction of the CPUs-deep ranked prefix.
+func BenchmarkScaleSelectTopK(b *testing.B) {
+	const k = 4
+	for _, n := range scaleBenchNs {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			w := scaleWorld(b, n, false)
+			s := rua.NewLockFree()
+			s.SelectTopKAbort(w, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.SelectTopKAbort(w, k)
+			}
+		})
+	}
+}
+
+// BenchmarkScaleEngineRun drives the whole uniprocessor event loop on
+// the phased scale workload for three arrival windows per task — the
+// timing wheel, live-set bookkeeping, and scheduler passes together.
+// Events scale linearly with n; per-event cost must stay flat.
+func BenchmarkScaleEngineRun(b *testing.B) {
+	for _, n := range scaleBenchNs {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			tasks, err := experiment.ScaleWorkload(n, 0.4, experiment.StepTUFs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var maxC rtime.Duration
+			for _, tk := range tasks {
+				if c := tk.CriticalTime(); c > maxC {
+					maxC = c
+				}
+			}
+			horizon := rtime.Time(3 * int64(maxC))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var released int64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Config{
+					Tasks: task.CloneAll(tasks), Scheduler: rua.NewLockFree(), Mode: sim.LockFree,
+					R: experiment.DefaultR, S: experiment.DefaultS,
+					Horizon: horizon, ArrivalKind: uam.KindJittered, Seed: 1,
+					ConservativeRetry: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				released = metrics.Analyze(res).Released
+			}
+			b.ReportMetric(float64(released), "jobs/run")
+		})
+	}
+}

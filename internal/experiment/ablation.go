@@ -31,7 +31,7 @@ func AblationRetry(p Profile) ([]*Table, error) {
 	}
 	rows := []row{{"conservative", true}, {"precise", false}}
 	w := WorkloadSpec{
-		NumTasks: 10, NumObjects: 3, AccessesPerJob: 4,
+		NumTasks: PaperTasks, NumObjects: 3, AccessesPerJob: 4,
 		MeanExec: 500 * rtime.Microsecond, TargetAL: 1.1,
 		Class: StepTUFs, MaxArrivals: 2,
 	}
@@ -103,7 +103,7 @@ func AblationOpCost(p Profile) ([]*Table, error) {
 	}
 	opCosts := []float64{0, DefaultOpCost, 10 * DefaultOpCost}
 	w := WorkloadSpec{
-		NumTasks: 10, NumObjects: 4, AccessesPerJob: 4,
+		NumTasks: PaperTasks, NumObjects: 4, AccessesPerJob: 4,
 		MeanExec: 300 * rtime.Microsecond, TargetAL: 0.9,
 		Class: StepTUFs, MaxArrivals: 2,
 	}

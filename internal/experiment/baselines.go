@@ -38,7 +38,7 @@ func Baselines(p Profile) ([]*Table, error) {
 	horizons := make([]rtime.Time, len(loads))
 	for li, al := range loads {
 		w := WorkloadSpec{
-			NumTasks: 10, NumObjects: 4, AccessesPerJob: 4,
+			NumTasks: PaperTasks, NumObjects: 4, AccessesPerJob: 4,
 			MeanExec: 500 * rtime.Microsecond, TargetAL: al,
 			Class: HeterogeneousTUFs, MaxArrivals: 2,
 		}

@@ -155,7 +155,7 @@ func Fig8(p Profile) ([]*Table, error) {
 	horizons := make([]rtime.Time, len(points))
 	for pi, objs := range points {
 		w := WorkloadSpec{
-			NumTasks: 10, NumObjects: objs, AccessesPerJob: objs,
+			NumTasks: PaperTasks, NumObjects: objs, AccessesPerJob: objs,
 			MeanExec: 500 * rtime.Microsecond, TargetAL: 0.4,
 			Class: StepTUFs, MaxArrivals: 1,
 		}
@@ -256,7 +256,7 @@ func Fig9(p Profile) ([]*Table, error) {
 			MissTolerance: 0.001,
 			Build: func(al float64) (sim.Config, error) {
 				w := WorkloadSpec{
-					NumTasks: 10, NumObjects: 10, AccessesPerJob: 4,
+					NumTasks: PaperTasks, NumObjects: 10, AccessesPerJob: 4,
 					MeanExec: ex, TargetAL: al, Class: StepTUFs, MaxArrivals: 1,
 				}
 				tasks, err := w.Build()
@@ -299,7 +299,7 @@ func AURCMR(p Profile, id string, class TUFClass, al float64) ([]*Table, error) 
 	for pi, objs := range objSweep {
 		points[pi] = pairPoint{
 			w: WorkloadSpec{
-				NumTasks: 10, NumObjects: objs, AccessesPerJob: objs,
+				NumTasks: PaperTasks, NumObjects: objs, AccessesPerJob: objs,
 				MeanExec: 500 * rtime.Microsecond, TargetAL: al,
 				Class: class, MaxArrivals: 2,
 			},
@@ -351,7 +351,7 @@ func Fig14(p Profile) ([]*Table, error) {
 	for pi, al := range loads {
 		points[pi] = pairPoint{
 			w: WorkloadSpec{
-				NumTasks: 10, NumObjects: 5, AccessesPerJob: 4,
+				NumTasks: PaperTasks, NumObjects: 5, AccessesPerJob: 4,
 				MeanExec: 500 * rtime.Microsecond, TargetAL: al,
 				Class: HeterogeneousTUFs, MaxArrivals: 2,
 			},
@@ -385,7 +385,7 @@ func Thm2(p Profile) ([]*Table, error) {
 		Columns: []string{"task", "uam", "C_us", "bound_f_i", "max_measured", "ok"},
 	}
 	w := WorkloadSpec{
-		NumTasks: 6, NumObjects: 3, AccessesPerJob: 4,
+		NumTasks: ValidationTasks, NumObjects: 3, AccessesPerJob: 4,
 		MeanExec: 300 * rtime.Microsecond, TargetAL: 1.0,
 		Class: StepTUFs, MaxArrivals: 2,
 	}
@@ -461,7 +461,7 @@ func Thm3(p Profile) ([]*Table, error) {
 	}
 	r := 100 * rtime.Microsecond
 	w := WorkloadSpec{
-		NumTasks: 6, NumObjects: 3, AccessesPerJob: 6,
+		NumTasks: ValidationTasks, NumObjects: 3, AccessesPerJob: 6,
 		MeanExec: 400 * rtime.Microsecond, TargetAL: 0.5,
 		Class: StepTUFs, MaxArrivals: 1,
 	}
@@ -587,7 +587,7 @@ func AURBoundsExp(p Profile) ([]*Table, error) {
 		Columns: []string{"mode", "lower", "measured", "upper", "ok"},
 	}
 	w := WorkloadSpec{
-		NumTasks: 8, NumObjects: 4, AccessesPerJob: 2,
+		NumTasks: BoundsTasks, NumObjects: 4, AccessesPerJob: 2,
 		MeanExec: 300 * rtime.Microsecond, TargetAL: 0.3,
 		Class: HeterogeneousTUFs, MaxArrivals: 1,
 	}
@@ -652,6 +652,7 @@ var Registry = map[string]Runner{
 	"globalcpu":       GlobalCPU,
 	"lockdisc":        LockDisciplines,
 	"faults":          FaultSweep,
+	"scale":           Scale,
 }
 
 // Names returns the registered experiment ids in sorted order.

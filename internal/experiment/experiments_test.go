@@ -8,7 +8,7 @@ import (
 
 func TestWorkloadBuild(t *testing.T) {
 	w := WorkloadSpec{
-		NumTasks: 10, NumObjects: 10, AccessesPerJob: 4,
+		NumTasks: PaperTasks, NumObjects: 10, AccessesPerJob: 4,
 		MeanExec: 500, TargetAL: 0.4, Class: HeterogeneousTUFs, MaxArrivals: 2,
 	}
 	tasks, err := w.Build()
@@ -66,7 +66,7 @@ func TestTableRender(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "thm2", "thm3", "costs", "aurbounds", "ablation-retry", "ablation-opcost", "baselines", "multicpu", "globalcpu", "lockdisc", "faults"}
+	want := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "thm2", "thm3", "costs", "aurbounds", "ablation-retry", "ablation-opcost", "baselines", "multicpu", "globalcpu", "lockdisc", "faults", "scale"}
 	for _, id := range want {
 		if Registry[id] == nil {
 			t.Errorf("experiment %s missing from registry", id)

@@ -40,7 +40,7 @@ func FaultSweep(p Profile) ([]*Table, error) {
 		intensities = []float64{0, 0.5, 1.0}
 	}
 	w := WorkloadSpec{
-		NumTasks: 10, NumObjects: 5, AccessesPerJob: 4,
+		NumTasks: PaperTasks, NumObjects: 5, AccessesPerJob: 4,
 		MeanExec: 500 * rtime.Microsecond, TargetAL: 1.0,
 		Class: StepTUFs, MaxArrivals: 2,
 	}

@@ -33,7 +33,7 @@ func GlobalCPU(p Profile) ([]*Table, error) {
 		cpuCounts = []int{1, 4}
 	}
 	w := WorkloadSpec{
-		NumTasks: 16, NumObjects: 8, AccessesPerJob: 2,
+		NumTasks: MultiTasks, NumObjects: 8, AccessesPerJob: 2,
 		MeanExec: 500 * rtime.Microsecond, TargetAL: 2.2,
 		Class: StepTUFs, MaxArrivals: 2,
 	}

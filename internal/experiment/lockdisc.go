@@ -45,7 +45,7 @@ func LockDisciplines(p Profile) ([]*Table, error) {
 	horizons := make([]rtime.Time, len(loads))
 	for li, al := range loads {
 		w := WorkloadSpec{
-			NumTasks: 10, NumObjects: 2, AccessesPerJob: 6,
+			NumTasks: PaperTasks, NumObjects: 2, AccessesPerJob: 6,
 			MeanExec: 500 * rtime.Microsecond, TargetAL: al,
 			Class: StepTUFs, MaxArrivals: 2,
 		}

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/rua"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/uam"
+)
+
+func TestScaleWorkloadComposition(t *testing.T) {
+	const n = 103 // deliberately not a multiple of the cluster size
+	tasks, err := ScaleWorkload(n, 0.4, StepTUFs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != n {
+		t.Fatalf("built %d tasks, want %d", len(tasks), n)
+	}
+	al := 0.0
+	seenIDs := map[int]bool{}
+	for i, tk := range tasks {
+		if tk.ID != i {
+			t.Fatalf("task %d has ID %d: offsets must produce dense global IDs", i, tk.ID)
+		}
+		if seenIDs[tk.ID] {
+			t.Fatalf("duplicate task ID %d", tk.ID)
+		}
+		seenIDs[tk.ID] = true
+		al += float64(tk.ComputeTime()) / float64(tk.CriticalTime())
+		// Every access must stay inside the task's own cluster pool.
+		lo := (i / PaperTasks) * ScaleObjectsPerCluster
+		for _, seg := range tk.Segments {
+			if seg.Kind != task.Access {
+				continue
+			}
+			if seg.Object < lo || seg.Object >= lo+ScaleObjectsPerCluster {
+				t.Fatalf("task %d accesses object %d outside cluster pool [%d,%d)",
+					i, seg.Object, lo, lo+ScaleObjectsPerCluster)
+			}
+		}
+	}
+	if al < 0.3 || al > 0.5 {
+		t.Fatalf("total AL = %v, want ≈0.4", al)
+	}
+}
+
+func TestScaleQuickShape(t *testing.T) {
+	ts, err := Scale(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := ts[0]
+	if len(tb.Rows) != 2*6 {
+		t.Fatalf("rows = %d, want 12 (2 sizes × 6 engine/mode combos)", len(tb.Rows))
+	}
+	// Underload at every n: the engines must not degrade as the task
+	// population grows — CMR stays high for every engine and mode.
+	for _, row := range tb.Rows {
+		if parseLead(row[3]) <= 0 {
+			t.Fatalf("no released jobs: %v", row)
+		}
+		if cmr := parseLead(row[6]); cmr < 0.7 {
+			t.Fatalf("CMR %v degraded at scale: %v", cmr, row)
+		}
+	}
+}
+
+// TestScaleSmoke is the CI scale-smoke entry point (see Makefile
+// scale-smoke): one n=10⁴ uniprocessor lock-free run on the clustered
+// workload, single seed. It proves the 10⁴-task configuration completes
+// and stays healthy without paying for the full sweep.
+func TestScaleSmoke(t *testing.T) {
+	const n = 10_000
+	tasks, err := ScaleWorkload(n, 0.4, StepTUFs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := horizonFor(tasks, Quick)
+	res, err := sim.Run(sim.Config{
+		Tasks: tasks, Scheduler: rua.NewLockFree(), Mode: sim.LockFree,
+		R: DefaultR, S: DefaultS, OpCost: 0,
+		Horizon: horizon, ArrivalKind: uam.KindJittered, Seed: Quick.Seeds[0],
+		ConservativeRetry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := metrics.Analyze(res)
+	if st.Released < int64(n) {
+		t.Fatalf("released %d jobs, want ≥ %d", st.Released, n)
+	}
+	if st.CMR < 0.9 {
+		t.Fatalf("CMR %v at n=%d, want ≥ 0.9 in underload", st.CMR, n)
+	}
+}

@@ -35,7 +35,7 @@ const TraceCPUs = 2
 // timeline to be interesting.
 func TraceWorkloadSpec() WorkloadSpec {
 	return WorkloadSpec{
-		NumTasks:       6,
+		NumTasks:       ValidationTasks,
 		NumObjects:     3,
 		AccessesPerJob: 4,
 		MeanExec:       300 * rtime.Microsecond,

@@ -34,6 +34,24 @@ func (c TUFClass) String() string {
 	return "step"
 }
 
+// Canonical task-set sizes shared by the experiments, replacing the
+// hard-coded literals that used to be sprinkled per figure. The scale
+// sweep composes its task sets out of PaperTasks-sized clusters through
+// the same Build path the figures use.
+const (
+	// PaperTasks is the paper's canonical evaluation set: "10 tasks
+	// accessing 10 shared queues, arbitrarily" (§6.1, Figs 8–14).
+	PaperTasks = 10
+	// ValidationTasks sizes the theorem-validation worlds (Thm 2/3 and
+	// the trace-run example), small enough to eyeball per-task rows.
+	ValidationTasks = 6
+	// BoundsTasks sizes the Lemma 4/5 AUR-bounds world.
+	BoundsTasks = 8
+	// MultiTasks sizes the multiprocessor sweeps (multicpu/globalcpu):
+	// total load ≈ 2.2 spread over pairs sharing private objects.
+	MultiTasks = 16
+)
+
 // WorkloadSpec parameterizes the canonical evaluation workload: N tasks
 // sharing NumObjects queues "arbitrarily", sized to an approximate load
 // AL (§6.1's Σ u_i/C_i), with per-task UAM arrival bands.
@@ -54,6 +72,32 @@ type WorkloadSpec struct {
 	MaxArrivals int
 	// AbortCost is the exception-handler execution time (§3.5).
 	AbortCost rtime.Duration
+
+	// TaskIDOffset and ObjectIDOffset shift task IDs/names and object
+	// IDs, so several Build calls can compose one large task set from
+	// disjoint clusters (see ScaleWorkload). Zero offsets reproduce the
+	// historical workloads byte-for-byte.
+	TaskIDOffset   int
+	ObjectIDOffset int
+
+	// SpreadPhases staggers each task's UAM release phase across its own
+	// arrival window with a low-discrepancy (Fibonacci-hash) fraction of
+	// the global task ID. Without it every ⟨l≥1,·,·⟩ task releases its
+	// first job at time 0, so a 10⁵-task set starts as one synchronized
+	// burst whose backlog the scheduler pays O(n) per event to drain —
+	// and with a=1 the traces stay phase-locked forever. False (the
+	// default) reproduces the historical workloads byte-for-byte.
+	SpreadPhases bool
+}
+
+// phaseFor spreads release phases over [0, win) by the golden-ratio
+// multiplicative hash of the task ID: consecutive IDs land maximally far
+// apart, so any subset of tasks — even ones sharing the same window — has
+// near-uniform phase coverage. 16-bit fraction precision keeps the
+// product inside int64 for any representable window.
+func phaseFor(id int, win rtime.Duration) rtime.Duration {
+	frac := (uint32(id) * 2654435769) >> 16 // Knuth's ⌊2³²/φ⌋, top 16 bits
+	return rtime.Duration(int64(win) * int64(frac) >> 16)
 }
 
 // Build materializes the workload. Task i gets compute time spread around
@@ -115,18 +159,23 @@ func (w WorkloadSpec) Build() ([]*task.Task, error) {
 		}
 		objs := make([]int, maxInt(w.AccessesPerJob, 1))
 		for k := range objs {
-			objs[k] = (i + k) % maxInt(w.NumObjects, 1)
+			objs[k] = w.ObjectIDOffset + (i+k)%maxInt(w.NumObjects, 1)
 		}
 		l := maxInt(0, 2-a)
 		win := rtime.Duration(int64(l+a) * int64(c) / 2)
 		if win < c {
 			win = c
 		}
+		id := w.TaskIDOffset + i
+		var phase rtime.Duration
+		if w.SpreadPhases {
+			phase = phaseFor(id, win)
+		}
 		tasks[i] = &task.Task{
-			ID:        i,
-			Name:      fmt.Sprintf("T%d", i),
+			ID:        id,
+			Name:      fmt.Sprintf("T%d", id),
 			TUF:       f,
-			Arrival:   uam.Spec{L: l, A: a, W: win},
+			Arrival:   uam.Spec{L: l, A: a, W: win, Phase: phase},
 			Segments:  task.InterleavedSegments(u, w.AccessesPerJob, objs),
 			AbortCost: w.AbortCost,
 		}
@@ -142,6 +191,55 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ScaleObjectsPerCluster is the private object pool each PaperTasks-sized
+// cluster of the scale workload shares.
+const ScaleObjectsPerCluster = 5
+
+// ScaleWorkload builds an n-task set for the scaling sweep as disjoint
+// PaperTasks-sized clusters, each sharing its own ScaleObjectsPerCluster
+// objects — the structure of a large dynamic system: total task count
+// grows without bound while any individual conflict neighbourhood stays
+// paper-sized. Per-cluster load is al·clusterSize/n, so inside Build
+// C_i = u_i·clusterSize/(al·clusterSize/n) = u_i·n/al: critical times
+// stretch with n, total system load stays al, and the instantaneous live
+// set stays O(1) in underload — scheduling passes keep paper-scale cost
+// while the event population (every queued arrival) scales with n, which
+// is exactly what the timing wheel is for.
+func ScaleWorkload(n int, al float64, class TUFClass) ([]*task.Task, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("experiment: scale workload size %d must be positive", n)
+	}
+	tasks := make([]*task.Task, 0, n)
+	for off := 0; off < n; off += PaperTasks {
+		sz := minInt(PaperTasks, n-off)
+		w := WorkloadSpec{
+			NumTasks:       sz,
+			NumObjects:     ScaleObjectsPerCluster,
+			AccessesPerJob: 2,
+			MeanExec:       500 * rtime.Microsecond,
+			TargetAL:       al * float64(sz) / float64(n),
+			Class:          class,
+			MaxArrivals:    1,
+			TaskIDOffset:   off,
+			ObjectIDOffset: (off / PaperTasks) * ScaleObjectsPerCluster,
+			SpreadPhases:   true,
+		}
+		cluster, err := w.Build()
+		if err != nil {
+			return nil, err
+		}
+		tasks = append(tasks, cluster...)
+	}
+	return tasks, nil
 }
 
 // Profile scales experiment sizes: Quick for tests, Full for the CLI and

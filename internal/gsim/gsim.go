@@ -29,6 +29,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/resource"
 	"repro/internal/rtime"
+	"repro/internal/rtime/wheel"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/task"
@@ -108,67 +109,14 @@ const (
 	evDispatch
 )
 
+// event is one scheduled occurrence, ordered by the timing wheel's
+// (at, push order) contract exactly as internal/sim's events are.
 type event struct {
 	at   rtime.Time
-	seq  int64
 	kind evKind
 	job  *task.Job
 	cpu  int
 	gen  int64
-}
-
-// eventHeap is a hand-rolled binary min-heap of event values, mirroring
-// internal/sim: container/heap would box one allocation per pushed event
-// through its `any` interface, and event pushes are the engine's hottest
-// path.
-type eventHeap []event
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h *eventHeap) push(ev event) {
-	*h = append(*h, ev)
-	s := *h
-	i := len(s) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.less(i, parent) {
-			break
-		}
-		s[i], s[parent] = s[parent], s[i]
-		i = parent
-	}
-}
-
-func (h *eventHeap) pop() event {
-	s := *h
-	top := s[0]
-	n := len(s) - 1
-	s[0] = s[n]
-	s[n] = event{}
-	*h = s[:n]
-	s = s[:n]
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		c := l
-		if r := l + 1; r < n && s.less(r, l) {
-			c = r
-		}
-		if !s.less(c, i) {
-			break
-		}
-		s[i], s[c] = s[c], s[i]
-		i = c
-	}
-	return top
 }
 
 type jobState struct {
@@ -183,8 +131,7 @@ type Engine struct {
 	acc rtime.Duration
 
 	now    rtime.Time
-	events eventHeap
-	seq    int64
+	events *wheel.Wheel[event]
 	res    *resource.Map
 	live   []*task.Job
 	all    []*task.Job
@@ -198,6 +145,9 @@ type Engine struct {
 	busyUntil   rtime.Time
 
 	states map[*task.Job]*jobState
+	stSlab []jobState         // slab the per-job states are carved from
+	selbuf map[*task.Job]bool // applyAssignment scratch: selected set
+	plcbuf map[*task.Job]bool // applyAssignment scratch: placed set
 
 	res1 sim.Result
 	fail error
@@ -214,7 +164,8 @@ func New(cfg Config) (*Engine, error) {
 		running:     make([]*task.Job, cfg.CPUs),
 		runPos:      make([]rtime.Time, cfg.CPUs),
 		internalGen: make([]int64, cfg.CPUs),
-		states:      map[*task.Job]*jobState{},
+		selbuf:      make(map[*task.Job]bool, cfg.CPUs),
+		plcbuf:      make(map[*task.Job]bool, cfg.CPUs),
 	}
 	if so, ok := cfg.Scheduler.(interface{ SetObserver(func(trace.Event)) }); ok {
 		// Scheduler-emitted events (RUA feasibility tests) are unbound to
@@ -234,6 +185,9 @@ func New(cfg Config) (*Engine, error) {
 	} else {
 		e.acc = cfg.S
 	}
+	traces := make([]uam.Trace, len(cfg.Tasks))
+	injected := make([][]bool, len(cfg.Tasks))
+	arrivals := 0
 	for i, t := range cfg.Tasks {
 		var tr uam.Trace
 		if cfg.Arrivals != nil {
@@ -247,11 +201,20 @@ func New(cfg Config) (*Engine, error) {
 			}
 			tr = g.Generate(cfg.ArrivalKind, cfg.Horizon)
 		}
-		tr, injected := cfg.Fault.PerturbArrivals(t.ID, tr, cfg.Horizon)
+		traces[i], injected[i] = cfg.Fault.PerturbArrivals(t.ID, tr, cfg.Horizon)
+		arrivals += len(traces[i])
+	}
+	// Pre-size the wheel arena and all per-job bookkeeping to the known
+	// arrival count so the steady-state event loop allocates nothing.
+	e.events = wheel.New[event](2*arrivals + 8)
+	e.all = make([]*task.Job, 0, arrivals)
+	e.states = make(map[*task.Job]*jobState, arrivals)
+	e.stSlab = make([]jobState, arrivals)
+	for i, t := range cfg.Tasks {
 		u := t.ComputeTime()
-		for k, at := range tr {
+		for k, at := range traces[i] {
 			j := task.NewJob(t, k, at)
-			if injected != nil && injected[k] {
+			if injected[i] != nil && injected[i][k] {
 				j.Injected = true
 			}
 			j.SetOverrun(cfg.Fault.Overrun(t.ID, k, u))
@@ -262,15 +225,19 @@ func New(cfg Config) (*Engine, error) {
 }
 
 func (e *Engine) push(ev event) {
-	e.seq++
-	ev.seq = e.seq
-	e.events.push(ev)
+	e.events.Push(ev.at, ev)
 }
 
 func (e *Engine) st(j *task.Job) *jobState {
 	s := e.states[j]
 	if s == nil {
-		s = &jobState{}
+		// Carve from the slab New pre-allocated for every arrival; the
+		// batch refill is a safety net that never fires on a normal run.
+		if len(e.stSlab) == 0 {
+			e.stSlab = make([]jobState, 64)
+		}
+		s = &e.stSlab[0]
+		e.stSlab = e.stSlab[1:]
 		e.states[j] = s
 	}
 	return s
@@ -306,8 +273,8 @@ func (e *Engine) emitSched(at rtime.Time, kind trace.Kind, ops int64) {
 
 // Run executes to the horizon.
 func (e *Engine) Run() sim.Result {
-	for len(e.events) > 0 && e.fail == nil {
-		ev := e.events.pop()
+	for e.events.Len() > 0 && e.fail == nil {
+		_, ev, _ := e.events.Pop()
 		if ev.at > e.cfg.Horizon {
 			break
 		}
@@ -569,7 +536,8 @@ func (e *Engine) reschedule() {
 // candidate needs, blocking it at its boundary — in which case the next
 // ranked job backfills.
 func (e *Engine) applyAssignment(ranked []*task.Job) {
-	selected := make(map[*task.Job]bool, e.cfg.CPUs)
+	selected := e.selbuf
+	clear(selected)
 	count := 0
 	for _, j := range ranked {
 		if count == e.cfg.CPUs {
@@ -587,7 +555,8 @@ func (e *Engine) applyAssignment(ranked []*task.Job) {
 			e.stopCPU(cpu)
 		}
 	}
-	placed := make(map[*task.Job]bool, e.cfg.CPUs)
+	placed := e.plcbuf
+	clear(placed)
 	for _, r := range e.running {
 		if r != nil {
 			placed[r] = true

@@ -12,7 +12,13 @@ import (
 // metrics live; exact float equality there either encodes a hidden
 // assumption ("this sum is exactly 0.0") or silently stops firing after
 // an unrelated reordering changes rounding.
-var floatcmpScope = []string{"internal/metrics", "internal/analysis", "internal/experiment", "internal/report"}
+var floatcmpScope = []string{
+	"internal/metrics", "internal/analysis", "internal/experiment", "internal/report",
+	// The scheduler's PUD ordering and the timing wheel's tick maths are
+	// scheduling decisions: exact float equality there changes event
+	// sequences when rounding shifts.
+	"internal/rua", "internal/rtime",
+}
 
 // Floatcmp flags == and != between floating-point operands in the
 // metrics/analysis/experiment packages. The NaN self-test idiom

@@ -12,7 +12,7 @@ import (
 var maporderScope = []string{
 	"internal/sim", "internal/gsim", "internal/rua", "internal/sched",
 	"internal/experiment", "internal/metrics", "internal/analysis", "internal/multi",
-	"internal/trace", "internal/report",
+	"internal/trace", "internal/report", "internal/rtime",
 }
 
 // Maporder flags `range` over a map in the simulator and experiment

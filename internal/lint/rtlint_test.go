@@ -14,12 +14,13 @@ import (
 func TestMaporder(t *testing.T) {
 	analysistest.Run(t, "testdata/src", lint.Maporder,
 		"maporder/internal/sim", "maporder/internal/trace", "maporder/notscoped",
-		"maporder/internal/report", "maporder/internal/metrics/hist")
+		"maporder/internal/report", "maporder/internal/metrics/hist",
+		"maporder/internal/rtime/wheel")
 }
 
 func TestSimclock(t *testing.T) {
 	analysistest.Run(t, "testdata/src", lint.Simclock,
-		"simclock/app", "simclock/internal/uam")
+		"simclock/app", "simclock/internal/uam", "simclock/internal/rtime/wheel")
 }
 
 func TestAtomicmix(t *testing.T) {
@@ -34,7 +35,8 @@ func TestSharedtask(t *testing.T) {
 
 func TestFloatcmp(t *testing.T) {
 	analysistest.Run(t, "testdata/src", lint.Floatcmp,
-		"floatcmp/internal/metrics", "floatcmp/internal/report")
+		"floatcmp/internal/metrics", "floatcmp/internal/report",
+		"floatcmp/internal/rua")
 }
 
 // TestIgnoreDirective proves the suppression contract: a justified

@@ -1,0 +1,40 @@
+// Package rua is a floatcmp fixture: the scheduler joined the
+// analyzer's scope in PR 6 — PUD values drive dispatch order, so an
+// exact float equality there is a scheduling decision that shifts with
+// rounding unless it is a deliberate, annotated tie-break gate.
+package rua
+
+// Bad compares two computed utility densities exactly: flagged.
+func Bad(pudA, pudB float64) bool {
+	return pudA == pudB // want `float comparison pudA == pudB`
+}
+
+// BadSlack flags != on derived slack ratios too.
+func BadSlack(slack, limit float64) bool {
+	return slack != limit // want `float comparison slack != limit`
+}
+
+// GoodTieBreak is the annotated deliberate gate the real pudSorter
+// uses: equality falls through to a deterministic secondary order.
+func GoodTieBreak(pudA, pudB float64, tie func() bool) bool {
+	//rtlint:ignore floatcmp tie-break gate: both values come from one pass, bit-equal on equal inputs
+	if pudA != pudB {
+		return pudA > pudB
+	}
+	return tie()
+}
+
+// GoodEpsilon compares with a tolerance: no equality operator.
+func GoodEpsilon(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// GoodIntSlack compares integer slack (the feasibility tree's minSlack
+// is int64 exactly so these stay exact): not this analyzer's business.
+func GoodIntSlack(minSlack, now int64) bool {
+	return minSlack == now
+}

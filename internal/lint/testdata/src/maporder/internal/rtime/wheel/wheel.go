@@ -1,0 +1,42 @@
+// Package wheel is a maporder fixture: the timing-wheel package joined
+// the analyzer's scope in PR 6 because a map walk over pending timers
+// would emit expiries in randomized order and break the engines'
+// byte-identical event sequences.
+package wheel
+
+import "sort"
+
+// Bad drains a bucket map directly: flagged.
+func Bad(buckets map[int64][]int, fire func(int)) {
+	for _, ids := range buckets { // want `range over map buckets`
+		for _, id := range ids {
+			fire(id)
+		}
+	}
+}
+
+// GoodSortedTicks collects the due ticks and sorts before firing: the
+// blessed idiom, accepted without annotation.
+func GoodSortedTicks(buckets map[int64][]int, fire func(int)) {
+	ticks := make([]int64, 0, len(buckets))
+	for t := range buckets {
+		ticks = append(ticks, t)
+	}
+	sort.Slice(ticks, func(a, b int) bool { return ticks[a] < ticks[b] })
+	for _, t := range ticks {
+		for _, id := range buckets[t] {
+			fire(id)
+		}
+	}
+}
+
+// GoodLevelScan ranges over the wheel's level array, not a map: never
+// flagged — the real wheel keeps per-level slot slices exactly so no
+// map order can leak into pop order.
+func GoodLevelScan(levels [][]int, fire func(int)) {
+	for _, slot := range levels {
+		for _, id := range slot {
+			fire(id)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+// Package wheel is a simclock fixture for wheel tick arithmetic: the
+// timing wheel advances on virtual rtime ticks, so any wall-clock read
+// or process-global randomness in tick maths ties expiry cascades to
+// the host and breaks replay.
+package wheel
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadNow derives the current tick from the host clock: flagged.
+func BadNow() int64 {
+	return time.Now().UnixNano() >> 10 // want `wall-clock time.Now`
+}
+
+// BadJitter staggers slot scans with the process-global RNG: flagged.
+func BadJitter(slots int) int {
+	return rand.Intn(slots) // want `global math/rand.Intn\(\) uses the shared process RNG`
+}
+
+// BadSince measures cascade cost on the wall clock: flagged.
+func BadSince(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock time.Since`
+}
+
+// GoodTickMath is pure virtual-tick arithmetic: level index and slot
+// offset from a due tick, no host state anywhere.
+func GoodTickMath(due, now int64) (level, slot int) {
+	delta := due - now
+	for delta >= 64 {
+		delta >>= 6
+		level++
+	}
+	return level, int(due >> (6 * level) & 63)
+}
+
+// GoodDurationConst uses time only for duration constants: accepted.
+func GoodDurationConst() time.Duration {
+	return 500 * time.Microsecond
+}

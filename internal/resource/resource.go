@@ -36,6 +36,11 @@ type Map struct {
 	Acquisitions int64
 	Contentions  int64
 	Commits      int64
+
+	// seen is AppendDependencyChain's cycle-detection scratch, reused
+	// across calls (the map is per-engine and single-goroutine, like
+	// everything else here).
+	seen map[*task.Job]bool
 }
 
 // NewMap returns an empty resource map.
@@ -145,10 +150,24 @@ func (m *Map) CommittedAfter(obj int, t rtime.Time) bool {
 // — the second return is true and the returned chain is the cycle
 // participants up to the repeat, which the deadlock resolver inspects.
 func (m *Map) DependencyChain(j *task.Job) (chain []*task.Job, cycle bool) {
-	seen := map[*task.Job]bool{}
+	return m.AppendDependencyChain(nil, j)
+}
+
+// AppendDependencyChain is DependencyChain without the per-call
+// allocations: the head-first chain is appended to dst (the returned
+// slice is dst extended, exactly like append) and the cycle-detection
+// scratch is reused across calls. RUA's per-pass chain arena feeds every
+// live job through this so a lock-based scheduling pass in steady state
+// allocates nothing.
+func (m *Map) AppendDependencyChain(dst []*task.Job, j *task.Job) (chain []*task.Job, cycle bool) {
+	if m.seen == nil {
+		m.seen = map[*task.Job]bool{}
+	}
+	clear(m.seen)
+	start := len(dst)
+	dst = append(dst, j)
+	m.seen[j] = true
 	cur := j
-	rev := []*task.Job{j}
-	seen[j] = true
 	for {
 		obj, waiting := m.waiting[cur]
 		if !waiting {
@@ -160,20 +179,18 @@ func (m *Map) DependencyChain(j *task.Job) (chain []*task.Job, cycle bool) {
 			// chain ends here and the waiter can re-request.
 			break
 		}
-		if seen[holder] {
-			return reverse(rev), true
+		if m.seen[holder] {
+			cycle = true
+			break
 		}
-		seen[holder] = true
-		rev = append(rev, holder)
+		m.seen[holder] = true
+		dst = append(dst, holder)
 		cur = holder
 	}
-	return reverse(rev), false
-}
-
-func reverse(in []*task.Job) []*task.Job {
-	out := make([]*task.Job, len(in))
-	for i, j := range in {
-		out[len(in)-1-i] = j
+	// The walk collected tail-first; reverse the appended region so the
+	// chain reads head (must execute first) to tail (j itself).
+	for lo, hi := start, len(dst)-1; lo < hi; lo, hi = lo+1, hi-1 {
+		dst[lo], dst[hi] = dst[hi], dst[lo]
 	}
-	return out
+	return dst, cycle
 }

@@ -1,0 +1,65 @@
+package wheel
+
+// Benchmarks comparing the timing wheel against the retained reference
+// heap at the live-event counts the scale experiment sweeps. The n=10⁴
+// pair is the before/after behind the PR-6 scaling claim: the heap pays
+// O(log n) sifts per event while the wheel stays O(1) amortized.
+//
+// Run: go test -bench=. -benchmem ./internal/rtime/wheel
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rtime"
+)
+
+// churn returns a deterministic pseudo-time stream resembling engine
+// pushes: mostly near-future events with frequent same-tick ties.
+func churn(i int) rtime.Time {
+	return rtime.Time((i * 2654435761) % 100_003)
+}
+
+func BenchmarkWheelChurn(b *testing.B) {
+	for _, n := range []int{100, 1000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			w := New[int](n)
+			for i := 0; i < n; i++ {
+				w.Push(churn(i), i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			// Steady state: one pop, one push at a later time, holding the
+			// live set at n.
+			base := rtime.Time(0)
+			for i := 0; i < b.N; i++ {
+				at, _, _ := w.Pop()
+				if at > base {
+					base = at
+				}
+				w.Push(base+churn(i)%1024, i)
+			}
+		})
+	}
+}
+
+func BenchmarkRefChurn(b *testing.B) {
+	for _, n := range []int{100, 1000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := NewRef[int](n)
+			for i := 0; i < n; i++ {
+				r.Push(churn(i), i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			base := rtime.Time(0)
+			for i := 0; i < b.N; i++ {
+				at, _, _ := r.Pop()
+				if at > base {
+					base = at
+				}
+				r.Push(base+churn(i)%1024, i)
+			}
+		})
+	}
+}

@@ -1,0 +1,119 @@
+package wheel
+
+import "repro/internal/rtime"
+
+// Ref is the retained reference implementation of the event queue: the
+// hand-rolled binary min-heap of (at, push order) the engines used
+// before the timing wheel, kept verbatim so the differential property
+// test can pin the wheel's pop order against it and the scale
+// benchmarks can measure the before/after. Cancellation uses the same
+// tombstone-and-skip scheme as the wheel so the two stay comparable
+// operation for operation.
+type Ref[T any] struct {
+	items []refItem[T]
+	seq   int64
+	live  int
+	dead  map[int64]bool
+}
+
+type refItem[T any] struct {
+	at  rtime.Time
+	seq int64
+	val T
+}
+
+// NewRef returns an empty reference heap with capacity for about hint
+// events.
+func NewRef[T any](hint int) *Ref[T] {
+	r := &Ref[T]{dead: map[int64]bool{}}
+	if hint > 0 {
+		r.items = make([]refItem[T], 0, hint)
+	}
+	return r
+}
+
+// Len reports the number of queued events.
+func (r *Ref[T]) Len() int { return r.live }
+
+// Push schedules v at time at and returns the event's sequence number,
+// usable with Cancel.
+func (r *Ref[T]) Push(at rtime.Time, v T) int64 {
+	r.seq++
+	r.push(refItem[T]{at: at, seq: r.seq, val: v})
+	r.live++
+	return r.seq
+}
+
+// Cancel tombstones the event with sequence number seq; it reports false
+// if that event was already canceled.
+func (r *Ref[T]) Cancel(seq int64) bool {
+	if r.dead[seq] {
+		return false
+	}
+	r.dead[seq] = true
+	r.live--
+	return true
+}
+
+// Pop removes and returns the earliest event in (at, push order),
+// skipping tombstones. ok is false when the heap is empty.
+func (r *Ref[T]) Pop() (at rtime.Time, v T, ok bool) {
+	var zero T
+	for len(r.items) > 0 {
+		it := r.pop()
+		if r.dead[it.seq] {
+			delete(r.dead, it.seq)
+			continue
+		}
+		r.live--
+		return it.at, it.val, true
+	}
+	return 0, zero, false
+}
+
+func (r *Ref[T]) less(i, j int) bool {
+	if r.items[i].at != r.items[j].at {
+		return r.items[i].at < r.items[j].at
+	}
+	return r.items[i].seq < r.items[j].seq
+}
+
+func (r *Ref[T]) push(it refItem[T]) {
+	r.items = append(r.items, it)
+	i := len(r.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !r.less(i, parent) {
+			break
+		}
+		r.items[i], r.items[parent] = r.items[parent], r.items[i]
+		i = parent
+	}
+}
+
+func (r *Ref[T]) pop() refItem[T] {
+	s := r.items
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = refItem[T]{} // clear payload pointers for GC
+	r.items = s[:n]
+	s = s[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if rt := l + 1; rt < n && r.less(rt, l) {
+			c = rt
+		}
+		if !r.less(c, i) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
+}

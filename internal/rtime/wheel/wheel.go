@@ -1,0 +1,272 @@
+// Package wheel provides the shared event queue of the simulation
+// engines: a hierarchical timing wheel over absolute virtual time with
+// O(1) amortized schedule and cancel, replacing the per-engine binary
+// min-heaps whose O(log n) sift dominated event churn at n ≥ 10⁴ tasks.
+//
+// # Ordering contract
+//
+// Pop returns events in exactly the order the engines' former heap did:
+// ascending (at, push order). Two events scheduled for the same tick pop
+// in the order they were pushed, and an event pushed for a time earlier
+// than the last popped time (the engines do this for internal boundary
+// events that are already superseded by a generation bump) pops before
+// every event at or after the current time, ordered among its fellow
+// stragglers by (at, push order). This is the tie-break contract every
+// golden trace and report artifact depends on; the differential test
+// against Ref (the retained reference heap) pins it.
+//
+// # Layout
+//
+// Time is a non-negative int64 tick count (rtime.Time). The wheel is a
+// 64-ary trie over the bits of absolute time: level l spans bits
+// [6l, 6l+6), so 11 levels cover all 63 value bits. An event whose time
+// first differs from the current time cur at bit b lives at level b/6,
+// in slot (at >> 6l) & 63. Each of the 11×64 slots is an append-order
+// FIFO of arena nodes; a per-level uint64 bitmap marks occupied slots.
+// Every event at level l precedes every event at level l+1, so the pop
+// path scans at most 11 bitmaps, takes the lowest occupied slot of the
+// lowest occupied level, and either pops the slot head (level 0, where a
+// slot holds exactly one tick) or cascades the slot's chain one level
+// down after advancing cur to the slot's base time. Each event cascades
+// at most 10 times over its lifetime: O(1) amortized.
+//
+// Cancel marks the node dead in place (a tombstone skipped at pop) and
+// releases its payload; it never restructures a slot chain. Nodes are
+// carved from a free-listed arena, so a wheel in steady state allocates
+// nothing per event.
+package wheel
+
+import (
+	"math/bits"
+
+	"repro/internal/rtime"
+)
+
+const (
+	slotBits  = 6
+	slotCount = 1 << slotBits
+	slotMask  = slotCount - 1
+	levels    = 11 // 6×11 = 66 ≥ 63 value bits of an int64 time
+
+	nilIdx = int32(-1)
+)
+
+// Handle identifies a pushed event for cancellation. A handle is valid
+// until its event is popped; canceling after the pop (or canceling twice)
+// on a wheel that has since reused the node is undefined — callers that
+// cancel must do so only for events they know are still queued, which is
+// how the engines' generation counters already work.
+type Handle int32
+
+type node[T any] struct {
+	at   rtime.Time
+	next int32
+	dead bool
+	val  T
+}
+
+// Wheel is a hierarchical timing wheel holding values of type T keyed by
+// absolute virtual time. The zero value is not ready to use; call New.
+type Wheel[T any] struct {
+	cur  rtime.Time // time of the last wheel (non-straggler) pop
+	live int
+
+	nodes []node[T]
+	free  int32
+
+	occupied [levels]uint64
+	head     [levels][slotCount]int32
+	tail     [levels][slotCount]int32
+
+	// due holds stragglers pushed with at < cur, kept sorted by
+	// (at, push order) and drained before any wheel slot. It is almost
+	// always empty: the engines only push a handful of already-superseded
+	// boundary events per scheduling round, at monotone times.
+	due     []int32
+	dueHead int
+}
+
+// New returns an empty wheel with arena capacity for about hint events.
+func New[T any](hint int) *Wheel[T] {
+	w := &Wheel[T]{free: nilIdx}
+	if hint > 0 {
+		w.nodes = make([]node[T], 0, hint)
+	}
+	for l := 0; l < levels; l++ {
+		for s := 0; s < slotCount; s++ {
+			w.head[l][s] = nilIdx
+			w.tail[l][s] = nilIdx
+		}
+	}
+	return w
+}
+
+// Len reports the number of queued (pushed and neither popped nor
+// canceled) events.
+func (w *Wheel[T]) Len() int { return w.live }
+
+// Push schedules v at time at (at ≥ 0) and returns its handle.
+func (w *Wheel[T]) Push(at rtime.Time, v T) Handle {
+	idx := w.alloc(at, v)
+	if at < w.cur {
+		w.pushDue(idx, at)
+	} else {
+		w.place(idx, at)
+	}
+	w.live++
+	return Handle(idx)
+}
+
+// Cancel tombstones the event behind h, releasing its payload in place.
+// It reports false if the event was already canceled.
+func (w *Wheel[T]) Cancel(h Handle) bool {
+	n := &w.nodes[h]
+	if n.dead {
+		return false
+	}
+	var zero T
+	n.dead = true
+	n.val = zero
+	w.live--
+	return true
+}
+
+// Pop removes and returns the earliest event in (at, push order). ok is
+// false when the wheel is empty.
+func (w *Wheel[T]) Pop() (at rtime.Time, v T, ok bool) {
+	var zero T
+	for {
+		idx, found := w.popIdx()
+		if !found {
+			return 0, zero, false
+		}
+		n := &w.nodes[idx]
+		at, v = n.at, n.val
+		dead := n.dead
+		w.freeNode(idx)
+		if dead {
+			continue
+		}
+		w.live--
+		return at, v, true
+	}
+}
+
+func (w *Wheel[T]) alloc(at rtime.Time, v T) int32 {
+	var idx int32
+	if w.free != nilIdx {
+		idx = w.free
+		w.free = w.nodes[idx].next
+	} else {
+		w.nodes = append(w.nodes, node[T]{})
+		idx = int32(len(w.nodes) - 1)
+	}
+	n := &w.nodes[idx]
+	n.at, n.val, n.dead, n.next = at, v, false, nilIdx
+	return idx
+}
+
+func (w *Wheel[T]) freeNode(idx int32) {
+	var zero T
+	n := &w.nodes[idx]
+	n.val = zero // drop payload pointers for GC
+	n.next = w.free
+	w.free = idx
+}
+
+// locate maps a time (at ≥ cur) to its level and slot relative to cur.
+func (w *Wheel[T]) locate(at rtime.Time) (int, uint) {
+	diff := uint64(at) ^ uint64(w.cur)
+	if diff == 0 {
+		return 0, uint(uint64(at) & slotMask)
+	}
+	l := (63 - bits.LeadingZeros64(diff)) / slotBits
+	return l, uint((uint64(at) >> (l * slotBits)) & slotMask)
+}
+
+// place appends the node to its slot's FIFO.
+func (w *Wheel[T]) place(idx int32, at rtime.Time) {
+	l, s := w.locate(at)
+	w.nodes[idx].next = nilIdx
+	if t := w.tail[l][s]; t == nilIdx {
+		w.head[l][s] = idx
+	} else {
+		w.nodes[t].next = idx
+	}
+	w.tail[l][s] = idx
+	w.occupied[l] |= 1 << s
+}
+
+// pushDue inserts a straggler keeping due sorted by at, stable for equal
+// times (insertion from the tail: engine stragglers arrive in
+// near-monotone time order, so the shift is O(1) in practice).
+func (w *Wheel[T]) pushDue(idx int32, at rtime.Time) {
+	if w.dueHead > 0 && w.dueHead == len(w.due) {
+		w.due = w.due[:0]
+		w.dueHead = 0
+	}
+	w.due = append(w.due, idx)
+	i := len(w.due) - 1
+	for i > w.dueHead && w.nodes[w.due[i-1]].at > at {
+		w.due[i] = w.due[i-1]
+		i--
+	}
+	w.due[i] = idx
+}
+
+// popIdx removes and returns the next node index in pop order:
+// stragglers first (all earlier than cur), then the wheel minimum.
+func (w *Wheel[T]) popIdx() (int32, bool) {
+	if w.dueHead < len(w.due) {
+		idx := w.due[w.dueHead]
+		w.dueHead++
+		if w.dueHead == len(w.due) {
+			w.due = w.due[:0]
+			w.dueHead = 0
+		}
+		return idx, true
+	}
+	for {
+		l := -1
+		for i := 0; i < levels; i++ {
+			if w.occupied[i] != 0 {
+				l = i
+				break
+			}
+		}
+		if l < 0 {
+			return nilIdx, false
+		}
+		s := uint(bits.TrailingZeros64(w.occupied[l]))
+		if l == 0 {
+			// A level-0 slot holds exactly one absolute tick, in push
+			// order.
+			idx := w.head[0][s]
+			nxt := w.nodes[idx].next
+			w.head[0][s] = nxt
+			if nxt == nilIdx {
+				w.tail[0][s] = nilIdx
+				w.occupied[0] &^= 1 << s
+			}
+			w.cur = w.nodes[idx].at
+			return idx, true
+		}
+		// Cascade: advance cur to the slot's base time (its events share
+		// all bits ≥ 6l with that base) and re-place the chain in order.
+		// Lower levels are empty here, so re-placed events cannot
+		// interleave with older ones, and chain order is preserved within
+		// every target slot — the tie-break contract survives cascading.
+		idx := w.head[l][s]
+		w.head[l][s] = nilIdx
+		w.tail[l][s] = nilIdx
+		w.occupied[l] &^= 1 << s
+		shift := uint(l+1) * slotBits
+		base := uint64(w.cur) &^ (1<<shift - 1) | uint64(s)<<(uint(l)*slotBits)
+		w.cur = rtime.Time(base)
+		for idx != nilIdx {
+			nxt := w.nodes[idx].next
+			w.place(idx, w.nodes[idx].at)
+			idx = nxt
+		}
+	}
+}

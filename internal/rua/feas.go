@@ -1,0 +1,522 @@
+package rua
+
+// Incremental feasibility: a positional treap replacing the O(n) slice
+// behind the tentative schedule of §3.4. The slice `schedule` type stays
+// in the package as the semantic reference (and the differential test's
+// oracle); the scheduler itself runs on this tree.
+//
+// The tree stores the same (job, effC) entries in the same order and
+// additionally captures each job's Remaining at insertion time — constant
+// within one scheduling pass, since jobs only execute between passes.
+// Per-node aggregates over subtrees:
+//
+//	cnt      — subtree size (order statistics: indexOf, positional ops)
+//	sum      — Σ rem (prefix sums of execution demand)
+//	minSlack — min over subtree members i of effC_i − localPrefix_i,
+//	           where localPrefix_i counts every rem up to and including
+//	           i *within the subtree*
+//
+// A schedule is feasible from time `now` iff every prefix completes by
+// its effective critical time: now + prefix_i ≤ effC_i for all i, i.e.
+// root.minSlack ≥ now. That turns the O(n) feasibility walk into O(1),
+// and the first-violation lookup (for charge parity, below) into one
+// root-to-violator descent.
+//
+// CHARGED-OPERATION PARITY is a hard contract: the §3.6 cost model is
+// part of the paper's results (scheduling overhead becomes virtual time,
+// Fig 9), so the tree must charge *exactly* what the slice charged while
+// doing less real work:
+//
+//   - indexOf / ecfPos / insertAt / removeAt charge ⌈log₂(len+1)⌉ — same
+//     chargeLog, len taken at the same instant.
+//   - feasible charges one op per entry the slice walk would have
+//     visited: all n on success, first-violation-index+1 on failure.
+//   - journaling and rollback are uncharged, as on the slice.
+//
+// ecfPos descends by effC key, which is valid because the schedule is
+// always globally sorted by effC: plain inserts go to their ECF
+// position, and a Case-2 insert (§3.4.1) places the dependent directly
+// before its successor while inheriting the successor's effC, preserving
+// sortedness; removal never breaks it. The descent counts entries with
+// effC ≤ c, which equals sort.Search's first-index-with-effC>c on a
+// sorted sequence — insertion stays stable for equal critical times.
+//
+// Treap shape is deterministic: node priorities come from splitmix64 of
+// a counter reset at every pass, so identical insertion sequences build
+// identical trees on every run and every platform.
+
+import (
+	"math"
+
+	"repro/internal/rtime"
+	"repro/internal/task"
+)
+
+const nilNode = int32(-1)
+
+type feasNode struct {
+	job  *task.Job
+	effC rtime.Time
+	rem  rtime.Duration // job.Remaining(acc) captured at insert
+	prio uint64
+
+	parent, left, right int32
+
+	// Subtree aggregates (see package comment on the file).
+	cnt      int32
+	sum      rtime.Duration
+	minSlack int64
+}
+
+// feasMut journals one tree edit for rollback, mirroring `mutation` on
+// the slice. Removals record enough to re-insert the exact entry.
+type feasMut struct {
+	insert bool
+	pos    int
+	job    *task.Job
+	effC   rtime.Time
+	rem    rtime.Duration
+}
+
+// feasTree is the incremental tentative schedule. Zero value is unusable;
+// call reset before a pass.
+type feasTree struct {
+	nodes   []feasNode
+	root    int32
+	free    []int32             // recycled node slots
+	pos     map[*task.Job]int32 // job → node index
+	ops     *int64
+	journal []feasMut
+	prioCtr uint64
+}
+
+// reset clears the tree for a fresh scheduling pass, keeping capacity.
+func (t *feasTree) reset(hint int) {
+	t.nodes = t.nodes[:0]
+	t.root = nilNode
+	t.free = t.free[:0]
+	if t.pos == nil {
+		t.pos = make(map[*task.Job]int32, hint)
+	}
+	clear(t.pos)
+	t.journal = t.journal[:0]
+	t.prioCtr = 0
+}
+
+func (t *feasTree) count() int {
+	if t.root == nilNode {
+		return 0
+	}
+	return int(t.nodes[t.root].cnt)
+}
+
+// chargeLog charges ⌈log₂(len+1)⌉ operations — identical to
+// schedule.chargeLog at the same schedule length.
+func (t *feasTree) chargeLog() {
+	n := t.count() + 1
+	c := int64(1)
+	for n > 1 {
+		c++
+		n >>= 1
+	}
+	*t.ops += c
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// pull recomputes v's aggregates from its children.
+func (t *feasTree) pull(v int32) {
+	n := &t.nodes[v]
+	var lcnt, rcnt int32
+	var lsum, rsum rtime.Duration
+	lmin, rmin := int64(math.MaxInt64), int64(math.MaxInt64)
+	if n.left != nilNode {
+		l := &t.nodes[n.left]
+		lcnt, lsum, lmin = l.cnt, l.sum, l.minSlack
+	}
+	if n.right != nilNode {
+		r := &t.nodes[n.right]
+		rcnt, rsum, rmin = r.cnt, r.sum, r.minSlack
+	}
+	n.cnt = lcnt + rcnt + 1
+	n.sum = lsum + rsum + n.rem
+	before := int64(lsum) + int64(n.rem) // local prefix through v itself
+	m := lmin
+	if own := int64(n.effC) - before; own < m {
+		m = own
+	}
+	if rmin != math.MaxInt64 {
+		if shifted := rmin - before; shifted < m {
+			m = shifted
+		}
+	}
+	n.minSlack = m
+}
+
+func (t *feasTree) alloc(j *task.Job, effC rtime.Time, rem rtime.Duration) int32 {
+	var i int32
+	if n := len(t.free); n > 0 {
+		i = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		t.nodes = append(t.nodes, feasNode{})
+		i = int32(len(t.nodes) - 1)
+	}
+	t.prioCtr++
+	t.nodes[i] = feasNode{
+		job: j, effC: effC, rem: rem,
+		prio:   splitmix64(t.prioCtr),
+		parent: nilNode, left: nilNode, right: nilNode,
+		cnt: 1, sum: rem, minSlack: int64(effC) - int64(rem),
+	}
+	t.pos[j] = i
+	return i
+}
+
+func (t *feasTree) freeNode(i int32) {
+	delete(t.pos, t.nodes[i].job)
+	t.nodes[i] = feasNode{} // drop the job pointer
+	t.free = append(t.free, i)
+}
+
+// rotateUp rotates x above its parent, fixing links and aggregates of
+// the two nodes involved (ancestors keep valid aggregates because the
+// rotation does not change the subtree's member set).
+func (t *feasTree) rotateUp(x int32) {
+	p := t.nodes[x].parent
+	g := t.nodes[p].parent
+	if t.nodes[p].left == x {
+		r := t.nodes[x].right
+		t.nodes[p].left = r
+		if r != nilNode {
+			t.nodes[r].parent = p
+		}
+		t.nodes[x].right = p
+	} else {
+		l := t.nodes[x].left
+		t.nodes[p].right = l
+		if l != nilNode {
+			t.nodes[l].parent = p
+		}
+		t.nodes[x].left = p
+	}
+	t.nodes[p].parent = x
+	t.nodes[x].parent = g
+	if g == nilNode {
+		t.root = x
+	} else if t.nodes[g].left == p {
+		t.nodes[g].left = x
+	} else {
+		t.nodes[g].right = x
+	}
+	t.pull(p)
+	t.pull(x)
+}
+
+func (t *feasTree) leftCnt(v int32) int {
+	if l := t.nodes[v].left; l != nilNode {
+		return int(t.nodes[l].cnt)
+	}
+	return 0
+}
+
+// insertRaw places a new entry at position pos. Uncharged, unjournaled —
+// the primitive shared by insertAt and rollback.
+func (t *feasTree) insertRaw(pos int, j *task.Job, effC rtime.Time, rem rtime.Duration) {
+	idx := t.alloc(j, effC, rem)
+	if t.root == nilNode {
+		t.root = idx
+		return
+	}
+	v := t.root
+	for {
+		if pos <= t.leftCnt(v) {
+			if t.nodes[v].left == nilNode {
+				t.nodes[v].left = idx
+				break
+			}
+			v = t.nodes[v].left
+		} else {
+			pos -= t.leftCnt(v) + 1
+			if t.nodes[v].right == nilNode {
+				t.nodes[v].right = idx
+				break
+			}
+			v = t.nodes[v].right
+		}
+	}
+	t.nodes[idx].parent = v
+	// Restore the priority min-heap, then refresh aggregates above the
+	// landing spot.
+	for p := t.nodes[idx].parent; p != nilNode && t.nodes[idx].prio < t.nodes[p].prio; p = t.nodes[idx].parent {
+		t.rotateUp(idx)
+	}
+	for u := t.nodes[idx].parent; u != nilNode; u = t.nodes[u].parent {
+		t.pull(u)
+	}
+}
+
+// removeRaw deletes the entry at position pos and returns it. Uncharged,
+// unjournaled.
+func (t *feasTree) removeRaw(pos int) (j *task.Job, effC rtime.Time, rem rtime.Duration) {
+	v := t.root
+	for {
+		lc := t.leftCnt(v)
+		switch {
+		case pos < lc:
+			v = t.nodes[v].left
+		case pos == lc:
+			goto found
+		default:
+			pos -= lc + 1
+			v = t.nodes[v].right
+		}
+	}
+found:
+	n := &t.nodes[v]
+	j, effC, rem = n.job, n.effC, n.rem
+	// Rotate v down to a leaf; aggregates stay valid throughout because
+	// v is still a member until detached.
+	for t.nodes[v].left != nilNode || t.nodes[v].right != nilNode {
+		l, r := t.nodes[v].left, t.nodes[v].right
+		var c int32
+		switch {
+		case l == nilNode:
+			c = r
+		case r == nilNode:
+			c = l
+		case t.nodes[l].prio < t.nodes[r].prio:
+			c = l
+		default:
+			c = r
+		}
+		t.rotateUp(c)
+	}
+	p := t.nodes[v].parent
+	if p == nilNode {
+		t.root = nilNode
+	} else if t.nodes[p].left == v {
+		t.nodes[p].left = nilNode
+	} else {
+		t.nodes[p].right = nilNode
+	}
+	for u := p; u != nilNode; u = t.nodes[u].parent {
+		t.pull(u)
+	}
+	t.freeNode(v)
+	return j, effC, rem
+}
+
+// mark returns a rollback checkpoint.
+func (t *feasTree) mark() int { return len(t.journal) }
+
+// rollback undoes every mutation after checkpoint m, newest first.
+// Uncharged, exactly as on the slice.
+func (t *feasTree) rollback(m int) {
+	for i := len(t.journal) - 1; i >= m; i-- {
+		mu := t.journal[i]
+		if mu.insert {
+			t.removeRaw(mu.pos)
+		} else {
+			t.insertRaw(mu.pos, mu.job, mu.effC, mu.rem)
+		}
+	}
+	t.journal = t.journal[:m]
+}
+
+// indexOf returns j's position, or -1. Charged as one ordered-list
+// lookup; the rank is reconstructed from the parent chain.
+func (t *feasTree) indexOf(j *task.Job) int {
+	t.chargeLog()
+	i, ok := t.pos[j]
+	if !ok {
+		return -1
+	}
+	rank := t.leftCnt(i)
+	for v := i; ; {
+		p := t.nodes[v].parent
+		if p == nilNode {
+			return rank
+		}
+		if t.nodes[p].right == v {
+			rank += t.leftCnt(p) + 1
+		}
+		v = p
+	}
+}
+
+// ecfPos returns the insertion position for effective critical time c:
+// after all entries with effC ≤ c. Key descent over the effC-sorted
+// schedule, equal to sort.Search's answer on the slice.
+func (t *feasTree) ecfPos(c rtime.Time) int {
+	t.chargeLog()
+	pos := 0
+	for v := t.root; v != nilNode; {
+		if t.nodes[v].effC <= c {
+			pos += t.leftCnt(v) + 1
+			v = t.nodes[v].right
+		} else {
+			v = t.nodes[v].left
+		}
+	}
+	return pos
+}
+
+func (t *feasTree) insertAt(pos int, j *task.Job, effC rtime.Time, rem rtime.Duration) {
+	t.chargeLog()
+	t.insertRaw(pos, j, effC, rem)
+	t.journal = append(t.journal, feasMut{insert: true, pos: pos})
+}
+
+func (t *feasTree) removeAt(pos int) (j *task.Job, effC rtime.Time, rem rtime.Duration) {
+	t.chargeLog()
+	j, effC, rem = t.removeRaw(pos)
+	t.journal = append(t.journal, feasMut{pos: pos, job: j, effC: effC, rem: rem})
+	return j, effC, rem
+}
+
+// effCOf returns the effective critical time of a present job.
+// Uncharged, like schedule.entryOf.
+func (t *feasTree) effCOf(j *task.Job) rtime.Time {
+	i, ok := t.pos[j]
+	if !ok {
+		return 0
+	}
+	return t.nodes[i].effC
+}
+
+// feasible reports whether the schedule meets every effective critical
+// time starting from now, charging one operation per entry the slice
+// walk would have visited: all n when feasible, the first violator's
+// index + 1 when not.
+func (t *feasTree) feasible(now rtime.Time) bool {
+	if t.root == nilNode {
+		return true
+	}
+	now64 := int64(now)
+	if t.nodes[t.root].minSlack >= now64 {
+		*t.ops += int64(t.nodes[t.root].cnt)
+		return true
+	}
+	// Descend to the first (lowest-index) violating entry. acc is the
+	// global demand prefix before the subtree under examination; a member
+	// with local slack s violates iff s − acc < now.
+	idx := 0
+	acc := int64(0)
+	v := t.root
+	for {
+		n := &t.nodes[v]
+		if l := n.left; l != nilNode {
+			if t.nodes[l].minSlack-acc < now64 {
+				v = l
+				continue
+			}
+			idx += int(t.nodes[l].cnt)
+			acc += int64(t.nodes[l].sum)
+		}
+		self := acc + int64(n.rem)
+		if int64(n.effC)-self < now64 {
+			break // v itself is the first violation
+		}
+		idx++
+		acc = self
+		v = n.right // the violation must sit in the right subtree
+	}
+	*t.ops += int64(idx) + 1
+	return false
+}
+
+// insertChain is §3.4.1 on the tree — the same algorithm as
+// schedule.insertChain, with rem captured at insertion (acc is the
+// world's per-access overhead, needed for Remaining).
+func (t *feasTree) insertChain(chain []*task.Job, acc rtime.Duration) {
+	var prev *task.Job   // successor in dependency order (inserted last iteration)
+	var prevC rtime.Time // prev's effective critical time
+	for i := len(chain) - 1; i >= 0; i-- {
+		d := chain[i]
+		if d.Done() || d.State == task.Aborting {
+			continue
+		}
+		if di := t.indexOf(d); di >= 0 {
+			// Already present (inserted as a dependent of an earlier,
+			// higher-PUD job). Re-establish dependency order: d must also
+			// precede prev (§3.4.1's removal-and-reinsertion case).
+			if prev != nil {
+				pi := t.indexOf(prev)
+				if di > pi {
+					job, _, rem := t.removeAt(di)
+					t.insertAt(pi, job, prevC, rem)
+				}
+			}
+			prev, prevC = d, t.effCOf(d)
+			continue
+		}
+		effC := d.AbsoluteCriticalTime()
+		pos := t.ecfPos(effC)
+		if prev != nil {
+			pi := t.indexOf(prev)
+			if pos > pi {
+				// ECF order inconsistent with dependency order (Case 2):
+				// force d before prev and inherit prev's critical time.
+				pos = pi
+				effC = prevC
+			}
+		}
+		t.insertAt(pos, d, effC, d.Remaining(acc))
+		prev, prevC = d, effC
+	}
+}
+
+// first returns the schedule head (leftmost entry), or nil.
+func (t *feasTree) first() *task.Job {
+	v := t.root
+	if v == nilNode {
+		return nil
+	}
+	for t.nodes[v].left != nilNode {
+		v = t.nodes[v].left
+	}
+	return t.nodes[v].job
+}
+
+// succ returns the in-order successor of v, or nilNode.
+func (t *feasTree) succ(v int32) int32 {
+	if r := t.nodes[v].right; r != nilNode {
+		for t.nodes[r].left != nilNode {
+			r = t.nodes[r].left
+		}
+		return r
+	}
+	for {
+		p := t.nodes[v].parent
+		if p == nilNode {
+			return nilNode
+		}
+		if t.nodes[p].left == v {
+			return p
+		}
+		v = p
+	}
+}
+
+// appendFirstK appends the first k schedule entries (in order) to dst
+// without allocating beyond dst's growth.
+func (t *feasTree) appendFirstK(dst []*task.Job, k int) []*task.Job {
+	if k <= 0 || t.root == nilNode {
+		return dst
+	}
+	v := t.root
+	for t.nodes[v].left != nilNode {
+		v = t.nodes[v].left
+	}
+	for v != nilNode && len(dst) < k {
+		dst = append(dst, t.nodes[v].job)
+		v = t.succ(v)
+	}
+	return dst
+}

@@ -38,13 +38,18 @@ type RUA struct {
 	observer func(trace.Event)
 
 	// Per-Select scratch, reset (not reallocated) on every pass.
-	live     []*task.Job
-	chainBuf []*task.Job // backing array for lock-free singleton chains
-	order    []*task.Job
-	chains   map[*task.Job][]*task.Job
-	pud      map[*task.Job]float64
-	excluded map[*task.Job]bool
-	sched    schedule
+	live      []*task.Job
+	chainBuf  []*task.Job // chain arena: lock-free singletons / lock-based walks
+	order     []*task.Job
+	chains    map[*task.Job][]*task.Job
+	pud       map[*task.Job]float64
+	excluded  map[*task.Job]bool
+	feas      feasTree
+	sorter    pudSorter
+	cyclesBuf [][]*task.Job
+	abortBuf  []*task.Job
+	topkBuf   []*task.Job
+	ops       int64 // charged operations of the pass in flight
 }
 
 // NewLockBased returns RUA with lock-based object sharing: dependency
@@ -108,6 +113,12 @@ type entry struct {
 
 // schedule is an ECF-ordered list with the paper's charged-cost
 // primitives. ops accumulates charged operations.
+//
+// Since the incremental feasibility tree (feas.go) took over the hot
+// path, this slice formulation is retained as the semantic reference:
+// the white-box tests in schedule_test.go pin its behaviour, and the
+// differential test in feas_test.go holds the tree to it — same entry
+// order, same feasibility verdicts, same charged operations.
 //
 // Mutations are journaled so a tentative insertion that turns out
 // infeasible can be rolled back in place instead of cloning the whole
@@ -276,50 +287,61 @@ func (s *schedule) feasible(now rtime.Time, acc rtime.Duration) bool {
 	return true
 }
 
+// pudSorter is step 4's non-increasing-PUD order as a persistent
+// sort.Interface, so sorting allocates nothing (sort.Slice would box a
+// fresh closure and lessSwap per pass). sort.Sort and sort.Slice run the
+// same pdqsort over the same Less/Swap sequence, so charged comparison
+// counts are unchanged.
+type pudSorter struct {
+	order []*task.Job
+	pud   map[*task.Job]float64
+	ops   *int64
+}
+
+func (s *pudSorter) Len() int      { return len(s.order) }
+func (s *pudSorter) Swap(a, b int) { s.order[a], s.order[b] = s.order[b], s.order[a] }
+func (s *pudSorter) Less(a, b int) bool {
+	*s.ops++
+	pa, pb := s.pud[s.order[a]], s.pud[s.order[b]]
+	//rtlint:ignore floatcmp tie-break gate: both PUDs come from the same pudOf pass, so equal inputs yield bit-equal floats and ties fall through to the deterministic jobLess order
+	if pa != pb {
+		return pa > pb
+	}
+	return jobLess(s.order[a], s.order[b])
+}
+
 // SelectTopK implements sched.TopK: the first k entries of the final
 // RUA schedule, in order. Global multiprocessor dispatch uses this to
 // run the schedule's prefix in parallel — the natural global-scheduling
-// generalization of "dispatch the head".
+// generalization of "dispatch the head". The returned slice aliases
+// reused scratch, valid until the next Select* call on this instance.
 func (r *RUA) SelectTopK(w sched.World, k int) ([]*task.Job, int64) {
-	d, entries := r.selectFull(w)
-	out := make([]*task.Job, 0, k)
-	for _, e := range entries {
-		if len(out) == k {
-			break
-		}
-		out = append(out, e.job)
-	}
-	return out, d.Ops
+	d := r.selectFull(w)
+	r.topkBuf = r.feas.appendFirstK(r.topkBuf[:0], k)
+	return r.topkBuf, d.Ops
 }
 
 // SelectTopKAbort implements sched.TopKAborter: SelectTopK plus the
 // pass's abort decisions (deadlock victims, degradation sheds), so
-// global engines can honor them.
+// global engines can honor them. Both returned slices alias reused
+// scratch, valid until the next Select* call on this instance.
 func (r *RUA) SelectTopKAbort(w sched.World, k int) (ranked, abort []*task.Job, ops int64) {
-	d, entries := r.selectFull(w)
-	out := make([]*task.Job, 0, k)
-	for _, e := range entries {
-		if len(out) == k {
-			break
-		}
-		out = append(out, e.job)
-	}
-	return out, d.Abort, d.Ops
+	d := r.selectFull(w)
+	r.topkBuf = r.feas.appendFirstK(r.topkBuf[:0], k)
+	return r.topkBuf, d.Abort, d.Ops
 }
 
 // Select implements sched.Scheduler — the full RUA pass of §3:
 // dependency chains, deadlock handling, PUDs, PUD-ordered examination,
 // ECF insertion with feasibility testing, and head dispatch.
 func (r *RUA) Select(w sched.World) sched.Decision {
-	d, _ := r.selectFull(w)
-	return d
+	return r.selectFull(w)
 }
 
-// selectFull runs the RUA pass and returns both the decision and the
-// final schedule entries. The entries alias reused scratch and are only
-// valid until the next Select/SelectTopK call on this instance.
-func (r *RUA) selectFull(w sched.World) (sched.Decision, []entry) {
-	var ops int64
+// selectFull runs the RUA pass. Decision.Abort aliases reused scratch
+// and is only valid until the next Select* call on this instance.
+func (r *RUA) selectFull(w sched.World) sched.Decision {
+	r.ops = 0
 
 	live := r.live[:0]
 	for _, j := range w.Jobs {
@@ -329,7 +351,7 @@ func (r *RUA) selectFull(w sched.World) (sched.Decision, []entry) {
 	}
 	r.live = live
 	if len(live) == 0 {
-		return sched.Decision{Ops: ops}, nil
+		return sched.Decision{}
 	}
 	if r.chains == nil {
 		r.chains = make(map[*task.Job][]*task.Job, len(live))
@@ -342,7 +364,7 @@ func (r *RUA) selectFull(w sched.World) (sched.Decision, []entry) {
 	// one reused backing array instead of allocated per job.
 	chains := r.chains
 	clear(chains)
-	var cycles [][]*task.Job
+	cycles := r.cyclesBuf[:0]
 	if r.lockFree {
 		if cap(r.chainBuf) < len(live) {
 			r.chainBuf = make([]*task.Job, len(live))
@@ -351,38 +373,49 @@ func (r *RUA) selectFull(w sched.World) (sched.Decision, []entry) {
 		for i, j := range live {
 			buf[i] = j
 			chains[j] = buf[i : i+1 : i+1]
-			ops++
+			r.ops++
 		}
 	} else {
+		// Chains are carved out of one reused arena. A growth
+		// reallocation leaves earlier chains pointing at the old backing
+		// array, which is fine: chains are immutable once built, and the
+		// arena reaches steady-state capacity after the first passes.
+		arena := r.chainBuf[:0]
 		for _, j := range live {
-			chain, cycle := w.Res.DependencyChain(j)
-			ops += int64(len(chain))
+			start := len(arena)
+			var cycle bool
+			arena, cycle = w.Res.AppendDependencyChain(arena, j)
+			chain := arena[start:len(arena):len(arena)]
+			r.ops += int64(len(chain))
 			chains[j] = chain
 			if cycle {
 				cycles = append(cycles, chain)
 			}
 		}
+		r.chainBuf = arena
 	}
+	r.cyclesBuf = cycles
 
 	// Step 2: PUDs (§3.2) — utility per unit time of the aggregate
 	// computation (the job plus everything it depends on).
 	pud := r.pud
 	clear(pud)
 	for _, j := range live {
-		pud[j] = r.pudOf(w, chains[j], &ops)
+		pud[j] = r.pudOf(w, chains[j], &r.ops)
 	}
 
 	// Step 3: deadlock resolution (§3.3) — only reachable with nested
 	// critical sections. Abort the cycle member with the least PUD; jobs
 	// whose chains pass through a victim cannot run before the rollback,
 	// so they sit this round out.
-	var aborts []*task.Job
+	aborts := r.abortBuf[:0]
 	excluded := r.excluded
 	clear(excluded)
 	for _, cyc := range cycles {
 		victim := cyc[0]
 		for _, j := range cyc {
-			ops++
+			r.ops++
+			//rtlint:ignore floatcmp tie-break gate: PUDs of one pass are bit-comparable, equality falls through to the deterministic jobLess victim choice
 			if pud[j] < pud[victim] || (pud[j] == pud[victim] && jobLess(victim, j)) {
 				victim = j
 			}
@@ -414,14 +447,8 @@ func (r *RUA) selectFull(w sched.World) (sched.Decision, []entry) {
 		}
 	}
 	r.order = order
-	sort.Slice(order, func(a, b int) bool {
-		ops++
-		pa, pb := pud[order[a]], pud[order[b]]
-		if pa != pb {
-			return pa > pb
-		}
-		return jobLess(order[a], order[b])
-	})
+	r.sorter = pudSorter{order: order, pud: pud, ops: &r.ops}
+	sort.Sort(&r.sorter)
 
 	// Step 5: examine in PUD order, insert job+dependents in ECF order,
 	// keep the tentative schedule only if feasible (§3.4, §3.4.1). An
@@ -429,31 +456,30 @@ func (r *RUA) selectFull(w sched.World) (sched.Decision, []entry) {
 	// being thrown away with a pre-insertion clone; the charged operations
 	// are identical because construction costs the same either way and
 	// neither discard path was ever charged.
-	cur := &r.sched
-	cur.ops = &ops
-	cur.entries = cur.entries[:0]
-	cur.journal = cur.journal[:0]
+	cur := &r.feas
+	cur.ops = &r.ops
+	cur.reset(len(live))
 	for _, j := range order {
 		if cur.indexOf(j) >= 0 {
 			// Already inserted as someone's dependent.
 			continue
 		}
 		m := cur.mark()
-		before := ops
-		cur.insertChain(chains[j])
-		if cur.feasible(w.Now, w.Acc) {
+		before := r.ops
+		cur.insertChain(chains[j], w.Acc)
+		if cur.feasible(w.Now) {
 			// Accepted: history up to here can never be rolled back.
 			cur.journal = cur.journal[:0]
-			r.emitFeas(w.Now, trace.FeasOK, j, ops-before)
+			r.emitFeas(w.Now, trace.FeasOK, j, r.ops-before)
 		} else {
 			cur.rollback(m)
-			r.emitFeas(w.Now, trace.FeasFail, j, ops-before)
+			r.emitFeas(w.Now, trace.FeasFail, j, r.ops-before)
 			if r.degrade {
 				// Admission control: a job that cannot meet its critical
 				// time even running alone from now on is doomed — shed it
 				// now rather than letting it thrash subsequent passes. The
 				// laxity comparison is one charged operation.
-				ops++
+				r.ops++
 				if w.Now.Add(j.Remaining(w.Acc)).After(j.AbsoluteCriticalTime()) {
 					aborts = append(aborts, j)
 					if r.observer != nil {
@@ -463,12 +489,9 @@ func (r *RUA) selectFull(w sched.World) (sched.Decision, []entry) {
 			}
 		}
 	}
+	r.abortBuf = aborts
 
-	var run *task.Job
-	if len(cur.entries) > 0 {
-		run = cur.entries[0].job
-	}
-	return sched.Decision{Run: run, Abort: aborts, Ops: ops}, cur.entries
+	return sched.Decision{Run: cur.first(), Abort: aborts, Ops: r.ops}
 }
 
 // pudOf computes the potential utility density of a chain: walk from the

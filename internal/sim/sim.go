@@ -25,6 +25,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/resource"
 	"repro/internal/rtime"
+	"repro/internal/rtime/wheel"
 	"repro/internal/sched"
 	"repro/internal/task"
 	"repro/internal/trace"
@@ -214,69 +215,14 @@ const (
 	evAbortDone
 )
 
+// event is one scheduled occurrence. Ordering — ascending (at, push
+// order) — is the timing wheel's contract (see internal/rtime/wheel),
+// identical to the binary heap this engine used before PR 6.
 type event struct {
 	at   rtime.Time
-	seq  int64
 	kind evKind
 	job  *task.Job
 	gen  int64
-}
-
-// eventHeap is a hand-rolled binary min-heap of event VALUES. It
-// deliberately avoids container/heap: that interface moves every pushed
-// element through an `any`, boxing one heap allocation per event — the
-// single hottest allocation site in the engine, paid at every arrival,
-// dispatch, and access boundary.
-type eventHeap []event
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h *eventHeap) push(ev event) {
-	*h = append(*h, ev)
-	// Sift up.
-	s := *h
-	i := len(s) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.less(i, parent) {
-			break
-		}
-		s[i], s[parent] = s[parent], s[i]
-		i = parent
-	}
-}
-
-func (h *eventHeap) pop() event {
-	s := *h
-	top := s[0]
-	n := len(s) - 1
-	s[0] = s[n]
-	s[n] = event{} // clear the job pointer for GC
-	*h = s[:n]
-	// Sift down.
-	s = s[:n]
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		c := l
-		if r := l + 1; r < n && s.less(r, l) {
-			c = r
-		}
-		if !s.less(c, i) {
-			break
-		}
-		s[i], s[c] = s[c], s[i]
-		i = c
-	}
-	return top
 }
 
 // runState is per-job engine bookkeeping.
@@ -297,8 +243,7 @@ type Engine struct {
 	acc rtime.Duration
 
 	now     rtime.Time
-	events  eventHeap
-	seq     int64
+	events  *wheel.Wheel[event]
 	res     *resource.Map
 	live    []*task.Job
 	allJobs []*task.Job
@@ -360,11 +305,13 @@ func New(cfg Config) (*Engine, error) {
 	}
 	// Each arrival contributes at most an arrival plus a critical-time
 	// event held concurrently; dispatch/internal events are transient.
-	// Pre-sizing the heap and job bookkeeping to the known arrival count
-	// avoids repeated growth copies over long horizons.
-	e.events = make(eventHeap, 0, 2*arrivals+8)
+	// Pre-sizing the wheel arena and job bookkeeping to the known arrival
+	// count avoids repeated growth copies over long horizons, and the
+	// full-width runState slab keeps the per-job path allocation-free.
+	e.events = wheel.New[event](2*arrivals + 8)
 	e.allJobs = make([]*task.Job, 0, arrivals)
 	e.rstates = make(map[*task.Job]*runState, arrivals)
+	e.rsSlab = make([]runState, arrivals)
 	for i, t := range cfg.Tasks {
 		u := t.ComputeTime()
 		for k, at := range traces[i] {
@@ -380,16 +327,14 @@ func New(cfg Config) (*Engine, error) {
 }
 
 func (e *Engine) push(ev event) {
-	e.seq++
-	ev.seq = e.seq
-	e.events.push(ev)
+	e.events.Push(ev.at, ev)
 }
 
 func (e *Engine) rs(j *task.Job) *runState {
 	st := e.rstates[j]
 	if st == nil {
-		// Carve from a slab: one allocation per 64 jobs instead of one
-		// per job.
+		// Carve from the slab New pre-allocated for every arrival; the
+		// batch refill is a safety net that never fires on a normal run.
 		if len(e.rsSlab) == 0 {
 			e.rsSlab = make([]runState, 64)
 		}
@@ -439,8 +384,8 @@ func (e *Engine) emitSched(at rtime.Time, kind trace.Kind, ops int64) {
 
 // Run executes the simulation to the horizon and returns the result.
 func (e *Engine) Run() Result {
-	for len(e.events) > 0 && e.fail == nil {
-		ev := e.events.pop()
+	for e.events.Len() > 0 && e.fail == nil {
+		_, ev, _ := e.events.Pop()
 		if ev.at > e.cfg.Horizon {
 			break
 		}

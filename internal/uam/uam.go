@@ -24,11 +24,23 @@ import (
 	"repro/internal/rtime"
 )
 
-// Spec is a UAM arrival specification ⟨l, a, W⟩.
+// Spec is a UAM arrival specification ⟨l, a, W⟩, optionally with a
+// release phase.
 type Spec struct {
 	L int            // minimal arrivals in any window of length W
 	A int            // maximal arrivals in any window of length W
 	W rtime.Duration // sliding window length
+
+	// Phase is the task's release offset: generators start the trace at
+	// Phase instead of 0, the standard phasing of real-time task models.
+	// It must stay within [0, W) so the window at time 0 can still
+	// receive its l mandatory arrivals. Without phases every ⟨l,·,·⟩ task
+	// is forced to release at time 0 (latestRequired's startup rule),
+	// which synchronizes arbitrarily large task sets into one thundering
+	// herd; spreading phases keeps the instantaneous backlog proportional
+	// to load instead of population. A zero Phase reproduces the
+	// unphased traces tick-for-tick.
+	Phase rtime.Duration
 }
 
 // ErrInvalid reports a malformed UAM specification or trace.
@@ -53,11 +65,20 @@ func (s Spec) Validate() error {
 	if s.L < 0 || s.L > s.A {
 		return fmt.Errorf("%w: need 0 ≤ l ≤ a, got l=%d a=%d", ErrInvalid, s.L, s.A)
 	}
+	if s.Phase < 0 || s.Phase >= s.W {
+		return fmt.Errorf("%w: phase %v must lie in [0, W=%v)", ErrInvalid, s.Phase, s.W)
+	}
 	return nil
 }
 
-// String renders the spec as the paper's tuple notation.
-func (s Spec) String() string { return fmt.Sprintf("<%d,%d,%v>", s.L, s.A, s.W) }
+// String renders the spec as the paper's tuple notation, with the phase
+// appended only when one is set.
+func (s Spec) String() string {
+	if s.Phase != 0 {
+		return fmt.Sprintf("<%d,%d,%v>@%v", s.L, s.A, s.W, s.Phase)
+	}
+	return fmt.Sprintf("<%d,%d,%v>", s.L, s.A, s.W)
+}
 
 // MaxArrivalsIn returns the maximum number of arrivals possible in any
 // interval of length d: a·(⌈d/W⌉ + 1). This is the window-counting bound
@@ -107,7 +128,7 @@ func (s Spec) Inflated(jitter rtime.Duration, extra int) Spec {
 		return s
 	}
 	a := s.MaxArrivalsIn(s.W+jitter) * int64(1+extra)
-	return Spec{L: 0, A: int(a), W: s.W}
+	return Spec{L: 0, A: int(a), W: s.W, Phase: s.Phase}
 }
 
 // Trace is a non-decreasing sequence of arrival instants.
@@ -220,7 +241,7 @@ func (g *Generator) latestRequired() rtime.Time {
 	}
 	if len(g.recent) < g.Spec.L {
 		if len(g.recent) == 0 {
-			return 0
+			return rtime.Time(0).Add(g.Spec.Phase)
 		}
 		return g.recent[len(g.recent)-1]
 	}
@@ -284,7 +305,7 @@ func (g *Generator) generatePeriodic(horizon rtime.Time) Trace {
 		gap = 1
 	}
 	var tr Trace
-	next := rtime.Time(0)
+	next := rtime.Time(0).Add(g.Spec.Phase)
 	for {
 		at := g.place(next)
 		if at >= horizon {
@@ -297,7 +318,7 @@ func (g *Generator) generatePeriodic(horizon rtime.Time) Trace {
 
 func (g *Generator) generateBursty(horizon rtime.Time) Trace {
 	var tr Trace
-	t := rtime.Time(0)
+	t := rtime.Time(0).Add(g.Spec.Phase)
 	for t < horizon {
 		// Burst of up to a arrivals as early as admissible.
 		for k := 0; k < g.Spec.A; k++ {
@@ -324,7 +345,7 @@ func (g *Generator) generateBursty(horizon rtime.Time) Trace {
 func (g *Generator) generateJittered(horizon rtime.Time) Trace {
 	var tr Trace
 	mean := 1.0 / g.Spec.MeanRate()
-	t := rtime.Time(0)
+	t := rtime.Time(0).Add(g.Spec.Phase)
 	for {
 		gap := rtime.Duration(g.rng.ExpFloat64() * mean)
 		if gap < 1 {

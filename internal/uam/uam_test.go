@@ -10,7 +10,8 @@ import (
 
 func TestSpecValidate(t *testing.T) {
 	good := []Spec{
-		{1, 1, 100}, {0, 1, 100}, {2, 5, 1000}, {5, 5, 1},
+		{L: 1, A: 1, W: 100}, {L: 0, A: 1, W: 100}, {L: 2, A: 5, W: 1000},
+		{L: 5, A: 5, W: 1}, {L: 1, A: 1, W: 100, Phase: 99},
 	}
 	for _, s := range good {
 		if err := s.Validate(); err != nil {
@@ -18,7 +19,9 @@ func TestSpecValidate(t *testing.T) {
 		}
 	}
 	bad := []Spec{
-		{1, 1, 0}, {1, 1, -5}, {1, 0, 100}, {-1, 1, 100}, {3, 2, 100},
+		{L: 1, A: 1, W: 0}, {L: 1, A: 1, W: -5}, {L: 1, A: 0, W: 100},
+		{L: -1, A: 1, W: 100}, {L: 3, A: 2, W: 100},
+		{L: 1, A: 1, W: 100, Phase: 100}, {L: 1, A: 1, W: 100, Phase: -1},
 	}
 	for _, s := range bad {
 		if err := s.Validate(); !errors.Is(err, ErrInvalid) {
@@ -177,6 +180,44 @@ func TestGeneratorDeterministic(t *testing.T) {
 	}
 }
 
+func TestPhaseOffsetsTrace(t *testing.T) {
+	// A phased spec must still generate valid traces, and under ⟨1,1,W⟩
+	// (where admission forces strict periodicity) the first arrival lands
+	// exactly on the phase — this is what desynchronizes the scale
+	// workload's clusters.
+	const horizon = rtime.Time(50_000)
+	for _, phase := range []rtime.Duration{1, 37, 149} {
+		s := Spec{L: 1, A: 1, W: 150, Phase: phase}
+		for _, k := range []Kind{KindJittered, KindBursty, KindPeriodic} {
+			g, err := NewGenerator(s, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := g.Generate(k, horizon)
+			if err := CheckTrace(s, tr, horizon); err != nil {
+				t.Fatalf("phase %v kind %d: invalid trace: %v", phase, k, err)
+			}
+			if len(tr) == 0 || tr[0] != rtime.Time(0).Add(phase) {
+				t.Fatalf("phase %v kind %d: first arrival %v, want %v", phase, k, tr[0], phase)
+			}
+		}
+	}
+	// Zero phase reproduces the unphased trace tick-for-tick.
+	for _, k := range []Kind{KindJittered, KindBursty, KindPeriodic} {
+		g0, _ := NewGenerator(Spec{L: 1, A: 2, W: 200}, 7)
+		gz, _ := NewGenerator(Spec{L: 1, A: 2, W: 200, Phase: 0}, 7)
+		tr0, trz := g0.Generate(k, horizon), gz.Generate(k, horizon)
+		if len(tr0) != len(trz) {
+			t.Fatalf("kind %d: zero phase changed trace length: %d vs %d", k, len(tr0), len(trz))
+		}
+		for i := range tr0 {
+			if tr0[i] != trz[i] {
+				t.Fatalf("kind %d: zero phase diverged at %d: %v vs %v", k, i, tr0[i], trz[i])
+			}
+		}
+	}
+}
+
 func TestBurstyHitsMaxBound(t *testing.T) {
 	// The bursty adversary should actually achieve bursts of size a.
 	s := Spec{L: 0, A: 4, W: 1000}
@@ -231,7 +272,8 @@ func TestQuickGeneratedTracesValid(t *testing.T) {
 		a := int(aRaw%5) + 1
 		l := int(lRaw) % (a + 1)
 		w := rtime.Duration(wRaw%900) + 100
-		s := Spec{L: l, A: a, W: w}
+		phase := rtime.Duration(seed%int64(w)+int64(w)) % w // deterministic in [0, w)
+		s := Spec{L: l, A: a, W: w, Phase: phase}
 		g, err := NewGenerator(s, seed)
 		if err != nil {
 			return false
