@@ -31,11 +31,14 @@ vet:
 	$(GO) vet ./...
 
 # rtlint (cmd/rtlint, analyzers in internal/lint) mechanically enforces
-# the determinism/atomics/aliasing invariants the paper's event-sequence
-# claims rest on. Any finding fails the build; deliberate exceptions
-# carry a justified //rtlint:ignore directive.
+# the determinism/atomics/aliasing/allocation invariants the paper's
+# event-sequence and zero-alloc claims rest on. Any finding fails the
+# build; deliberate exceptions carry a justified //rtlint:ignore
+# directive. RTLINT_FORMAT selects the output format:
+# `make lint RTLINT_FORMAT=sarif` is what CI archives.
+RTLINT_FORMAT ?= text
 lint: vet
-	$(GO) run ./cmd/rtlint ./...
+	$(GO) run ./cmd/rtlint -format $(RTLINT_FORMAT) ./...
 
 bench:
 	$(GO) test -run NONE -bench . -benchmem .
@@ -98,6 +101,7 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz '^FuzzValidateNoPanic$$' -fuzztime $(FUZZTIME) ./internal/task
 	$(GO) test -run NONE -fuzz '^FuzzGenerateSatisfiesSpec$$' -fuzztime $(FUZZTIME) ./internal/uam
 	$(GO) test -run NONE -fuzz '^FuzzCheckTraceNoPanic$$' -fuzztime $(FUZZTIME) ./internal/uam
+	$(GO) test -run NONE -fuzz '^FuzzIgnoreDirective$$' -fuzztime $(FUZZTIME) ./internal/lint
 
 # CPU + heap profiles of the canonical metrics fold; inspect with
 # `go tool pprof cpu.pprof`.

@@ -1,25 +1,33 @@
 // Command rtlint runs the repo's determinism/atomics/aliasing analyzer
 // suite (internal/lint) over the module:
 //
-//	rtlint ./...            # what make lint and CI run
-//	rtlint ./internal/sim   # one package
-//	rtlint -list            # describe the analyzers
+//	rtlint ./...                  # what make lint and CI run
+//	rtlint ./internal/sim         # one package
+//	rtlint -list                  # describe the analyzers
+//	rtlint -format sarif ./...    # machine-readable output (json|sarif)
 //
 // Exit status: 0 no findings, 1 findings, 2 usage or load/type errors.
 // Findings are suppressed per statement with a justified directive:
 //
 //	//rtlint:ignore <analyzer> <reason>
+//
+// The json and sarif formats render root-relative slash paths and sort
+// findings by (file, line, column, analyzer, message), so output is
+// byte-identical across machines and runs on the same tree.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/lint"
+	"repro/internal/lint/analysis"
 	"repro/internal/lint/loader"
 )
 
@@ -31,8 +39,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rtlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "describe the analyzers and exit")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: rtlint [-list] [package pattern ...]\n")
+		fmt.Fprintf(stderr, "usage: rtlint [-list] [-format text|json|sarif] [package pattern ...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -44,6 +53,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "rtlint: unknown format %q (want text, json, or sarif)\n", *format)
+		return 2
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -61,23 +76,186 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	findings := 0
-	for _, pkg := range pkgs {
-		diags, err := lint.Run(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintf(stderr, "rtlint: %s: %v\n", pkg.Path, err)
-			return 2
-		}
-		for _, d := range diags {
-			findings++
-			fmt.Fprintln(stdout, d.String(pkg.Fset))
+	results, err := lint.RunAll(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtlint: %v\n", err)
+		return 2
+	}
+
+	var findings []finding
+	for _, pr := range results {
+		for _, d := range pr.Diags {
+			p := pr.Pkg.Fset.Position(d.Pos)
+			file := p.Filename
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+			findings = append(findings, finding{
+				File: file, Line: p.Line, Col: p.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(stderr, "rtlint: %d finding(s)\n", findings)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+
+	switch *format {
+	case "json":
+		if err := writeJSON(stdout, findings); err != nil {
+			fmt.Fprintf(stderr, "rtlint: %v\n", err)
+			return 2
+		}
+	case "sarif":
+		if err := writeSARIF(stdout, analyzers, findings); err != nil {
+			fmt.Fprintf(stderr, "rtlint: %v\n", err)
+			return 2
+		}
+	default:
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "rtlint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// finding is one diagnostic with its position resolved to a
+// root-relative slash path, the unit of every output format.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w io.Writer, findings []finding) error {
+	if findings == nil {
+		findings = []finding{} // render [] rather than null
+	}
+	out, err := json.MarshalIndent(findings, "", "\t")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", out)
+	return err
+}
+
+// SARIF 2.1.0, minimal static-analysis profile: one run, one rule per
+// analyzer, one result per finding. Everything that could vary between
+// machines (absolute paths, timestamps) is deliberately absent.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+func writeSARIF(w io.Writer, analyzers []*analysis.Analyzer, findings []finding) error {
+	ruleIndex := map[string]int{}
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		ruleIndex[a.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	// Malformed //rtlint:ignore directives are attributed to "rtlint"
+	// itself, which is not a listed analyzer; give it a rule too.
+	ruleIndex["rtlint"] = len(rules)
+	rules = append(rules, sarifRule{ID: "rtlint", ShortDescription: sarifText{
+		Text: "malformed //rtlint:ignore directive (unknown analyzer or missing reason)"}})
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: ruleIndex[f.Analyzer],
+			Level:     "warning",
+			Message:   sarifText{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: f.File},
+				Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "rtlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	out, err := json.MarshalIndent(log, "", "\t")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", out)
+	return err
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

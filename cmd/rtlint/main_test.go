@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -11,7 +15,8 @@ func TestList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("rtlint -list exited %d, stderr: %s", code, errb.String())
 	}
-	for _, name := range []string{"maporder", "simclock", "atomicmix", "sharedtask", "floatcmp"} {
+	for _, name := range []string{"maporder", "simclock", "atomicmix", "sharedtask", "floatcmp",
+		"noalloc", "casloop", "atomicalign"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("rtlint -list output missing analyzer %q:\n%s", name, out.String())
 		}
@@ -35,5 +40,112 @@ func TestBadPattern(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"./no/such/dir"}, &out, &errb); code != 2 {
 		t.Fatalf("rtlint on bogus pattern exited %d, want 2", code)
+	}
+}
+
+// writeFormatFixture materializes a tiny module with two stable
+// findings (one maporder, one simclock) for the output-format tests.
+func writeFormatFixture(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module sarifmod\n\ngo 1.22\n",
+		"internal/sim/sim.go": `// Package sim is the rtlint output-format fixture: two stable findings.
+package sim
+
+import "time"
+
+// Tally walks a map in randomized order: maporder fires.
+func Tally(counts map[string]int, emit func(string, int)) {
+	for k, n := range counts {
+		emit(k, n)
+	}
+}
+
+// Stamp reads the wall clock: simclock fires.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestSARIFGolden pins the sarif output byte for byte: root-relative
+// slash URIs and (file, line, col, analyzer, message) ordering make it
+// machine-independent, and two runs must produce identical bytes.
+// Regenerate testdata/golden.sarif with
+// `rtlint -format sarif ./...` from inside the fixture module after a
+// deliberate format or analyzer-doc change.
+func TestSARIFGolden(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden.sarif"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(writeFormatFixture(t))
+
+	var first []byte
+	for i := 0; i < 2; i++ {
+		var out, errb strings.Builder
+		if code := run([]string{"-format", "sarif", "./..."}, &out, &errb); code != 1 {
+			t.Fatalf("run %d: exited %d, want 1 (findings)\nstderr: %s", i, code, errb.String())
+		}
+		got := []byte(out.String())
+		if i == 0 {
+			first = got
+			continue
+		}
+		if !bytes.Equal(first, got) {
+			t.Fatalf("sarif output differs between identical runs:\nfirst:\n%s\nsecond:\n%s", first, got)
+		}
+	}
+	if !bytes.Equal(first, golden) {
+		t.Errorf("sarif output does not match testdata/golden.sarif\ngot:\n%s\nwant:\n%s", first, golden)
+	}
+}
+
+// TestJSONFormat checks the json rendering: a sorted array of findings
+// with root-relative paths.
+func TestJSONFormat(t *testing.T) {
+	t.Chdir(writeFormatFixture(t))
+	var out, errb strings.Builder
+	if code := run([]string{"-format", "json", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exited %d, want 1 (findings)\nstderr: %s", code, errb.String())
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("json output does not parse: %v\n%s", err, out.String())
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%s", len(findings), out.String())
+	}
+	if findings[0].File != "internal/sim/sim.go" || findings[0].Analyzer != "maporder" {
+		t.Errorf("first finding = %+v, want maporder in internal/sim/sim.go", findings[0])
+	}
+	if findings[1].Analyzer != "simclock" || findings[1].Line <= findings[0].Line {
+		t.Errorf("second finding = %+v, want simclock after the maporder line", findings[1])
+	}
+}
+
+// TestBadFormat exits 2 on an unknown -format value.
+func TestBadFormat(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-format", "yaml"}, &out, &errb); code != 2 {
+		t.Fatalf("rtlint -format yaml exited %d, want 2", code)
 	}
 }

@@ -381,6 +381,7 @@ func ParsePlan(s string) (*Plan, error) {
 			return nil, err
 		}
 	}
+	//rtlint:ignore floatcmp intensity is a parsed literal compared to its default; Scale(1.0) is the identity so the branch is a pure fast path
 	if intensity != 1.0 {
 		seed := p.Seed
 		p = p.Scale(intensity)

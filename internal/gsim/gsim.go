@@ -234,10 +234,12 @@ func (e *Engine) st(j *task.Job) *jobState {
 		// Carve from the slab New pre-allocated for every arrival; the
 		// batch refill is a safety net that never fires on a normal run.
 		if len(e.stSlab) == 0 {
+			//rtlint:ignore noalloc batch refill safety net; New pre-sizes the slab for every arrival
 			e.stSlab = make([]jobState, 64)
 		}
 		s = &e.stSlab[0]
 		e.stSlab = e.stSlab[1:]
+		//rtlint:ignore noalloc map pre-sized in New for every arrival; buckets never grow on a normal run
 		e.states[j] = s
 	}
 	return s
@@ -272,6 +274,8 @@ func (e *Engine) emitSched(at rtime.Time, kind trace.Kind, ops int64) {
 }
 
 // Run executes to the horizon.
+//
+//rtlint:noalloc steady state carves from pre-sized slabs and reused scratch (PR-6 contract)
 func (e *Engine) Run() sim.Result {
 	for e.events.Len() > 0 && e.fail == nil {
 		_, ev, _ := e.events.Pop()
@@ -290,7 +294,9 @@ func (e *Engine) Run() sim.Result {
 		case evArrival:
 			needResched = e.settleAll()
 			j := ev.job
+			//rtlint:ignore noalloc bounded by total arrivals; reaches steady capacity at warm-up
 			e.live = append(e.live, j)
+			//rtlint:ignore noalloc pre-sized in New for every arrival
 			e.all = append(e.all, j)
 			e.res1.Arrivals++
 			e.emit(e.now, trace.Arrival, j, -1, -1)
@@ -432,6 +438,7 @@ func (e *Engine) settleCPU(cpu int) bool {
 			e.running[cpu] = nil
 			return true
 		case task.StepLock, task.StepUnlock:
+			//rtlint:ignore noalloc failure path: the run is aborting with a diagnostic
 			e.failWith(fmt.Errorf("gsim: explicit lock boundaries unsupported"))
 			return false
 		}
@@ -478,6 +485,7 @@ func (e *Engine) abort(j *task.Job) {
 func (e *Engine) removeLive(j *task.Job) {
 	for i, x := range e.live {
 		if x == j {
+			//rtlint:ignore noalloc copy-down within the same backing array; never grows
 			e.live = append(e.live[:i], e.live[i+1:]...)
 			return
 		}
@@ -546,6 +554,7 @@ func (e *Engine) applyAssignment(ranked []*task.Job) {
 		if j.Done() || j.State == task.Aborting || selected[j] || !e.runnableNow(j) {
 			continue
 		}
+		//rtlint:ignore noalloc cleared scratch map sized to CPUs; buckets never grow after warm-up
 		selected[j] = true
 		count++
 	}
@@ -559,6 +568,7 @@ func (e *Engine) applyAssignment(ranked []*task.Job) {
 	clear(placed)
 	for _, r := range e.running {
 		if r != nil {
+			//rtlint:ignore noalloc cleared scratch map sized to CPUs; buckets never grow after warm-up
 			placed[r] = true
 		}
 	}
@@ -573,6 +583,7 @@ func (e *Engine) applyAssignment(ranked []*task.Job) {
 			continue
 		}
 		if e.tryDispatch(cpu, j) {
+			//rtlint:ignore noalloc cleared scratch map sized to CPUs; buckets never grow after warm-up
 			placed[j] = true
 		}
 	}

@@ -3,14 +3,26 @@
 // string, and a Run function that inspects one type-checked package
 // through a Pass and reports Diagnostics.
 //
-// The shapes (Analyzer, Pass, Diagnostic, Pass.Reportf) deliberately
-// mirror x/tools so the rtlint analyzers can be ported to the real
-// multichecker by swapping this import — the build environment for this
-// repo is fully offline, so the upstream module cannot be fetched and
-// vendoring its full driver (facts, result propagation, SSA) would be
-// far more code than the five analyzers need. Features the rtlint suite
-// does not use — analyzer requirements, facts, suggested fixes — are
-// intentionally absent.
+// The shapes (Analyzer, Pass, Diagnostic, Pass.Reportf, object facts,
+// Requires/ResultOf) deliberately mirror x/tools so the rtlint
+// analyzers can be ported to the real multichecker by swapping this
+// import — the build environment for this repo is fully offline, so the
+// upstream module cannot be fetched and vendoring its full driver
+// (serialized facts, SSA) would be far more code than the suite needs.
+//
+// Two whole-program features are supported beyond the per-package core:
+//
+//   - Requires: an analyzer may depend on another analyzer's per-package
+//     result (e.g. noalloc requires the shared callgraph pass). The
+//     driver runs requirements first and threads each result through
+//     Pass.ResultOf.
+//   - Object facts: an analyzer may attach a Fact to a types.Object
+//     (typically a function) while analyzing the defining package and
+//     read it back while analyzing an importing package. The driver
+//     analyzes dependencies before importers, so facts flow forward
+//     along the import graph. Facts are held in-process (every package
+//     of a run shares one FileSet and one type-checker universe), so no
+//     serialization is involved.
 package analysis
 
 import (
@@ -18,6 +30,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 )
 
 // Analyzer describes one static check.
@@ -30,11 +43,24 @@ type Analyzer struct {
 	// and why; the first line is used as a summary by rtlint -list.
 	Doc string
 
+	// Requires lists analyzers that must run on the same package first;
+	// their results are available through Pass.ResultOf. The graph must
+	// be acyclic.
+	Requires []*Analyzer
+
 	// Run inspects the package presented by pass and reports findings
-	// via pass.Report/Reportf. A non-nil error aborts the whole rtlint
-	// run (reserved for internal failures, not findings).
-	Run func(pass *Pass) error
+	// via pass.Report/Reportf. The first return value is the analyzer's
+	// per-package result, delivered to dependents via Pass.ResultOf
+	// (nil when the analyzer computes none). A non-nil error aborts the
+	// whole rtlint run (reserved for internal failures, not findings).
+	Run func(pass *Pass) (any, error)
 }
+
+// Fact is a marker interface for analyzer-attached object metadata.
+// Implementations must be pointer types so ImportObjectFact can copy
+// into caller storage; AFact is a no-op that keeps arbitrary types from
+// flowing through the fact store by accident.
+type Fact interface{ AFact() }
 
 // Pass presents one type-checked package to an Analyzer's Run.
 type Pass struct {
@@ -44,9 +70,58 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// ResultOf holds the results of the analyzers named in
+	// Analyzer.Requires, computed on this same package.
+	ResultOf map[*Analyzer]any
+
 	// Report delivers one finding. The driver installs it; Run must not
 	// replace it.
 	Report func(Diagnostic)
+
+	// facts is the run-wide object-fact store, shared across packages
+	// and installed by the driver. Nil when the analyzer runs without a
+	// fact-aware driver; Export/Import degrade to no-ops then.
+	facts map[types.Object][]Fact
+}
+
+// SetFactStore installs the run-wide fact store. Drivers call this once
+// per pass before Run; analyzers must not.
+func (p *Pass) SetFactStore(store map[types.Object][]Fact) { p.facts = store }
+
+// ExportObjectFact attaches fact to obj for importing packages to read.
+// A fact of the same concrete type replaces any previously exported one
+// on the same object.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil || obj == nil {
+		return
+	}
+	t := reflect.TypeOf(fact)
+	for i, f := range p.facts[obj] {
+		if reflect.TypeOf(f) == t {
+			p.facts[obj][i] = fact
+			return
+		}
+	}
+	p.facts[obj] = append(p.facts[obj], fact)
+}
+
+// ImportObjectFact copies the fact of fact's concrete type attached to
+// obj into fact (which must be a pointer) and reports whether one was
+// found. Facts are visible once the exporting package's pass has run —
+// the driver orders dependencies before importers, so a fact exported
+// on an object is readable wherever that object can be referenced.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil || obj == nil {
+		return false
+	}
+	t := reflect.TypeOf(fact)
+	for _, f := range p.facts[obj] {
+		if reflect.TypeOf(f) == t {
+			reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
 }
 
 // Reportf reports a formatted diagnostic at pos, attributed to the

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Atomicalign flags legacy 64-bit sync/atomic calls on struct fields
+// that a 32-bit target cannot guarantee 8-byte aligned. On 386/arm, the
+// compiler only promises 64-bit alignment for the first word of an
+// allocated struct, so atomic.AddInt64(&s.counter, 1) faults or tears
+// when counter sits at a non-multiple-of-8 offset. The paper's platform
+// is exactly this class of embedded target, so the check runs over all
+// of internal/. The fix is structural: move the 64-bit word to the
+// front of the struct, or use atomic.Int64/atomic.Uint64, whose
+// alignment the runtime guarantees regardless of position (which is why
+// typed atomics are exempt here).
+var Atomicalign = &analysis.Analyzer{
+	Name: "atomicalign",
+	Doc: "flags legacy 64-bit sync/atomic calls on struct fields not 8-byte aligned under " +
+		"32-bit layout; move the field first or use the atomic.Int64 family",
+	Run: runAtomicalign,
+}
+
+func runAtomicalign(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.Pkg.Path(), []string{"internal"}) {
+		return nil, nil
+	}
+	sizes := types.SizesFor("gc", "386")
+	if sizes == nil {
+		sizes = &types.StdSizes{WordSize: 4, MaxAlign: 4}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := calleePkgFunc(pass.TypesInfo, call)
+			if !ok || path != "sync/atomic" || len(call.Args) == 0 {
+				return true
+			}
+			if !strings.HasSuffix(name, "Int64") && !strings.HasSuffix(name, "Uint64") {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pass.TypesInfo.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			off, owner, ok := fieldOffset32(sizes, s)
+			if !ok || off%8 == 0 {
+				return true
+			}
+			suggest := "Int64"
+			if strings.HasSuffix(name, "Uint64") {
+				suggest = "Uint64"
+			}
+			pass.Reportf(un.Pos(), "atomic.%s on %s: field %s sits at offset %d in %s under 32-bit layout, "+
+				"so 64-bit atomic access is misaligned; move it to the front of the struct or use atomic.%s",
+				name, types.ExprString(un.X), s.Obj().Name(), off, owner, suggest)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// fieldOffset32 computes the selected field's byte offset within its
+// receiver struct under the given (32-bit) size model, following the
+// selection's embedded-field path. owner names the receiver struct type
+// for the diagnostic.
+func fieldOffset32(sizes types.Sizes, s *types.Selection) (offset int64, owner string, ok bool) {
+	t := s.Recv()
+	if p, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	owner = types.TypeString(t, func(p *types.Package) string { return p.Name() })
+	for _, idx := range s.Index() {
+		st, isStruct := t.Underlying().(*types.Struct)
+		if !isStruct {
+			return 0, "", false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		offs := sizes.Offsetsof(fields)
+		offset += offs[idx]
+		t = st.Field(idx).Type()
+	}
+	return offset, owner, true
+}

@@ -29,9 +29,9 @@ var Atomicmix = &analysis.Analyzer{
 	Run: runAtomicmix,
 }
 
-func runAtomicmix(pass *analysis.Pass) error {
+func runAtomicmix(pass *analysis.Pass) (any, error) {
 	if !inScope(pass.Pkg.Path(), atomicmixScope) {
-		return nil
+		return nil, nil
 	}
 	parents := parentMap(pass.Files)
 
@@ -106,7 +106,7 @@ func runAtomicmix(pass *analysis.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 // isAtomicType reports whether t is one of sync/atomic's typed values

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// Callgraph is the shared call-structure pass: it resolves every call
+// expression in the package to its static target where one exists and
+// records the rest as dynamic sites. It reports nothing itself; fact
+// computing analyzers (noalloc today) list it in Requires and walk its
+// result for transitive reachability. Method callees are normalized to
+// their generic origin, so edges into instantiated generics land on the
+// object the defining package exported facts for.
+var Callgraph = &analysis.Analyzer{
+	Name: "callgraph",
+	Doc: "internal: resolves static call edges and dynamic call sites per function " +
+		"for whole-program analyzers to walk",
+	Run: runCallgraph,
+}
+
+// Call is one statically resolved call site.
+type Call struct {
+	Pos    token.Pos
+	Callee *types.Func // generic origin for instantiated functions/methods
+}
+
+// FuncInfo is the call structure of one declared function or method.
+type FuncInfo struct {
+	Decl    *ast.FuncDecl
+	Calls   []Call      // statically resolved targets, in source order
+	Dynamic []token.Pos // calls through func values or interface methods
+}
+
+// CallGraph maps every function declared in the package (including
+// methods) to its call structure. Calls inside closure literals are
+// attributed to the enclosing declaration: creating the closure is the
+// enclosing function's act, and its body runs with the same obligations.
+type CallGraph struct {
+	Funcs map[*types.Func]*FuncInfo
+}
+
+// SortedFuncs returns the graph's functions in source-position order,
+// for deterministic iteration.
+func (g *CallGraph) SortedFuncs() []*types.Func {
+	out := make([]*types.Func, 0, len(g.Funcs))
+	for fn := range g.Funcs {
+		out = append(out, fn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+func runCallgraph(pass *analysis.Pass) (any, error) {
+	g := &CallGraph{Funcs: map[*types.Func]*FuncInfo{}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			info := &FuncInfo{Decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee, kind := staticCallee(pass.TypesInfo, call)
+				switch kind {
+				case calleeStatic:
+					info.Calls = append(info.Calls, Call{Pos: call.Lparen, Callee: callee.Origin()})
+				case calleeDynamic:
+					info.Dynamic = append(info.Dynamic, call.Lparen)
+				}
+				return true
+			})
+			g.Funcs[fn] = info
+		}
+	}
+	return g, nil
+}
+
+type calleeKind int
+
+const (
+	calleeStatic  calleeKind = iota // a known function or concrete method
+	calleeDynamic                   // func value or interface method
+	calleeNone                      // builtin or type conversion: not a call edge
+)
+
+// staticCallee resolves the target of a call expression.
+func staticCallee(info *types.Info, call *ast.CallExpr) (*types.Func, calleeKind) {
+	fun := ast.Unparen(call.Fun)
+	// Generic instantiation wraps the callee in an index expression.
+	switch x := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(x.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(x.X)
+	}
+	switch x := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[x].(type) {
+		case *types.Func:
+			return obj, calleeStatic
+		case *types.Builtin, *types.TypeName:
+			return nil, calleeNone
+		default:
+			return nil, calleeDynamic // func-typed variable
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				fn := sel.Obj().(*types.Func)
+				if types.IsInterface(sel.Recv()) {
+					return nil, calleeDynamic
+				}
+				return fn, calleeStatic
+			default: // field of func type, method expression
+				return nil, calleeDynamic
+			}
+		}
+		// Qualified identifier: pkg.F or a type conversion pkg.T(x).
+		switch obj := info.Uses[x.Sel].(type) {
+		case *types.Func:
+			return obj, calleeStatic
+		case *types.TypeName:
+			return nil, calleeNone
+		default:
+			return nil, calleeDynamic
+		}
+	default:
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return nil, calleeNone // conversion like ([]byte)(s)
+		}
+		return nil, calleeDynamic // immediately-invoked literal, etc.
+	}
+}

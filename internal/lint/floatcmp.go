@@ -18,6 +18,10 @@ var floatcmpScope = []string{
 	// scheduling decisions: exact float equality there changes event
 	// sequences when rounding shifts.
 	"internal/rua", "internal/rtime",
+	// Fault-injection probabilities and wait-free progress ratios are
+	// compared against thresholds; exact equality there flips plans when
+	// rounding drifts.
+	"internal/fault", "internal/waitfree",
 }
 
 // Floatcmp flags == and != between floating-point operands in the
@@ -32,9 +36,9 @@ var Floatcmp = &analysis.Analyzer{
 	Run: runFloatcmp,
 }
 
-func runFloatcmp(pass *analysis.Pass) error {
+func runFloatcmp(pass *analysis.Pass) (any, error) {
 	if !inScope(pass.Pkg.Path(), floatcmpScope) {
-		return nil
+		return nil, nil
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -59,7 +63,7 @@ func runFloatcmp(pass *analysis.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 // isFloat reports whether e's type is (an alias/named wrapper of) a

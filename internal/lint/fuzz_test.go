@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzIgnoreDirective fuzzes the pure //rtlint:ignore parser under its
+// contract: it never panics, it is deterministic, and a directive with
+// no reported problems always yields at least one non-empty analyzer
+// name plus a non-empty reason (a problem-free parse that suppressed
+// findings without a justification would defeat the directive's whole
+// point). Conversely a parse with problems must suppress nothing:
+// names and reason come back empty.
+func FuzzIgnoreDirective(f *testing.F) {
+	seeds := []string{
+		" noalloc steady state reuses freed arena nodes",
+		" maporder,floatcmp collected then sorted in the caller",
+		"",
+		" noalloc",
+		" , missing names",
+		" noalloc\treason\twith\ttabs",
+		" noalloc justified // want `make allocates`",
+		" simclock,, double comma",
+		"   ",
+		" noalloc // want `x`",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		names, reason, problems := parseIgnoreText(text)
+
+		names2, reason2, problems2 := parseIgnoreText(text)
+		if len(names) != len(names2) || reason != reason2 || len(problems) != len(problems2) {
+			t.Fatalf("parseIgnoreText is non-deterministic on %q", text)
+		}
+
+		if len(problems) > 0 {
+			if len(names) != 0 || reason != "" {
+				t.Fatalf("problem parse of %q still returned names=%q reason=%q", text, names, reason)
+			}
+			return
+		}
+		if len(names) == 0 {
+			t.Fatalf("problem-free parse of %q returned no analyzer names", text)
+		}
+		for _, n := range names {
+			if n == "" {
+				t.Fatalf("problem-free parse of %q returned an empty analyzer name", text)
+			}
+			if strings.ContainsAny(n, " \t,") {
+				t.Fatalf("analyzer name %q from %q contains separator characters", n, text)
+			}
+		}
+		if reason == "" {
+			t.Fatalf("problem-free parse of %q returned an empty reason", text)
+		}
+	})
+}

@@ -54,6 +54,12 @@ type Package struct {
 	Files     []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+
+	// Imports are the package's direct in-root dependencies, sorted by
+	// path. Standard-library imports are not listed: whole-program
+	// drivers use this to run analyzers over dependencies before
+	// importers so exported facts flow forward.
+	Imports []*Package
 }
 
 type ldr struct {
@@ -300,6 +306,19 @@ func (ld *ldr) load(path string) (*Package, error) {
 	}
 	tpkg, _ := conf.Check(path, ld.fset, files, info) // errors collected in ld.errs
 	p := &Package{Path: path, Dir: dir, Fset: ld.fset, Files: files, Types: tpkg, TypesInfo: info}
+	// Checking the package pulled its dependencies through ImportFrom,
+	// so every in-root import is already memoized; link them up.
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			ip := strings.Trim(spec.Path.Value, `"`)
+			if dep, ok := ld.pkgs[ip]; ok && !seen[ip] {
+				seen[ip] = true
+				p.Imports = append(p.Imports, dep)
+			}
+		}
+	}
+	sort.Slice(p.Imports, func(i, j int) bool { return p.Imports[i].Path < p.Imports[j].Path })
 	ld.pkgs[path] = p
 	return p, nil
 }

@@ -13,6 +13,10 @@ var maporderScope = []string{
 	"internal/sim", "internal/gsim", "internal/rua", "internal/sched",
 	"internal/experiment", "internal/metrics", "internal/analysis", "internal/multi",
 	"internal/trace", "internal/report", "internal/rtime",
+	// The fault planner expands scenario maps into injection schedules,
+	// and the wait-free helpers publish per-slot state: map-order leaks
+	// in either change the event sequence between runs.
+	"internal/fault", "internal/waitfree",
 }
 
 // Maporder flags `range` over a map in the simulator and experiment
@@ -29,9 +33,9 @@ var Maporder = &analysis.Analyzer{
 	Run: runMaporder,
 }
 
-func runMaporder(pass *analysis.Pass) error {
+func runMaporder(pass *analysis.Pass) (any, error) {
 	if !inScope(pass.Pkg.Path(), maporderScope) {
-		return nil
+		return nil, nil
 	}
 	parents := parentMap(pass.Files)
 	for _, f := range pass.Files {
@@ -56,7 +60,7 @@ func runMaporder(pass *analysis.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 // collectThenSort recognizes the blessed deterministic idiom: every

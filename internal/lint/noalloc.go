@@ -1,0 +1,598 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// noallocDirective marks a function whose body — and everything
+// statically reachable from it — must be free of allocating constructs.
+const noallocDirective = "//rtlint:noalloc"
+
+// Noalloc turns the repo's benchmark-only zero-alloc claims into a
+// static gate. A function annotated
+//
+//	//rtlint:noalloc [note]
+//
+// in its doc comment is verified transitively: its body, the bodies of
+// every same-package function it statically calls, and (via object
+// facts exported by this analyzer on dependency packages) every in-root
+// function across package boundaries must contain no allocating
+// construct — make, new, append (backing-array growth), closure
+// literals, method values, go statements, map writes, string
+// concatenation, string/[]byte conversions, or interface boxing of
+// non-pointer-shaped values. Calls into the standard library must be on
+// the known-allocation-free allowlist (math, math/bits, sync/atomic,
+// the in-place sort/search entry points); anything else is flagged as
+// not provably allocation-free.
+//
+// Two deliberate soundness trade-offs, both documented in DESIGN.md §5g:
+// dynamic calls (func values, interface methods) are trusted — the
+// engines' scheduler/observer seams are interface-shaped, and their
+// concrete implementations carry their own annotations — and
+// allocations whose only consumer is a panic argument are exempt, since
+// a panicking path is never the steady state. Justified exceptions
+// (one-time lazy init, amortized growth of a reused arena) carry a
+// //rtlint:ignore noalloc <reason> on the allocating line, which both
+// silences the finding and excludes the site from the facts importers
+// see.
+const noallocName = "noalloc"
+
+var Noalloc = &analysis.Analyzer{
+	Name:     noallocName,
+	Doc:      "verifies //rtlint:noalloc functions are transitively free of allocating constructs via the call graph",
+	Requires: []*analysis.Analyzer{Callgraph},
+}
+
+// Run is attached in init: runNoalloc reaches the analyzer registry
+// through the ignore-directive parser, and a direct struct-literal
+// reference would be an initialization cycle.
+func init() { Noalloc.Run = runNoalloc }
+
+// allocFact is exported on every function object the analyzer visits.
+// Why == "" means proven allocation-free; otherwise Why names the root
+// cause ("make at sim.go:339"). Absence of the fact on a callee means
+// the callee was never analyzed — i.e. it lives outside the load root —
+// so importers fall back to the stdlib allowlist.
+type allocFact struct {
+	Why string
+}
+
+func (*allocFact) AFact() {}
+
+// naSite is one reportable violation inside a function body.
+type naSite struct {
+	pos token.Pos
+	msg string
+}
+
+type naComputer struct {
+	pass    *analysis.Pass
+	cg      *CallGraph
+	parents map[ast.Node]ast.Node
+	ignored map[string]map[int]bool // file → lines covered by //rtlint:ignore noalloc
+
+	state map[*types.Func]int // 0 unvisited, 1 on stack, 2 done
+	why   map[*types.Func]string
+
+	// panicCalls holds the Lparen of every call that occurs inside a
+	// panic(...) argument; such calls are failure-path-only and exempt
+	// from the call-edge walk, like direct sites under panic are.
+	panicCalls map[token.Pos]bool
+
+	// direct and badCalls cache, per function, the sites the diagnostic
+	// walk over annotated roots reports: direct allocating constructs,
+	// and calls leaving the package whose target allocates or cannot be
+	// proven clean. In-package allocating callees are deliberately not
+	// recorded here — their own direct sites are reported instead, at
+	// the true location.
+	direct   map[*types.Func][]naSite
+	badCalls map[*types.Func][]naSite
+}
+
+func runNoalloc(pass *analysis.Pass) (any, error) {
+	cg := pass.ResultOf[Callgraph].(*CallGraph)
+	c := &naComputer{
+		pass:       pass,
+		cg:         cg,
+		parents:    parentMap(pass.Files),
+		ignored:    ignoredLines(pass.Fset, pass.Files, noallocName),
+		state:      map[*types.Func]int{},
+		why:        map[*types.Func]string{},
+		panicCalls: map[token.Pos]bool{},
+		direct:     map[*types.Func][]naSite{},
+		badCalls:   map[*types.Func][]naSite{},
+	}
+
+	// Compute and export the allocation fact for every declared
+	// function, whether or not anything is annotated here: importing
+	// packages need the facts.
+	fns := cg.SortedFuncs()
+	for _, fn := range fns {
+		c.compute(fn)
+	}
+	for _, fn := range fns {
+		pass.ExportObjectFact(fn, &allocFact{Why: c.why[fn]})
+	}
+
+	// Diagnostics: walk the in-package reachable set of every annotated
+	// root and report each offending site once, attributed to the
+	// lexicographically smallest root that reaches it.
+	roots := map[*types.Func]bool{}
+	for _, fn := range fns {
+		if hasNoallocDirective(cg.Funcs[fn].Decl) {
+			roots[fn] = true
+		}
+	}
+	siteRoot := map[naSite]string{} // site → smallest annotated root name
+	for _, root := range fns {
+		if !roots[root] {
+			continue
+		}
+		seen := map[*types.Func]bool{}
+		c.visit(root, seen)
+		for fn := range seen {
+			for _, s := range append(append([]naSite(nil), c.direct[fn]...), c.badCalls[fn]...) {
+				name := root.Name()
+				if prev, ok := siteRoot[s]; ok && prev <= name {
+					continue
+				}
+				siteRoot[s] = name
+			}
+		}
+	}
+	sites := make([]naSite, 0, len(siteRoot))
+	for s := range siteRoot {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+	for _, s := range sites {
+		pass.Reportf(s.pos, "%s; not allowed in the //rtlint:noalloc path of %s", s.msg, siteRoot[s])
+	}
+	return nil, nil
+}
+
+// visit collects the in-package functions statically reachable from fn.
+func (c *naComputer) visit(fn *types.Func, seen map[*types.Func]bool) {
+	if seen[fn] {
+		return
+	}
+	seen[fn] = true
+	info := c.cg.Funcs[fn]
+	if info == nil {
+		return
+	}
+	for _, call := range info.Calls {
+		if c.panicCalls[call.Pos] {
+			continue
+		}
+		if _, ok := c.cg.Funcs[call.Callee]; ok {
+			c.visit(call.Callee, seen)
+		}
+	}
+}
+
+// compute memoizes the allocation verdict for one declared function:
+// why == "" when allocation-free, else the root cause. Mutual recursion
+// is resolved optimistically — an on-stack callee contributes nothing,
+// which is the least fixed point: any real allocation on the cycle is
+// found from that member's own traversal.
+func (c *naComputer) compute(fn *types.Func) string {
+	switch c.state[fn] {
+	case 1:
+		return ""
+	case 2:
+		return c.why[fn]
+	}
+	c.state[fn] = 1
+	info := c.cg.Funcs[fn]
+	why := ""
+	if info != nil {
+		direct := c.allocSites(info.Decl)
+		c.direct[fn] = direct
+		if len(direct) > 0 {
+			why = direct[0].msg
+		}
+		for _, call := range info.Calls {
+			if c.panicCalls[call.Pos] {
+				continue
+			}
+			bad, isCallSite := c.calleeWhy(call)
+			if bad == "" {
+				continue
+			}
+			if isCallSite {
+				site := naSite{pos: call.Pos, msg: bad}
+				if !c.ignoredAt(call.Pos) {
+					c.badCalls[fn] = append(c.badCalls[fn], site)
+					if why == "" {
+						why = bad
+					}
+				}
+			} else if why == "" {
+				why = bad
+			}
+		}
+	}
+	c.state[fn] = 2
+	c.why[fn] = why
+	return why
+}
+
+// calleeWhy resolves one static call edge: "" when the target is proven
+// or trusted allocation-free. isCallSite reports whether the finding
+// belongs at this call site (out-of-package targets) rather than at the
+// target's own sites (in-package targets, reported at the source).
+func (c *naComputer) calleeWhy(call Call) (why string, isCallSite bool) {
+	callee := call.Callee
+	if _, inPkg := c.cg.Funcs[callee]; inPkg {
+		return c.compute(callee), false
+	}
+	var fact allocFact
+	if c.pass.ImportObjectFact(callee, &fact) {
+		if fact.Why == "" {
+			return "", true
+		}
+		return fmt.Sprintf("calls %s, which allocates (%s)", calleeName(callee), fact.Why), true
+	}
+	if stdlibNoalloc(callee) {
+		return "", true
+	}
+	return fmt.Sprintf("calls %s, which cannot be proven allocation-free", calleeName(callee)), true
+}
+
+// calleeName renders a callee as pkg.Func or pkg.(Recv).Method.
+func calleeName(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := types.Unalias(t).(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := types.Unalias(t).(*types.Named); ok {
+			return pkg + "(" + n.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}
+
+// stdlibNoalloc is the allowlist of standard-library call targets known
+// not to allocate: pure math, atomics, and the in-place sort/search
+// entry points. Everything else outside the load root is flagged.
+func stdlibNoalloc(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return true // error.Error and friends from the universe scope
+	}
+	switch pkg.Path() {
+	case "math", "math/bits", "sync/atomic":
+		return true
+	case "sort":
+		switch fn.Name() {
+		case "Sort", "Stable", "Search", "SearchInts", "SearchFloat64s", "SearchStrings", "IsSorted":
+			return true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc", "IsSorted", "IsSortedFunc",
+			"BinarySearch", "BinarySearchFunc", "Index", "IndexFunc",
+			"Contains", "ContainsFunc", "Min", "MinFunc", "Max", "MaxFunc", "Reverse":
+			return true
+		}
+	case "errors":
+		return fn.Name() == "Is"
+	}
+	return false
+}
+
+// ignoredAt reports whether pos sits on a line covered by a well-formed
+// //rtlint:ignore noalloc directive. Such sites are excluded from facts
+// and diagnostics alike: the justification silences the finding here
+// and keeps it from resurfacing at every annotated caller upstream.
+func (c *naComputer) ignoredAt(pos token.Pos) bool {
+	p := c.pass.Fset.Position(pos)
+	return c.ignored[p.Filename][p.Line]
+}
+
+// shortPos renders pos as base-filename:line for fact messages, so
+// cross-package diagnostics stay readable and machine-independent.
+func (c *naComputer) shortPos(pos token.Pos) string {
+	p := c.pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// allocSites walks one function body and collects its direct allocating
+// constructs, in source order, skipping ignored lines and panic-argument
+// subtrees.
+func (c *naComputer) allocSites(decl *ast.FuncDecl) []naSite {
+	var out []naSite
+	add := func(pos token.Pos, format string, args ...any) {
+		if c.ignoredAt(pos) {
+			return
+		}
+		msg := fmt.Sprintf(format, args...)
+		out = append(out, naSite{pos: pos, msg: fmt.Sprintf("%s at %s", msg, c.shortPos(pos))})
+	}
+	info := c.pass.TypesInfo
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isPanicCall(info, x) {
+				// Allocations feeding a panic are not steady state; mark
+				// the nested calls so the call-edge walk skips them too.
+				ast.Inspect(x, func(m ast.Node) bool {
+					if inner, ok := m.(*ast.CallExpr); ok && inner != x {
+						c.panicCalls[inner.Lparen] = true
+					}
+					return true
+				})
+				return false
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make":
+						add(x.Lparen, "make allocates")
+					case "new":
+						add(x.Lparen, "new allocates")
+					case "append":
+						add(x.Lparen, "append may grow its backing array")
+					}
+					return true
+				}
+			}
+			c.checkConversion(x, add)
+			c.checkCallBoxing(x, add)
+		case *ast.FuncLit:
+			add(x.Pos(), "closure literal allocates")
+		case *ast.GoStmt:
+			add(x.Pos(), "go statement allocates a goroutine")
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isMapIndex(info, ix) {
+					add(ix.Lbrack, "map write may allocate on growth")
+				}
+				// Pairwise interface boxing: v itf = concrete.
+				if len(x.Lhs) == len(x.Rhs) {
+					c.checkBoxing(typeOf(info, lhs), x.Rhs[i], add)
+				}
+			}
+		case *ast.ValueSpec:
+			// var x Iface = concrete
+			if x.Type != nil {
+				dst := typeOf(info, x.Type)
+				for _, v := range x.Values {
+					c.checkBoxing(dst, v, add)
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig := c.enclosingSignature(x); sig != nil && len(x.Results) == sig.Results().Len() {
+				for i, r := range x.Results {
+					c.checkBoxing(sig.Results().At(i).Type(), r, add)
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(x.X).(*ast.IndexExpr); ok && isMapIndex(info, ix) {
+				add(ix.Lbrack, "map write may allocate on growth")
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isString(info, x.X) && !isConst(info, x.X) {
+				add(x.OpPos, "string concatenation allocates")
+			}
+		case *ast.SelectorExpr:
+			// A method value (x.M not immediately called) allocates a
+			// bound-method closure.
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.MethodVal {
+				if parent, ok := c.parents[ast.Node(x)].(*ast.CallExpr); !ok || parent.Fun != ast.Expr(x) {
+					add(x.Sel.Pos(), "method value allocates a bound-method closure")
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					add(x.Pos(), "address of composite literal allocates")
+				}
+			}
+		case *ast.CompositeLit:
+			// Value struct/array literals live wherever the value does,
+			// but map and slice literals always allocate backing storage.
+			if t := typeOf(info, x); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					add(x.Pos(), "map literal allocates")
+				case *types.Slice:
+					add(x.Pos(), "slice literal allocates")
+				}
+			}
+		}
+		return true
+	})
+	sort.SliceStable(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// checkConversion flags conversions that allocate: string <-> []byte /
+// []rune, and conversions of non-pointer-shaped concrete values to an
+// interface type.
+func (c *naComputer) checkConversion(call *ast.CallExpr, add func(token.Pos, string, ...any)) {
+	info := c.pass.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dst := tv.Type
+	arg := call.Args[0]
+	if types.IsInterface(dst.Underlying()) {
+		c.checkBoxing(dst, arg, add)
+		return
+	}
+	src := typeOf(info, arg)
+	if src == nil || isConst(info, arg) {
+		return
+	}
+	if (isStringType(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isStringType(src)) {
+		add(call.Lparen, "string/slice conversion allocates a copy")
+	}
+}
+
+// checkCallBoxing flags arguments boxed into interface parameters on
+// calls whose signature is known (static or dynamic alike).
+func (c *naComputer) checkCallBoxing(call *ast.CallExpr, add func(token.Pos, string, ...any)) {
+	info := c.pass.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		c.checkBoxing(pt, arg, add)
+	}
+}
+
+// checkBoxing flags storing a non-pointer-shaped concrete value into an
+// interface-typed slot: the value is copied to the heap. Pointer-shaped
+// values (pointers, channels, maps, funcs, unsafe pointers) fit the
+// interface data word directly, and constants may be served from the
+// runtime's static cells.
+func (c *naComputer) checkBoxing(dst types.Type, arg ast.Expr, add func(token.Pos, string, ...any)) {
+	if dst == nil || !types.IsInterface(dst.Underlying()) {
+		return
+	}
+	info := c.pass.TypesInfo
+	if tv, ok := info.Types[arg]; ok && tv.IsNil() {
+		return
+	}
+	src := typeOf(info, arg)
+	if src == nil || types.IsInterface(src.Underlying()) || isConst(info, arg) {
+		return
+	}
+	if isPointerShaped(src) {
+		return
+	}
+	add(arg.Pos(), "interface boxing of %s allocates", types.TypeString(src, types.RelativeTo(c.pass.Pkg)))
+}
+
+// enclosingSignature returns the signature of the innermost function
+// (declaration or literal) containing n, for return-value boxing checks.
+func (c *naComputer) enclosingSignature(n ast.Node) *types.Signature {
+	for cur := c.parents[n]; cur != nil; cur = c.parents[cur] {
+		switch f := cur.(type) {
+		case *ast.FuncDecl:
+			if fn, ok := c.pass.TypesInfo.Defs[f.Name].(*types.Func); ok {
+				return fn.Type().(*types.Signature)
+			}
+			return nil
+		case *ast.FuncLit:
+			if sig, ok := typeOf(c.pass.TypesInfo, f).(*types.Signature); ok {
+				return sig
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+func isMapIndex(info *types.Info, ix *ast.IndexExpr) bool {
+	t := typeOf(info, ix.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isString(info *types.Info, e ast.Expr) bool {
+	t := typeOf(info, e)
+	return t != nil && isStringType(t)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isPointerShaped reports whether values of t occupy exactly one
+// pointer word, so storing them in an interface needs no heap copy.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// hasNoallocDirective reports whether the declaration's doc comment
+// carries //rtlint:noalloc (optionally followed by a note).
+func hasNoallocDirective(decl *ast.FuncDecl) bool {
+	if decl == nil || decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		rest, ok := strings.CutPrefix(c.Text, noallocDirective)
+		if ok && (rest == "" || strings.HasPrefix(rest, " ") || strings.HasPrefix(rest, "\t")) {
+			return true
+		}
+	}
+	return false
+}

@@ -3,13 +3,23 @@
 // event-sequence claims rest on — byte-identical output for any -jobs N,
 // no wall clock or stray randomness in the virtual-time world, a single
 // access discipline per atomic field, no shared mutable *task.Task
-// across parallel runs, and no raw float equality in utility/ratio code.
+// across parallel runs, no raw float equality in utility/ratio code,
+// CAS retry loops that actually re-read, 64-bit atomics that stay
+// aligned on 32-bit targets, and statically allocation-free hot paths
+// (//rtlint:noalloc).
 //
 // Each analyzer is a plain function over one type-checked package (see
 // the sibling analysis package, a minimal offline mirror of
-// golang.org/x/tools/go/analysis). Findings can be suppressed, one
-// statement at a time, with a justified directive either on the
-// flagged line or the line above:
+// golang.org/x/tools/go/analysis). The driver is whole-program: it runs
+// analyzers over a package's in-root dependencies before the package
+// itself, so analyzers can export facts on objects (functions, fields)
+// in the defining package and read them back in importers — that is how
+// noalloc proves transitive allocation-freedom across package
+// boundaries. A shared callgraph pass (see callgraph.go) provides the
+// static call edges fact-computing analyzers walk.
+//
+// Findings can be suppressed, one statement at a time, with a justified
+// directive either on the flagged line or the line above:
 //
 //	//rtlint:ignore <analyzer>[,<analyzer>...] <reason>
 //
@@ -18,8 +28,10 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strconv"
 	"strings"
@@ -31,9 +43,12 @@ import (
 // All returns the rtlint analyzer suite in stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		Atomicalign,
 		Atomicmix,
+		Casloop,
 		Floatcmp,
 		Maporder,
+		Noalloc,
 		Sharedtask,
 		Simclock,
 	}
@@ -60,70 +75,195 @@ type ignoreDirective struct {
 	reason    string
 }
 
-// Run executes the analyzers over one loaded package and returns the
-// surviving diagnostics in position order: analyzer findings minus
-// those suppressed by a well-formed //rtlint:ignore on the same or the
-// preceding line, plus one diagnostic per malformed directive.
-func Run(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
-	var diags []analysis.Diagnostic
-	for _, a := range analyzers {
-		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.TypesInfo,
-		}
-		pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
-		if err := a.Run(pass); err != nil {
+// PkgDiagnostics pairs one requested package with its surviving
+// diagnostics, in position order.
+type PkgDiagnostics struct {
+	Pkg   *loader.Package
+	Diags []analysis.Diagnostic
+}
+
+// actionKey identifies one (package, analyzer) unit of work.
+type actionKey struct {
+	path string
+	an   *analysis.Analyzer
+}
+
+// driver executes analyzers over a package graph: for every analyzer,
+// dependencies run before importers (facts flow forward), and an
+// analyzer's Requires run on the same package first (results flow
+// through Pass.ResultOf). Work is memoized per (package, analyzer), so
+// a shared dependency is analyzed once no matter how many importers
+// request it.
+type driver struct {
+	facts   map[types.Object][]analysis.Fact
+	results map[actionKey]any
+	ran     map[actionKey]bool
+	running map[actionKey]bool
+	diags   map[string][]analysis.Diagnostic
+}
+
+func newDriver() *driver {
+	return &driver{
+		facts:   map[types.Object][]analysis.Fact{},
+		results: map[actionKey]any{},
+		ran:     map[actionKey]bool{},
+		running: map[actionKey]bool{},
+		diags:   map[string][]analysis.Diagnostic{},
+	}
+}
+
+func (d *driver) run(pkg *loader.Package, a *analysis.Analyzer) (any, error) {
+	key := actionKey{pkg.Path, a}
+	if d.ran[key] {
+		return d.results[key], nil
+	}
+	if d.running[key] {
+		return nil, fmt.Errorf("lint: analyzer requirement cycle through %q on %s", a.Name, pkg.Path)
+	}
+	d.running[key] = true
+	defer delete(d.running, key)
+
+	// Dependencies first, so facts this analyzer exported there are
+	// importable here.
+	for _, dep := range pkg.Imports {
+		if _, err := d.run(dep, a); err != nil {
 			return nil, err
 		}
 	}
+	resultOf := map[*analysis.Analyzer]any{}
+	for _, req := range a.Requires {
+		r, err := d.run(pkg, req)
+		if err != nil {
+			return nil, err
+		}
+		resultOf[req] = r
+	}
 
-	directives, bad := parseDirectives(pkg)
-	diags = append(diags, bad...)
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		ResultOf:  resultOf,
+	}
+	pass.SetFactStore(d.facts)
+	pass.Report = func(diag analysis.Diagnostic) {
+		d.diags[pkg.Path] = append(d.diags[pkg.Path], diag)
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+	}
+	d.results[key] = res
+	d.ran[key] = true
+	return res, nil
+}
 
-	kept := diags[:0]
-	for _, d := range diags {
-		if d.Analyzer == directiveAnalyzer || !suppressed(pkg.Fset, d, directives) {
-			kept = append(kept, d)
+// RunAll executes the analyzers over the requested packages and every
+// transitive in-root dependency (dependencies first, facts threaded
+// through), then returns each requested package's surviving diagnostics
+// in position order: analyzer findings minus those suppressed by a
+// well-formed //rtlint:ignore on the same or the preceding line, plus
+// one diagnostic per malformed directive. Diagnostics reported while
+// analyzing a dependency surface only if that dependency was itself
+// requested.
+func RunAll(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]PkgDiagnostics, error) {
+	d := newDriver()
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if _, err := d.run(pkg, a); err != nil {
+				return nil, err
+			}
 		}
 	}
-	sort.SliceStable(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
-	return kept, nil
+
+	var out []PkgDiagnostics
+	for _, pkg := range pkgs {
+		diags := append([]analysis.Diagnostic(nil), d.diags[pkg.Path]...)
+		directives, bad := parseDirectives(pkg.Fset, pkg.Files)
+		diags = append(diags, bad...)
+
+		kept := diags[:0]
+		for _, diag := range diags {
+			if diag.Analyzer == directiveAnalyzer || !suppressed(pkg.Fset, diag, directives) {
+				kept = append(kept, diag)
+			}
+		}
+		sort.SliceStable(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+		out = append(out, PkgDiagnostics{Pkg: pkg, Diags: kept})
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over one loaded package (and, for fact
+// computation, its dependency closure) and returns the surviving
+// diagnostics. It is RunAll for a single package.
+func Run(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	res, err := RunAll([]*loader.Package{pkg}, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res[0].Diags, nil
 }
 
 // directiveAnalyzer attributes malformed-directive findings; it is not
 // a runnable analyzer and cannot be suppressed.
 const directiveAnalyzer = "rtlint"
 
-// parseDirectives extracts //rtlint:ignore comments from every file of
-// the package, returning the well-formed ones and a diagnostic for each
-// malformed one.
-func parseDirectives(pkg *loader.Package) ([]ignoreDirective, []analysis.Diagnostic) {
+// ignorePrefix introduces a suppression directive.
+const ignorePrefix = "//rtlint:ignore"
+
+// parseIgnoreText parses the remainder of an //rtlint:ignore comment
+// (everything after the prefix): a comma-separated analyzer-name list
+// followed by a free-text reason. Reasons stop at an embedded "// want"
+// so analysistest fixtures can state expectations on directive lines.
+// The returned problems are diagnostic messages; a directive with any
+// problem suppresses nothing. Analyzer names are NOT validated against
+// the registry here — this function is the pure, fuzzable core (see
+// FuzzIgnoreDirective) and the caller layers registry validation on top.
+func parseIgnoreText(text string) (names []string, reason string, problems []string) {
+	if i := strings.Index(text, "// want"); i >= 0 {
+		text = text[:i]
+	}
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return nil, "", []string{"rtlint:ignore directive needs an analyzer name and a reason"}
+	}
+	names = strings.Split(fields[0], ",")
+	for _, n := range names {
+		if n == "" {
+			problems = append(problems, "rtlint:ignore has an empty analyzer name")
+		}
+	}
+	reason = strings.Join(fields[1:], " ")
+	if reason == "" {
+		problems = append(problems, "rtlint:ignore requires a reason after the analyzer name")
+	}
+	if len(problems) > 0 {
+		return nil, "", problems
+	}
+	return names, reason, nil
+}
+
+// parseDirectives extracts //rtlint:ignore comments from the files,
+// returning the well-formed ones and a diagnostic for each malformed
+// one (bad syntax via parseIgnoreText, or an unknown analyzer name).
+func parseDirectives(fset *token.FileSet, files []*ast.File) ([]ignoreDirective, []analysis.Diagnostic) {
 	var out []ignoreDirective
 	var bad []analysis.Diagnostic
-	for _, f := range pkg.Files {
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//rtlint:ignore")
+				text, ok := strings.CutPrefix(c.Text, ignorePrefix)
 				if !ok {
 					continue
 				}
-				// Reasons stop at an embedded "// want" so analysistest
-				// fixtures can state expectations on directive lines.
-				if i := strings.Index(text, "// want"); i >= 0 {
-					text = text[:i]
+				names, reason, problems := parseIgnoreText(text)
+				valid := len(problems) == 0
+				for _, msg := range problems {
+					bad = append(bad, analysis.Diagnostic{Pos: c.Pos(), Analyzer: directiveAnalyzer, Message: msg})
 				}
-				fields := strings.Fields(text)
-				if len(fields) == 0 {
-					bad = append(bad, analysis.Diagnostic{Pos: c.Pos(), Analyzer: directiveAnalyzer,
-						Message: "rtlint:ignore directive needs an analyzer name and a reason"})
-					continue
-				}
-				names := strings.Split(fields[0], ",")
-				reason := strings.Join(fields[1:], " ")
-				valid := true
 				for _, n := range names {
 					if byName(n) == nil {
 						bad = append(bad, analysis.Diagnostic{Pos: c.Pos(), Analyzer: directiveAnalyzer,
@@ -131,15 +271,10 @@ func parseDirectives(pkg *loader.Package) ([]ignoreDirective, []analysis.Diagnos
 						valid = false
 					}
 				}
-				if reason == "" {
-					bad = append(bad, analysis.Diagnostic{Pos: c.Pos(), Analyzer: directiveAnalyzer,
-						Message: "rtlint:ignore requires a reason after the analyzer name"})
-					valid = false
-				}
 				if !valid {
 					continue
 				}
-				position := pkg.Fset.Position(c.Pos())
+				position := fset.Position(c.Pos())
 				out = append(out, ignoreDirective{
 					pos: c.Pos(), line: position.Line, file: position.Filename,
 					analyzers: names, reason: reason,
@@ -166,6 +301,36 @@ func suppressed(fset *token.FileSet, d analysis.Diagnostic, directives []ignoreD
 		}
 	}
 	return false
+}
+
+// ignoredLines returns, per file name, the set of lines carrying a
+// well-formed //rtlint:ignore that names the given analyzer. Fact
+// computation uses this to exclude justified sites from exported facts:
+// a suppression must silence the finding both where it is reported and
+// where it would otherwise propagate from.
+func ignoredLines(fset *token.FileSet, files []*ast.File, analyzer string) map[string]map[int]bool {
+	directives, _ := parseDirectives(fset, files)
+	out := map[string]map[int]bool{}
+	for _, dir := range directives {
+		named := false
+		for _, n := range dir.analyzers {
+			if n == analyzer {
+				named = true
+				break
+			}
+		}
+		if !named {
+			continue
+		}
+		m := out[dir.file]
+		if m == nil {
+			m = map[int]bool{}
+			out[dir.file] = m
+		}
+		m[dir.line] = true
+		m[dir.line+1] = true
+	}
+	return out
 }
 
 // parentMap records the parent of every node reachable from the files'

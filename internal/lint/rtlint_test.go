@@ -15,12 +15,14 @@ func TestMaporder(t *testing.T) {
 	analysistest.Run(t, "testdata/src", lint.Maporder,
 		"maporder/internal/sim", "maporder/internal/trace", "maporder/notscoped",
 		"maporder/internal/report", "maporder/internal/metrics/hist",
-		"maporder/internal/rtime/wheel")
+		"maporder/internal/rtime/wheel", "maporder/internal/fault",
+		"maporder/internal/waitfree")
 }
 
 func TestSimclock(t *testing.T) {
 	analysistest.Run(t, "testdata/src", lint.Simclock,
-		"simclock/app", "simclock/internal/uam", "simclock/internal/rtime/wheel")
+		"simclock/app", "simclock/internal/uam", "simclock/internal/rtime/wheel",
+		"simclock/internal/fault")
 }
 
 func TestAtomicmix(t *testing.T) {
@@ -36,7 +38,8 @@ func TestSharedtask(t *testing.T) {
 func TestFloatcmp(t *testing.T) {
 	analysistest.Run(t, "testdata/src", lint.Floatcmp,
 		"floatcmp/internal/metrics", "floatcmp/internal/report",
-		"floatcmp/internal/rua")
+		"floatcmp/internal/rua", "floatcmp/internal/fault",
+		"floatcmp/internal/waitfree")
 }
 
 // TestIgnoreDirective proves the suppression contract: a justified
@@ -46,4 +49,24 @@ func TestFloatcmp(t *testing.T) {
 func TestIgnoreDirective(t *testing.T) {
 	analysistest.Run(t, "testdata/src", lint.Maporder,
 		"ignoredir/internal/sim")
+}
+
+// TestNoalloc drives the whole fact pipeline: alloclib is listed first
+// so its exported facts exist, then hot's annotated roots turn a
+// dependency's allocation fact, in-package transitive sites, boxing,
+// and unproven stdlib calls into diagnostics — while panic arguments
+// and justified ignores stay silent.
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata/src", lint.Noalloc,
+		"noalloc/internal/alloclib", "noalloc/internal/hot")
+}
+
+func TestCasloop(t *testing.T) {
+	analysistest.Run(t, "testdata/src", lint.Casloop,
+		"casloop/internal/lockfree", "casloop/notscoped")
+}
+
+func TestAtomicalign(t *testing.T) {
+	analysistest.Run(t, "testdata/src", lint.Atomicalign,
+		"atomicalign/internal/stats", "atomicalign/notscoped")
 }

@@ -26,7 +26,7 @@ var Sharedtask = &analysis.Analyzer{
 	Run: runSharedtask,
 }
 
-func runSharedtask(pass *analysis.Pass) error {
+func runSharedtask(pass *analysis.Pass) (any, error) {
 	parents := parentMap(pass.Files)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -58,7 +58,7 @@ func runSharedtask(pass *analysis.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 // capture is one free variable of task type used inside a closure.

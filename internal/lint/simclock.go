@@ -28,7 +28,7 @@ var Simclock = &analysis.Analyzer{
 // host clock. (time.Duration arithmetic and constants are fine.)
 var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
-func runSimclock(pass *analysis.Pass) error {
+func runSimclock(pass *analysis.Pass) (any, error) {
 	inUAM := inScope(pass.Pkg.Path(), uamScope)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -65,5 +65,5 @@ func runSimclock(pass *analysis.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }

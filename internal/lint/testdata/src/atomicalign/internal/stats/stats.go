@@ -1,0 +1,65 @@
+// Package stats exercises the atomicalign analyzer: legacy 64-bit
+// sync/atomic calls on struct fields that 32-bit layout cannot keep
+// 8-byte aligned.
+package stats
+
+import "sync/atomic"
+
+// Stats puts the 64-bit word after a bool: under 32-bit layout hits
+// lands at offset 4.
+type Stats struct {
+	flag bool
+	hits int64
+}
+
+func (s *Stats) Bump() {
+	atomic.AddInt64(&s.hits, 1) // want `field hits sits at offset 4 in stats\.Stats under 32-bit layout`
+}
+
+// Wide shows the unsigned variant and the matching suggestion.
+type Wide struct {
+	mode uint32
+	seen uint64
+}
+
+func (w *Wide) Mark() {
+	atomic.StoreUint64(&w.seen, 7) // want `use atomic\.Uint64`
+}
+
+// Inner/Outer route the field through an embedded struct: the offset
+// accumulates along the selection path (4 for Inner in Outer, 0 for n
+// in Inner).
+type Inner struct {
+	n   int64
+	pad bool
+}
+
+type Outer struct {
+	flag bool
+	Inner
+}
+
+func (o *Outer) Add() {
+	atomic.AddInt64(&o.n, 1) // want `field n sits at offset 4 in stats\.Outer under 32-bit layout`
+}
+
+// Good keeps the 64-bit word first: offset 0 is always aligned.
+type Good struct {
+	hits int64
+	flag bool
+}
+
+func (g *Good) Bump() {
+	atomic.AddInt64(&g.hits, 1)
+}
+
+// Typed uses atomic.Int64, whose alignment the runtime guarantees at
+// any offset; typed atomics are exempt.
+type Typed struct {
+	flag bool
+	hits atomic.Int64
+}
+
+func (t *Typed) Bump() {
+	t.hits.Add(1)
+}

@@ -1,0 +1,14 @@
+// Package notscoped carries a misaligned 64-bit atomic outside any
+// internal/ path: the atomicalign analyzer must stay silent here.
+package notscoped
+
+import "sync/atomic"
+
+type stats struct {
+	flag bool
+	hits int64
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+}

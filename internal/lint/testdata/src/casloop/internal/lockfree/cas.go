@@ -1,0 +1,90 @@
+// Package lockfree exercises the casloop analyzer: stale-expected
+// retry loops and racy plain reads in both CAS spellings.
+package lockfree
+
+import "sync/atomic"
+
+// Counter uses the typed-atomic CAS form.
+type Counter struct{ v atomic.Int64 }
+
+// BadAdd loads its expectation once, outside the loop: after the first
+// lost race every retry re-runs the CAS with the same stale value.
+func (c *Counter) BadAdd(delta int64) {
+	old := c.v.Load()
+	for {
+		if c.v.CompareAndSwap(old, old+delta) { // want `CAS retry loop never re-loads c\.v`
+			return
+		}
+	}
+}
+
+// GoodAdd re-loads inside the loop: the canonical retry shape.
+func (c *Counter) GoodAdd(delta int64) {
+	for {
+		old := c.v.Load()
+		if c.v.CompareAndSwap(old, old+delta) {
+			return
+		}
+	}
+}
+
+// GoodInlineLoad derives the expectation from an atomic read right in
+// the argument position.
+func (c *Counter) GoodInlineLoad() {
+	for !c.v.CompareAndSwap(c.v.Load(), 42) {
+	}
+}
+
+// GoodConst re-expects a constant deliberately (claim a free slot).
+func (c *Counter) GoodConst() {
+	for !c.v.CompareAndSwap(0, 1) {
+	}
+}
+
+// OneShot is not a retry loop; failing once and giving up is a valid
+// protocol.
+func (c *Counter) OneShot(delta int64) bool {
+	old := c.v.Load()
+	return c.v.CompareAndSwap(old, old+delta)
+}
+
+// GoodOuterReload hoists the re-load one loop up — the labeled
+// continue-retry shape; the load is still on the repeated path.
+func (c *Counter) GoodOuterReload(delta int64) {
+	for {
+		old := c.v.Load()
+		for i := 0; i < 2; i++ {
+			if c.v.CompareAndSwap(old, old+delta) {
+				return
+			}
+		}
+	}
+}
+
+// Legacy uses the function-form CAS on a plain field.
+type Legacy struct{ n int64 }
+
+// Bad breaks both rules: the expectation is stale, and the loop
+// branches on a plain, racy read of the CAS'd word.
+func (l *Legacy) Bad(delta int64) {
+	old := atomic.LoadInt64(&l.n)
+	for {
+		if l.n > 100 { // want `non-atomic read of l\.n inside its CAS retry loop`
+			return
+		}
+		if atomic.CompareAndSwapInt64(&l.n, old, old+delta) { // want `CAS retry loop never re-loads l\.n`
+			return
+		}
+	}
+}
+
+// Good re-loads atomically each iteration and never touches the word
+// outside sync/atomic.
+func (l *Legacy) Good(delta int64) {
+	for {
+		old := atomic.LoadInt64(&l.n)
+		if atomic.CompareAndSwapInt64(&l.n, old, old+delta) {
+			return
+		}
+	}
+}

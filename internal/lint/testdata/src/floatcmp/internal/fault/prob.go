@@ -1,0 +1,14 @@
+// Package fault is a floatcmp fixture: injection probabilities are
+// compared against thresholds, newly inside the analyzer's
+// internal/fault scope.
+package fault
+
+// BadThreshold compares a drawn probability exactly: flagged.
+func BadThreshold(p, threshold float64) bool {
+	return p == threshold // want `float comparison p == threshold`
+}
+
+// GoodBelow uses an ordering comparison: accepted.
+func GoodBelow(p, threshold float64) bool {
+	return p < threshold
+}

@@ -1,0 +1,14 @@
+// Package waitfree is a floatcmp fixture: progress ratios compared for
+// exact equality flip help decisions when rounding drifts, newly inside
+// the analyzer's internal/waitfree scope.
+package waitfree
+
+// BadRatio compares two computed ratios exactly: flagged.
+func BadRatio(mine, theirs float64) bool {
+	return mine != theirs // want `float comparison mine != theirs`
+}
+
+// GoodCount compares integers: not this analyzer's business.
+func GoodCount(done, total int) bool {
+	return done == total
+}

@@ -1,0 +1,27 @@
+// Package fault is a maporder fixture: the fault planner expands
+// scenario maps into injection schedules, newly inside the analyzer's
+// internal/fault scope.
+package fault
+
+import "sort"
+
+// BadExpand emits injection events straight from the scenario map: the
+// schedule order changes per run, flagged.
+func BadExpand(scenarios map[string]int, inject func(string, int)) {
+	for name, at := range scenarios { // want `range over map scenarios`
+		inject(name, at)
+	}
+}
+
+// GoodExpand collects scenario names and sorts them before emitting:
+// the blessed collect-then-sort idiom.
+func GoodExpand(scenarios map[string]int, inject func(string, int)) {
+	names := make([]string, 0, len(scenarios))
+	for name := range scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		inject(name, scenarios[name])
+	}
+}

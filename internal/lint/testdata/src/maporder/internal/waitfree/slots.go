@@ -1,0 +1,11 @@
+// Package waitfree is a maporder fixture: per-slot helper state walked
+// in map order leaks randomness into the help schedule, newly inside
+// the analyzer's internal/waitfree scope.
+package waitfree
+
+// BadHelpAll visits announced operations in map order: flagged.
+func BadHelpAll(announced map[int]func(), help func(int)) {
+	for slot := range announced { // want `range over map announced`
+		help(slot)
+	}
+}

@@ -1,0 +1,28 @@
+// Package alloclib is the dependency side of the cross-package noalloc
+// fixture: it carries no //rtlint:noalloc annotation itself, so nothing
+// is reported here — its exported allocation facts drive diagnostics in
+// the importing package instead.
+package alloclib
+
+// Grow allocates whenever the append outgrows the backing array; the
+// exported fact for Grow carries this site.
+func Grow(xs []int, v int) []int {
+	return append(xs, v)
+}
+
+// Sum is allocation-free and exports a clean fact.
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Reserve allocates but justifies it in place; the ignore keeps the
+// site out of the exported fact, so importers may call Reserve from
+// protected paths without re-litigating the justification.
+func Reserve(n int) []int {
+	//rtlint:ignore noalloc one-time warm-up capacity
+	return make([]int, 0, n)
+}

@@ -1,0 +1,51 @@
+// Package hot exercises the noalloc analyzer end to end: annotated
+// roots, transitive in-package reachability, cross-package facts from
+// alloclib, and the panic-path and ignore-directive exemptions.
+package hot
+
+import (
+	"fmt"
+
+	"noalloc/internal/alloclib"
+)
+
+var scratch []int
+
+//rtlint:noalloc steady-state fixture root
+func Hot(xs []int, m map[int]int) int {
+	xs = alloclib.Grow(xs, 1) // want `calls alloclib\.Grow, which allocates \(append may grow its backing array at alloclib\.go:\d+\); not allowed in the //rtlint:noalloc path of Hot`
+	m[1] = 2                  // want `map write may allocate on growth at hot\.go:\d+; not allowed in the //rtlint:noalloc path of Hot`
+	return alloclib.Sum(xs) + helper()
+}
+
+// helper is unannotated but reachable from Hot, so its direct site is
+// reported at the true location, attributed to the annotated root.
+func helper() int {
+	buf := make([]byte, 4) // want `make allocates at hot\.go:\d+; not allowed in the //rtlint:noalloc path of Hot`
+	return len(buf)
+}
+
+//rtlint:noalloc exemption fixture root
+func Guarded(n int) []int {
+	if n < 0 {
+		panic(fmt.Sprintf("hot: negative size %d", n)) // failure path: exempt
+	}
+	//rtlint:ignore noalloc warm-up growth is amortized
+	scratch = append(scratch, n)
+	return alloclib.Reserve(n) // Reserve's fact is clean: its site is justified at the source
+}
+
+//rtlint:noalloc boxing fixture root
+func Box(i int) any {
+	return i // want `interface boxing of int allocates at hot\.go:\d+; not allowed in the //rtlint:noalloc path of Box`
+}
+
+//rtlint:noalloc unproven-callee fixture root
+func Format(x int) string {
+	return fmt.Sprintf("%d", x) // want `calls fmt\.Sprintf, which cannot be proven allocation-free; not allowed in the //rtlint:noalloc path of Format` `interface boxing of int allocates at hot\.go:\d+; not allowed in the //rtlint:noalloc path of Format`
+}
+
+// Cold is unannotated: its allocation becomes a fact, not a finding.
+func Cold() []int {
+	return make([]int, 8)
+}

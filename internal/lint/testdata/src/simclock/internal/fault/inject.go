@@ -1,0 +1,29 @@
+// Package fault is a simclock fixture for the fault-injection layer:
+// injection decisions must come from virtual time and seeded uam
+// generators, never the host clock or the shared process RNG.
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadDeadline arms an injection off the wall clock: flagged.
+func BadDeadline() int64 {
+	return time.Now().UnixNano() // want `wall-clock time\.Now`
+}
+
+// BadDraw draws from the shared process RNG: flagged.
+func BadDraw(p float64) bool {
+	return rand.Float64() < p // want `global math/rand\.Float64\(\) uses the shared process RNG`
+}
+
+// BadLocalSource builds an ad-hoc generator outside uam: flagged.
+func BadLocalSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `rand\.New outside internal/uam`
+}
+
+// GoodVirtual takes its trigger time as a virtual tick: fine.
+func GoodVirtual(now, at int64) bool {
+	return now >= at
+}

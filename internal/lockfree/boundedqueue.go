@@ -41,6 +41,8 @@ func NewBoundedQueue[T any](capacity int) (*BoundedQueue[T], error) {
 }
 
 // Enqueue appends v; it reports false when the queue is full.
+//
+//rtlint:noalloc ring cells are pre-allocated; the CAS loop touches no heap
 func (q *BoundedQueue[T]) Enqueue(v T) bool {
 	for {
 		pos := q.enq.Load()
@@ -66,6 +68,8 @@ func (q *BoundedQueue[T]) Enqueue(v T) bool {
 
 // Dequeue removes the oldest element; ok is false when the queue is
 // observed empty.
+//
+//rtlint:noalloc ring cells are pre-allocated; the CAS loop touches no heap
 func (q *BoundedQueue[T]) Dequeue() (v T, ok bool) {
 	for {
 		pos := q.deq.Load()

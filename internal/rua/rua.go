@@ -315,6 +315,8 @@ func (s *pudSorter) Less(a, b int) bool {
 // run the schedule's prefix in parallel — the natural global-scheduling
 // generalization of "dispatch the head". The returned slice aliases
 // reused scratch, valid until the next Select* call on this instance.
+//
+//rtlint:noalloc steady state runs on reused scratch (PR-6 contract)
 func (r *RUA) SelectTopK(w sched.World, k int) ([]*task.Job, int64) {
 	d := r.selectFull(w)
 	r.topkBuf = r.feas.appendFirstK(r.topkBuf[:0], k)
@@ -325,6 +327,8 @@ func (r *RUA) SelectTopK(w sched.World, k int) ([]*task.Job, int64) {
 // pass's abort decisions (deadlock victims, degradation sheds), so
 // global engines can honor them. Both returned slices alias reused
 // scratch, valid until the next Select* call on this instance.
+//
+//rtlint:noalloc steady state runs on reused scratch (PR-6 contract)
 func (r *RUA) SelectTopKAbort(w sched.World, k int) (ranked, abort []*task.Job, ops int64) {
 	d := r.selectFull(w)
 	r.topkBuf = r.feas.appendFirstK(r.topkBuf[:0], k)
@@ -334,6 +338,8 @@ func (r *RUA) SelectTopKAbort(w sched.World, k int) (ranked, abort []*task.Job, 
 // Select implements sched.Scheduler — the full RUA pass of §3:
 // dependency chains, deadlock handling, PUDs, PUD-ordered examination,
 // ECF insertion with feasibility testing, and head dispatch.
+//
+//rtlint:noalloc steady state runs on reused scratch (PR-6 contract)
 func (r *RUA) Select(w sched.World) sched.Decision {
 	return r.selectFull(w)
 }
@@ -346,6 +352,7 @@ func (r *RUA) selectFull(w sched.World) sched.Decision {
 	live := r.live[:0]
 	for _, j := range w.Jobs {
 		if !j.Done() && j.State != task.Aborting {
+			//rtlint:ignore noalloc reused r.live scratch; growth amortized
 			live = append(live, j)
 		}
 	}
@@ -354,8 +361,11 @@ func (r *RUA) selectFull(w sched.World) sched.Decision {
 		return sched.Decision{}
 	}
 	if r.chains == nil {
+		//rtlint:ignore noalloc one-time lazy init; the maps are cleared and reused every pass
 		r.chains = make(map[*task.Job][]*task.Job, len(live))
+		//rtlint:ignore noalloc one-time lazy init; the maps are cleared and reused every pass
 		r.pud = make(map[*task.Job]float64, len(live))
+		//rtlint:ignore noalloc one-time lazy init; the maps are cleared and reused every pass
 		r.excluded = make(map[*task.Job]bool)
 	}
 
@@ -367,11 +377,13 @@ func (r *RUA) selectFull(w sched.World) sched.Decision {
 	cycles := r.cyclesBuf[:0]
 	if r.lockFree {
 		if cap(r.chainBuf) < len(live) {
+			//rtlint:ignore noalloc cap-guarded growth of reused scratch; amortized
 			r.chainBuf = make([]*task.Job, len(live))
 		}
 		buf := r.chainBuf[:len(live)]
 		for i, j := range live {
 			buf[i] = j
+			//rtlint:ignore noalloc cleared map reuses its buckets; growth amortized
 			chains[j] = buf[i : i+1 : i+1]
 			r.ops++
 		}
@@ -387,8 +399,10 @@ func (r *RUA) selectFull(w sched.World) sched.Decision {
 			arena, cycle = w.Res.AppendDependencyChain(arena, j)
 			chain := arena[start:len(arena):len(arena)]
 			r.ops += int64(len(chain))
+			//rtlint:ignore noalloc cleared map reuses its buckets; growth amortized
 			chains[j] = chain
 			if cycle {
+				//rtlint:ignore noalloc reused r.cyclesBuf scratch; growth amortized
 				cycles = append(cycles, chain)
 			}
 		}
@@ -401,6 +415,7 @@ func (r *RUA) selectFull(w sched.World) sched.Decision {
 	pud := r.pud
 	clear(pud)
 	for _, j := range live {
+		//rtlint:ignore noalloc cleared map reuses its buckets; growth amortized
 		pud[j] = r.pudOf(w, chains[j], &r.ops)
 	}
 
@@ -421,7 +436,9 @@ func (r *RUA) selectFull(w sched.World) sched.Decision {
 			}
 		}
 		if !excluded[victim] {
+			//rtlint:ignore noalloc reused r.abortBuf scratch; growth amortized
 			aborts = append(aborts, victim)
+			//rtlint:ignore noalloc cleared map reuses its buckets; growth amortized
 			excluded[victim] = true
 		}
 	}
@@ -432,6 +449,7 @@ func (r *RUA) selectFull(w sched.World) sched.Decision {
 	for _, j := range live {
 		for _, d := range chains[j] {
 			if excluded[d] || d.State == task.Aborting {
+				//rtlint:ignore noalloc cleared map reuses its buckets; growth amortized
 				excluded[j] = true
 				break
 			}
@@ -443,6 +461,7 @@ func (r *RUA) selectFull(w sched.World) sched.Decision {
 	order := r.order[:0]
 	for _, j := range live {
 		if !excluded[j] {
+			//rtlint:ignore noalloc reused r.order scratch; growth amortized
 			order = append(order, j)
 		}
 	}
@@ -481,6 +500,7 @@ func (r *RUA) selectFull(w sched.World) sched.Decision {
 				// laxity comparison is one charged operation.
 				r.ops++
 				if w.Now.Add(j.Remaining(w.Acc)).After(j.AbsoluteCriticalTime()) {
+					//rtlint:ignore noalloc reused r.abortBuf scratch; growth amortized
 					aborts = append(aborts, j)
 					if r.observer != nil {
 						r.observer(trace.Event{At: w.Now, Kind: trace.Shed, Task: j.Task.ID, Seq: j.Seq, Object: -1})

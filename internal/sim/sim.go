@@ -336,11 +336,13 @@ func (e *Engine) rs(j *task.Job) *runState {
 		// Carve from the slab New pre-allocated for every arrival; the
 		// batch refill is a safety net that never fires on a normal run.
 		if len(e.rsSlab) == 0 {
+			//rtlint:ignore noalloc batch refill safety net; New pre-sizes the slab for every arrival
 			e.rsSlab = make([]runState, 64)
 		}
 		st = &e.rsSlab[0]
 		e.rsSlab = e.rsSlab[1:]
 		st.entrySeg = -1
+		//rtlint:ignore noalloc map pre-sized in New for every arrival; buckets never grow on a normal run
 		e.rstates[j] = st
 	}
 	return st
@@ -383,6 +385,8 @@ func (e *Engine) emitSched(at rtime.Time, kind trace.Kind, ops int64) {
 }
 
 // Run executes the simulation to the horizon and returns the result.
+//
+//rtlint:noalloc steady state carves from pre-sized slabs and reused scratch (PR-6 contract)
 func (e *Engine) Run() Result {
 	for e.events.Len() > 0 && e.fail == nil {
 		_, ev, _ := e.events.Pop()
@@ -400,7 +404,9 @@ func (e *Engine) Run() Result {
 		switch ev.kind {
 		case evArrival:
 			j := ev.job
+			//rtlint:ignore noalloc bounded by total arrivals; reaches steady capacity at warm-up
 			e.live = append(e.live, j)
+			//rtlint:ignore noalloc pre-sized in New for every arrival
 			e.allJobs = append(e.allJobs, j)
 			e.res1.Arrivals++
 			e.emit(e.now, trace.Arrival, j, -1)
@@ -605,6 +611,7 @@ func (e *Engine) beginAbort(j *task.Job) {
 func (e *Engine) removeLive(j *task.Job) {
 	for i, x := range e.live {
 		if x == j {
+			//rtlint:ignore noalloc copy-down within the same backing array; never grows
 			e.live = append(e.live[:i], e.live[i+1:]...)
 			return
 		}
@@ -689,8 +696,9 @@ func (e *Engine) dispatchNow(j *task.Job) {
 				// grant), but harmless to tolerate.
 				j.PassBoundary()
 			default:
+				//rtlint:ignore noalloc failure path: the run is aborting with a diagnostic
 				e.failWith(fmt.Errorf("sim: scheduler %s dispatched %s, blocked at Lock(%d) held by %s",
-					e.cfg.Scheduler.Name(), j.Name(), obj, owner.Name()))
+					e.cfg.Scheduler.Name(), j.Name(), obj, owner.Name())) //rtlint:ignore noalloc failure path: the run is aborting with a diagnostic
 				return
 			}
 		}
@@ -706,8 +714,9 @@ func (e *Engine) dispatchNow(j *task.Job) {
 				e.res1.LockEvents++
 				e.emit(e.now, trace.LockAcquire, j, obj)
 			default:
+				//rtlint:ignore noalloc failure path: the run is aborting with a diagnostic
 				e.failWith(fmt.Errorf("sim: scheduler %s dispatched %s, blocked on object %d held by %s",
-					e.cfg.Scheduler.Name(), j.Name(), obj, owner.Name()))
+					e.cfg.Scheduler.Name(), j.Name(), obj, owner.Name())) //rtlint:ignore noalloc failure path: the run is aborting with a diagnostic
 				return
 			}
 		}
