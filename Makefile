@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: all build test race race-all stress vet lint bench trace-demo \
 	check-bounds report metrics bench-baseline bench-diff profile \
-	fuzz-smoke scale-smoke
+	fuzz-smoke scale-smoke stoch-smoke
 
 all: build vet lint test
 
@@ -49,6 +49,21 @@ bench:
 scale-smoke:
 	$(GO) test -short -run TestScaleSmoke -v ./internal/experiment/
 
+# Stochastic-scheduler smoke: the seeded stoch sweep (scheduler
+# distribution × synchronization discipline × seeds) must be
+# byte-identical for any -jobs value, and the throughput predictor must
+# fit (the digest carries the per-run alpha/beta/rel_err line). The e2e
+# twin is cmd/rtsim's TestStochDeterminismAcrossJobs.
+stoch-smoke:
+	$(GO) run ./cmd/rtsim -profile quick -jobs 1 -stoch geo -stoch-seed 7 -metrics > stoch-j1.txt
+	$(GO) run ./cmd/rtsim -profile quick -jobs 4 -stoch geo -stoch-seed 7 -metrics > stoch-j4.txt
+	$(GO) run ./cmd/rtsim -profile quick -jobs 1 stoch >> stoch-j1.txt
+	$(GO) run ./cmd/rtsim -profile quick -jobs 4 stoch >> stoch-j4.txt
+	cmp stoch-j1.txt stoch-j4.txt
+	grep -q "predictor" stoch-j1.txt
+	grep -q "pred_rel_err" stoch-j1.txt
+	@echo "stoch smoke OK: cross-jobs identical, predictor fitted"
+
 # Trace the canonical workload on the uniprocessor engine and export it
 # in the Chrome trace-event format: drag trace.json onto ui.perfetto.dev
 # to browse per-task, per-CPU, and scheduler tracks. Try
@@ -81,13 +96,13 @@ report:
 # -normalize compares per-experiment shares, so a baseline from any
 # reasonably fast machine works.
 bench-baseline:
-	$(GO) run ./cmd/rtsim -profile quick -bench-json BENCH_PR6.json all > /dev/null
+	$(GO) run ./cmd/rtsim -profile quick -bench-json BENCH_PR8.json all > /dev/null
 
 # Compare a fresh timing run against the committed baseline; exits
 # non-zero past a 2x relative regression.
 bench-diff:
 	$(GO) run ./cmd/rtsim -profile quick -bench-json bench-current.json all > /dev/null
-	$(GO) run ./cmd/benchdiff -normalize -min 0.05 -fail 2.0 BENCH_PR6.json bench-current.json
+	$(GO) run ./cmd/benchdiff -normalize -min 0.05 -fail 2.0 BENCH_PR8.json bench-current.json
 
 # Short coverage-guided fuzz of every native fuzz target (committed
 # corpora under */testdata/fuzz seed each run). Go allows one -fuzz

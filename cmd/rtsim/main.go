@@ -23,6 +23,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/fault"
 	"repro/internal/runner"
+	"repro/internal/stoch"
 	"repro/internal/trace"
 	"repro/internal/trace/span"
 )
@@ -64,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checkBounds := fs.Bool("check-bounds", false, "run the Theorem 2/3 bound-check suite; exit 1 on any violation")
 	faults := fs.String("faults", "", "inject a deterministic fault plan into traced runs: off, light, heavy, or key=value pairs (see internal/fault)")
 	faultSeed := fs.Int64("fault-seed", 0, "override the fault plan's seed (0 keeps the plan's own)")
+	stochPlan := fs.String("stoch", "", "overlay the seeded stochastic scheduler on traced runs: off, uni, geo, or key=value pairs (see internal/stoch)")
+	stochSeed := fs.Int64("stoch-seed", 0, "override the stochastic plan's seed (0 keeps the plan's own)")
 	reportDir := fs.String("report", "", "write the canonical-workload CSV+HTML report into `dir` (experiment args become its figure sections)")
 	metrics := fs.Bool("metrics", false, "print the canonical-workload metrics digest")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to `file`")
@@ -106,6 +109,16 @@ observability:
                        the plan's inflated arrival curves and flag
                        model-exceeding violations as expected
   -fault-seed N        override the fault plan's seed (0 keeps it)
+  -stoch PLAN          overlay the seeded stochastic scheduler on every
+                       traced run: quanta drawn from a uniform or
+                       geometric distribution force preemptions, and
+                       random picks (or ranked-list shuffles on the
+                       global engine) perturb dispatch; off, uni, geo,
+                       or comma-separated key=value pairs (seed,
+                       quantumus, pickp); every decision is a pure hash
+                       of (seed, cpu, tick), so output stays
+                       byte-identical for any -jobs value
+  -stoch-seed N        override the stochastic plan's seed (0 keeps it)
   -metrics             fold the canonical workload on every simulator ×
                        mode into distribution digests (p50/p95/p99/max
                        vs the Theorem 2/3 bounds) and print them
@@ -153,6 +166,17 @@ experiments:
 			plan.Seed = *faultSeed
 		}
 		p.Fault = plan
+	}
+	if *stochPlan != "" {
+		plan, err := stoch.ParsePlan(*stochPlan)
+		if err != nil {
+			fmt.Fprintf(stderr, "rtsim: %v\n", err)
+			return 2
+		}
+		if *stochSeed != 0 && plan != nil {
+			plan.Seed = *stochSeed
+		}
+		p.Stoch = plan
 	}
 
 	if *cpuProfile != "" {

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runMetrics executes the -metrics path with extra flags.
+func runMetrics(t *testing.T, jobs int, extra ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-profile", "quick", "-jobs", strconv.Itoa(jobs), "-metrics"}, extra...)
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("rtsim %v exited %d\nstderr: %s", args, code, stderr.String())
+	}
+	return stdout.String()
+}
+
+// TestStochDeterminismAcrossJobs drives the stochastic-scheduler
+// surface end to end: the stoch sweep and the -metrics digest under an
+// active geometric plan must produce byte-identical stdout for -jobs 1
+// and one worker per CPU — every stochastic decision is a pure hash of
+// (seed, cpu, tick), never of worker interleaving.
+func TestStochDeterminismAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-profile sweeps are still a few seconds; skipped with -short")
+	}
+	render := func(jobs int) string {
+		t.Helper()
+		var out, errb strings.Builder
+		args := []string{"-profile", "quick", "-jobs", strconv.Itoa(jobs),
+			"-stoch", "geo", "-stoch-seed", "7", "-metrics"}
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("rtsim -jobs %d exited %d\nstderr: %s", jobs, code, errb.String())
+		}
+		out.WriteString(runMetricsTable(t, jobs))
+		return out.String()
+	}
+	seq := render(1)
+	par := render(runtime.NumCPU())
+	if seq != par {
+		t.Fatalf("stoch stdout differs between -jobs 1 and -jobs %d:\n--- jobs=1 ---\n%s\n--- jobs=%d ---\n%s",
+			runtime.NumCPU(), seq, runtime.NumCPU(), par)
+	}
+}
+
+// runMetricsTable renders the stoch sweep table under the same plan.
+func runMetricsTable(t *testing.T, jobs int) string {
+	t.Helper()
+	var out, errb strings.Builder
+	args := []string{"-profile", "quick", "-jobs", strconv.Itoa(jobs),
+		"-stoch", "uni", "-stoch-seed", "3", "stoch"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("rtsim stoch sweep -jobs %d exited %d\nstderr: %s", jobs, code, errb.String())
+	}
+	return out.String()
+}
+
+// TestStochOffBitIdentical pins the tentpole's zero-cost contract at
+// the CLI: "-stoch off" must reproduce the plan-free run bit for bit.
+func TestStochOffBitIdentical(t *testing.T) {
+	plain := runMetrics(t, 1)
+	off := runMetrics(t, 1, "-stoch", "off")
+	if plain != off {
+		t.Fatalf("-stoch off diverged from the plan-free digest:\n--- plain ---\n%s\n--- off ---\n%s", plain, off)
+	}
+}
+
+// TestStochReportArtifacts: under an active plan the report carries the
+// predicted-vs-observed overlay, the retry-tail panel, and their CSV
+// twins, all byte-identical across -jobs (reusing the -report plumbing
+// of report_test.go).
+func TestStochReportArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the trace grid twice")
+	}
+	out1, files1 := runReport(t, 1, "-stoch", "geo", "-stoch-seed", "7")
+	outN, filesN := runReport(t, runtime.NumCPU(), "-stoch", "geo", "-stoch-seed", "7")
+	if out1 != outN {
+		t.Fatalf("stdout differs:\n%s\n---\n%s", out1, outN)
+	}
+	if len(files1) != len(filesN) {
+		t.Fatalf("file sets differ: %d vs %d", len(files1), len(filesN))
+	}
+	for name, body := range files1 {
+		if filesN[name] != body {
+			t.Fatalf("file %s differs between -jobs 1 and -jobs %d", name, runtime.NumCPU())
+		}
+	}
+	for _, want := range []string{"uni-lockfree_ops.csv", "uni-lockfree_predicted.csv"} {
+		if _, ok := files1[want]; !ok {
+			t.Fatalf("missing artifact %s (have: %v)", want, names(files1))
+		}
+	}
+	html := files1["report.html"]
+	for _, want := range []string{
+		"observed vs analytic prediction",
+		"per-operation retry tail",
+		"p999",
+	} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("report.html missing %q", want)
+		}
+	}
+	if !strings.Contains(files1["uni-lockfree_predicted.csv"], "rel_err=") {
+		t.Fatal("predicted CSV missing the fitted model record")
+	}
+}
+
+// TestMetricsDigestGolden is the satellite-1 golden: the -metrics
+// digest reports per-operation retry-tail quantiles (p95/p99/p999)
+// and the fitted predictor next to the mean-based summaries.
+func TestMetricsDigestGolden(t *testing.T) {
+	out := runMetrics(t, 1, "-stoch", "uni", "-stoch-seed", "5")
+	for _, want := range []string{
+		"run uni-lockfree",
+		"p95=", "p99=", "p999=",
+		"op all",
+		"fail_rate=",
+		"predictor",
+		"alpha=", "beta=", "rel_err=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("digest missing %q:\n%s", want, out)
+		}
+	}
+	// Lock-based runs appear with their all-ones attempt distributions:
+	// the digest must carry op lines for them too (shared axis).
+	if !strings.Contains(out, "run uni-lockbased") {
+		t.Fatalf("digest missing lock-based run:\n%s", out)
+	}
+}
+
+// names lists a file map's keys for failure messages.
+func names(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -653,6 +653,7 @@ var Registry = map[string]Runner{
 	"lockdisc":        LockDisciplines,
 	"faults":          FaultSweep,
 	"scale":           Scale,
+	"stoch":           StochSweep,
 }
 
 // Names returns the registered experiment ids in sorted order.

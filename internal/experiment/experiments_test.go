@@ -66,7 +66,7 @@ func TestTableRender(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "thm2", "thm3", "costs", "aurbounds", "ablation-retry", "ablation-opcost", "baselines", "multicpu", "globalcpu", "lockdisc", "faults", "scale"}
+	want := []string{"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "thm2", "thm3", "costs", "aurbounds", "ablation-retry", "ablation-opcost", "baselines", "multicpu", "globalcpu", "lockdisc", "faults", "scale", "stoch"}
 	for _, id := range want {
 		if Registry[id] == nil {
 			t.Errorf("experiment %s missing from registry", id)

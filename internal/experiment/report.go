@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/metrics/hist"
+	"repro/internal/metrics/ops"
+	"repro/internal/metrics/predict"
 	"repro/internal/metrics/series"
 	"repro/internal/report"
 	"repro/internal/rtime"
@@ -55,6 +57,7 @@ func BuildReport(p Profile, figIDs []string) (*report.Report, error) {
 		horizon rtime.Time
 		events  []trace.Event // first seed only
 		check   *check.Report
+		ops     *ops.Set // per-operation retry telemetry, every seed
 	}
 	outs, err := runner.Map(p.Jobs, len(cells), func(i int) (outcome, error) {
 		c := cells[i]
@@ -67,7 +70,7 @@ func BuildReport(p Profile, figIDs []string) (*report.Report, error) {
 		if err != nil {
 			return outcome{}, err
 		}
-		o := outcome{spans: spans, horizon: tr.Horizon}
+		o := outcome{spans: spans, horizon: tr.Horizon, ops: ops.FromEvents(tr.Events)}
 		if c.first {
 			o.events = tr.Events
 		}
@@ -106,6 +109,7 @@ func BuildReport(p Profile, figIDs []string) (*report.Report, error) {
 		}
 		retries, sojourn := newRetryHist(), newSojournHist()
 		var merged *check.Report
+		opSet := &ops.Set{}
 		for i, c := range cells {
 			if c.combo != ci {
 				continue
@@ -128,6 +132,11 @@ func BuildReport(p Profile, figIDs []string) (*report.Report, error) {
 				run.Jobs++
 			}
 			merged = mergeChecks(merged, o.check)
+			if o.ops != nil {
+				if err := opSet.Merge(o.ops); err != nil {
+					return nil, fmt.Errorf("experiment: merge %s op telemetry: %w", run.Name, err)
+				}
+			}
 			if c.first {
 				cpus := 1
 				if combo.sim != TraceSimUni {
@@ -160,6 +169,10 @@ func BuildReport(p Profile, figIDs []string) (*report.Report, error) {
 				Hist: sojourn, Bound: sojournBound, BoundLabel: "theorem 3 bound"},
 		}
 		run.Check = merged
+		run.OpDists = opDists(opSet)
+		if run.Series != nil {
+			run.Pred = predict.FromSeries(run.Series)
+		}
 		rep.Runs = append(rep.Runs, run)
 	}
 
@@ -180,6 +193,29 @@ func BuildReport(p Profile, figIDs []string) (*report.Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// opDists renders a merged ops.Set as the report's retry-tail panel:
+// the cross-object total first, then per object ascending. Empty sets
+// (a run that never committed) render no panel.
+func opDists(s *ops.Set) []report.OpDist {
+	if s == nil || len(s.Dists) == 0 {
+		return nil
+	}
+	out := make([]report.OpDist, 0, len(s.Dists)+1)
+	tot := s.Total()
+	out = append(out, report.OpDist{
+		Name: "all", Title: "all objects",
+		Ops: tot.Ops, Attempts: tot.Attempts, Failures: tot.Failures,
+	})
+	for _, d := range s.Dists {
+		out = append(out, report.OpDist{
+			Name:  fmt.Sprintf("obj%d", d.Object),
+			Title: fmt.Sprintf("object %d", d.Object),
+			Ops:   d.Ops, Attempts: d.Attempts, Failures: d.Failures,
+		})
+	}
+	return out
 }
 
 // mergeChecks folds per-seed bound checks of one combo into a single

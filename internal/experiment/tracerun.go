@@ -116,7 +116,7 @@ func RunTrace(p Profile, simName string, lockBased bool, seed int64) (*TraceRun,
 			Tasks: tasks, Scheduler: newRUA(), Mode: mode,
 			R: DefaultR, S: DefaultS, OpCost: DefaultOpCost,
 			Horizon: horizon, ArrivalKind: uam.KindJittered, Seed: seed,
-			ConservativeRetry: true, Fault: p.Fault, Observer: rec.Record,
+			ConservativeRetry: true, Fault: p.Fault, Stoch: p.Stoch, Observer: rec.Record,
 		})
 	case TraceSimMulti:
 		_, err = multi.Run(multi.Config{
@@ -124,14 +124,14 @@ func RunTrace(p Profile, simName string, lockBased bool, seed int64) (*TraceRun,
 			NewScheduler: func() sched.Scheduler { return newRUA() },
 			R:            DefaultR, S: DefaultS, OpCost: DefaultOpCost,
 			Horizon: horizon, ArrivalKind: uam.KindJittered, Seed: seed,
-			ConservativeRetry: true, Fault: p.Fault, Observer: rec.Record,
+			ConservativeRetry: true, Fault: p.Fault, Stoch: p.Stoch, Observer: rec.Record,
 		})
 	case TraceSimGlobal:
 		_, err = gsim.Run(gsim.Config{
 			CPUs: TraceCPUs, Tasks: tasks, Scheduler: newRUA(), Mode: mode,
 			R: DefaultR, S: DefaultS, OpCost: DefaultOpCost,
 			Horizon: horizon, ArrivalKind: uam.KindJittered, Seed: seed,
-			Fault: p.Fault, Observer: rec.Record,
+			Fault: p.Fault, Stoch: p.Stoch, Observer: rec.Record,
 		})
 	default:
 		return nil, fmt.Errorf("experiment: unknown trace simulator %q (want %s|%s|%s)",

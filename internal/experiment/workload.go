@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/rtime"
+	"repro/internal/stoch"
 	"repro/internal/task"
 	"repro/internal/tuf"
 	"repro/internal/uam"
@@ -264,6 +265,15 @@ type Profile struct {
 	// expected. Nil (or a zero plan) leaves every run byte-identical to
 	// the fault-free path. See DESIGN.md §5e.
 	Fault *fault.Plan
+
+	// Stoch, when non-nil and active, overlays the seeded stochastic
+	// scheduler (internal/stoch) on every traced run: drawn quanta force
+	// preemptions and random picks (uniprocessor) or ranked-list shuffles
+	// (global) perturb dispatch. Like Fault, every decision is a pure
+	// hash, so runs stay byte-identical for any worker count; a nil or
+	// zero plan is bit-identical to the deterministic scheduler. See
+	// DESIGN.md §5h.
+	Stoch *stoch.Plan
 }
 
 // Quick is a small profile for unit tests (one seed, short horizon).

@@ -32,6 +32,7 @@ import (
 	"repro/internal/rtime/wheel"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/stoch"
 	"repro/internal/task"
 	"repro/internal/trace"
 	"repro/internal/uam"
@@ -65,6 +66,16 @@ type Config struct {
 	// failures compose with this engine's real commit-time validation:
 	// a commit must survive both to land.
 	Fault *fault.Plan
+
+	// Stoch, when active, overlays the seeded stochastic scheduler
+	// (internal/stoch): per-CPU dispatches are force-preempted after a
+	// drawn quantum, and a picked pass shuffles the scheduler's ranked
+	// list (the ranked-dispatch analogue of the uniprocessor engine's
+	// random pick). The global pass hashes with CPU coordinate -1 —
+	// the same convention its unbound trace events use — and quanta
+	// hash with the dispatching CPU. Nil or inactive plans leave the
+	// run bit-for-bit identical to one without the field.
+	Stoch *stoch.Plan
 }
 
 func (c *Config) validate() error {
@@ -107,6 +118,7 @@ const (
 	evCritical
 	evInternal
 	evDispatch
+	evPreempt // stochastic forced preemption at quantum expiry
 )
 
 // event is one scheduled occurrence, ordered by the timing wheel's
@@ -144,10 +156,11 @@ type Engine struct {
 	pendingRun  []*task.Job
 	busyUntil   rtime.Time
 
-	states map[*task.Job]*jobState
-	stSlab []jobState         // slab the per-job states are carved from
-	selbuf map[*task.Job]bool // applyAssignment scratch: selected set
-	plcbuf map[*task.Job]bool // applyAssignment scratch: placed set
+	states  map[*task.Job]*jobState
+	stSlab  []jobState         // slab the per-job states are carved from
+	selbuf  map[*task.Job]bool // applyAssignment scratch: selected set
+	plcbuf  map[*task.Job]bool // applyAssignment scratch: placed set
+	shufBuf []*task.Job        // stochastic ranked-shuffle scratch (reused)
 
 	res1 sim.Result
 	fail error
@@ -210,6 +223,11 @@ func New(cfg Config) (*Engine, error) {
 	e.all = make([]*task.Job, 0, arrivals)
 	e.states = make(map[*task.Job]*jobState, arrivals)
 	e.stSlab = make([]jobState, arrivals)
+	if cfg.Stoch.Active() {
+		// Ranked lists never exceed the live set, which never exceeds
+		// total arrivals; pre-sizing keeps the shuffle allocation-free.
+		e.shufBuf = make([]*task.Job, 0, arrivals)
+	}
 	for i, t := range cfg.Tasks {
 		u := t.ComputeTime()
 		for k, at := range traces[i] {
@@ -285,7 +303,7 @@ func (e *Engine) Run() sim.Result {
 		if ev.kind == evInternal && ev.gen != e.internalGen[ev.cpu] {
 			continue
 		}
-		if ev.kind == evDispatch && ev.gen != e.dispatchGen {
+		if (ev.kind == evDispatch || ev.kind == evPreempt) && ev.gen != e.dispatchGen {
 			continue
 		}
 		e.now = ev.at
@@ -321,6 +339,14 @@ func (e *Engine) Run() sim.Result {
 		case evDispatch:
 			needResched = e.settleAll()
 			e.applyAssignment(e.pendingRun)
+		case evPreempt:
+			// The stochastic quantum on ev.cpu expired with the
+			// assignment round still current (gen-guarded above):
+			// force a global scheduling pass.
+			needResched = e.settleAll()
+			if e.running[ev.cpu] != nil {
+				needResched = true
+			}
 		}
 		if needResched && e.fail == nil {
 			e.reschedule()
@@ -509,6 +535,20 @@ func (e *Engine) reschedule() {
 	} else {
 		ranked, ops = e.cfg.Scheduler.SelectTopK(w, len(e.live))
 	}
+	if len(ranked) > 1 {
+		// Stochastic pick, ranked-dispatch form: a picked pass runs a
+		// deterministic Fisher–Yates over a copy of the ranking, so the
+		// top-M slots become a uniform random draw from the live set.
+		if _, ok := e.cfg.Stoch.Pick(-1, e.now, len(ranked)); ok {
+			//rtlint:ignore noalloc copies into the reused shuffle buffer; bounded by live jobs, steady capacity at warm-up
+			ranked = append(e.shufBuf[:0], ranked...)
+			e.shufBuf = ranked
+			for i := len(ranked) - 1; i > 0; i-- {
+				k := e.cfg.Stoch.Swap(-1, e.now, i)
+				ranked[i], ranked[k] = ranked[k], ranked[i]
+			}
+		}
+	}
 	e.res1.SchedInvocations++
 	e.res1.SchedOps += ops
 	e.emitSched(e.now, trace.SchedPass, ops)
@@ -664,6 +704,11 @@ func (e *Engine) tryDispatch(cpu int, j *task.Job) bool {
 	e.res1.CtxSwitches++
 	e.emit(e.now, trace.Dispatch, j, -1, cpu)
 	e.pushInternal(cpu, e.now.Add(j.TimeToBoundary(e.acc)))
+	if q := e.cfg.Stoch.Step(cpu, e.now); q > 0 {
+		// Arm the stochastic quantum: a forced preemption unless a
+		// newer assignment round (gen bump) supersedes this dispatch.
+		e.push(event{at: e.now.Add(q), kind: evPreempt, cpu: cpu, gen: e.dispatchGen})
+	}
 	return true
 }
 

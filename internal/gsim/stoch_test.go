@@ -1,0 +1,97 @@
+package gsim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rua"
+	"repro/internal/sim"
+	"repro/internal/stoch"
+	"repro/internal/task"
+	"repro/internal/trace"
+	"repro/internal/uam"
+)
+
+// stochWorkload builds a contended multi-CPU workload: four tasks, two
+// of them sharing object 1, enough load that the ranked list usually
+// holds more than one candidate (so shuffles have something to do).
+func stochWorkload() []*task.Task {
+	return []*task.Task{
+		stepTask(0, 40, 4000, 400, 2, []int{1}),
+		stepTask(1, 30, 4000, 400, 2, []int{1}),
+		stepTask(2, 20, 3000, 300, 1, []int{2}),
+		stepTask(3, 10, 3000, 300, 0, nil),
+	}
+}
+
+func stochGRun(t *testing.T, plan *stoch.Plan) (sim.Result, []trace.Event) {
+	t.Helper()
+	rec := trace.NewRecorder(0)
+	res, err := Run(Config{
+		CPUs: 2, Tasks: stochWorkload(), Scheduler: rua.NewLockFree(),
+		Mode: sim.LockFree, R: 150, S: 5, OpCost: 0.02,
+		Horizon: 100_000, ArrivalKind: uam.KindJittered, Seed: 42,
+		Stoch: plan, Observer: rec.Record,
+	})
+	if err != nil {
+		t.Fatalf("gsim stoch run: %v", err)
+	}
+	return res, rec.Events()
+}
+
+// TestStochNilPlanBitIdentical: nil, zero, and Off plans reproduce the
+// plan-free global engine's event stream exactly.
+func TestStochNilPlanBitIdentical(t *testing.T) {
+	base, baseEvs := stochGRun(t, nil)
+	for _, tc := range []struct {
+		name string
+		plan *stoch.Plan
+	}{
+		{"zero", &stoch.Plan{}},
+		{"off-with-shape", &stoch.Plan{Quantum: 200, PickProb: 1}},
+	} {
+		res, evs := stochGRun(t, tc.plan)
+		if res.Completions != base.Completions || res.Retries != base.Retries ||
+			res.SchedInvocations != base.SchedInvocations {
+			t.Fatalf("%s plan diverged: %+v vs %+v", tc.name, res, base)
+		}
+		if !reflect.DeepEqual(evs, baseEvs) {
+			t.Fatalf("%s plan produced a different event stream", tc.name)
+		}
+	}
+}
+
+// TestStochDeterministic: repeated runs under one active plan are
+// byte-identical, for both distributions.
+func TestStochDeterministic(t *testing.T) {
+	for _, plan := range []*stoch.Plan{
+		{Seed: 7, Dist: stoch.Uniform, Quantum: 200, PickProb: 0.25},
+		{Seed: 7, Dist: stoch.Geometric, Quantum: 200, PickProb: 0.25},
+	} {
+		resA, evsA := stochGRun(t, plan)
+		resB, evsB := stochGRun(t, plan)
+		if resA.Completions != resB.Completions || resA.Retries != resB.Retries {
+			t.Fatalf("%v plan not deterministic", plan.Dist)
+		}
+		if !reflect.DeepEqual(evsA, evsB) {
+			t.Fatalf("%v plan event streams differ across runs", plan.Dist)
+		}
+	}
+}
+
+// TestStochPerturbs: quantum preemption must add scheduling passes and
+// preserve conservation on the global engine.
+func TestStochPerturbs(t *testing.T) {
+	base, _ := stochGRun(t, nil)
+	pert, _ := stochGRun(t, &stoch.Plan{Seed: 3, Dist: stoch.Geometric, Quantum: 100, PickProb: 0.5})
+	if pert.SchedInvocations <= base.SchedInvocations {
+		t.Fatalf("stochastic plan added no scheduling passes: %d vs %d",
+			pert.SchedInvocations, base.SchedInvocations)
+	}
+	if pert.Completions+pert.Aborts == 0 {
+		t.Fatal("stochastic run finished no jobs")
+	}
+	if got := int64(len(pert.Jobs)); got != pert.Arrivals {
+		t.Fatalf("conservation broke under stoch: %d jobs, %d arrivals", got, pert.Arrivals)
+	}
+}

@@ -22,6 +22,10 @@ var floatcmpScope = []string{
 	// compared against thresholds; exact equality there flips plans when
 	// rounding drifts.
 	"internal/fault", "internal/waitfree",
+	// The stochastic scheduler compares hashed uniforms against pick
+	// probabilities, and the throughput predictor fits float models:
+	// exact equality in either flips decisions on rounding drift.
+	"internal/stoch", "internal/metrics/predict",
 }
 
 // Floatcmp flags == and != between floating-point operands in the

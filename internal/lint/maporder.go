@@ -17,6 +17,10 @@ var maporderScope = []string{
 	// and the wait-free helpers publish per-slot state: map-order leaks
 	// in either change the event sequence between runs.
 	"internal/fault", "internal/waitfree",
+	// The stochastic-scheduler planner hashes (seed, cpu, tick) into
+	// preemption decisions; a map walk feeding those decisions would
+	// reintroduce the nondeterminism the hash exists to exclude.
+	"internal/stoch",
 }
 
 // Maporder flags `range` over a map in the simulator and experiment

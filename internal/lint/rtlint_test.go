@@ -16,13 +16,13 @@ func TestMaporder(t *testing.T) {
 		"maporder/internal/sim", "maporder/internal/trace", "maporder/notscoped",
 		"maporder/internal/report", "maporder/internal/metrics/hist",
 		"maporder/internal/rtime/wheel", "maporder/internal/fault",
-		"maporder/internal/waitfree")
+		"maporder/internal/waitfree", "maporder/internal/stoch")
 }
 
 func TestSimclock(t *testing.T) {
 	analysistest.Run(t, "testdata/src", lint.Simclock,
 		"simclock/app", "simclock/internal/uam", "simclock/internal/rtime/wheel",
-		"simclock/internal/fault")
+		"simclock/internal/fault", "simclock/internal/stoch")
 }
 
 func TestAtomicmix(t *testing.T) {
@@ -39,7 +39,7 @@ func TestFloatcmp(t *testing.T) {
 	analysistest.Run(t, "testdata/src", lint.Floatcmp,
 		"floatcmp/internal/metrics", "floatcmp/internal/report",
 		"floatcmp/internal/rua", "floatcmp/internal/fault",
-		"floatcmp/internal/waitfree")
+		"floatcmp/internal/waitfree", "floatcmp/internal/stoch")
 }
 
 // TestIgnoreDirective proves the suppression contract: a justified

@@ -1,0 +1,15 @@
+// Package stoch is a floatcmp fixture: hashed uniforms are compared
+// against pick probabilities, newly inside the analyzer's
+// internal/stoch scope.
+package stoch
+
+// BadPick compares the hashed uniform exactly against the pick
+// probability: flagged.
+func BadPick(u, pickp float64) bool {
+	return u == pickp // want `float comparison u == pickp`
+}
+
+// GoodPick uses an ordering comparison, the real decision rule.
+func GoodPick(u, pickp float64) bool {
+	return u < pickp
+}

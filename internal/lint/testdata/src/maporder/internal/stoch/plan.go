@@ -1,0 +1,28 @@
+// Package stoch is a maporder fixture: the stochastic-scheduler
+// planner derives preemption decisions from hashed (seed, cpu, tick)
+// coordinates, newly inside the analyzer's internal/stoch scope. A map
+// walk feeding those decisions reintroduces per-run nondeterminism.
+package stoch
+
+import "sort"
+
+// BadQuanta derives per-CPU quanta straight from the config map: the
+// assignment order changes per run, flagged.
+func BadQuanta(quanta map[int]int64, arm func(int, int64)) {
+	for cpu, q := range quanta { // want `range over map quanta`
+		arm(cpu, q)
+	}
+}
+
+// GoodQuanta collects CPU ids and sorts them before arming: the
+// blessed collect-then-sort idiom.
+func GoodQuanta(quanta map[int]int64, arm func(int, int64)) {
+	cpus := make([]int, 0, len(quanta))
+	for cpu := range quanta {
+		cpus = append(cpus, cpu)
+	}
+	sort.Ints(cpus)
+	for _, cpu := range cpus {
+		arm(cpu, quanta[cpu])
+	}
+}

@@ -1,0 +1,32 @@
+// Package stoch is a simclock fixture for the stochastic-scheduler
+// layer: every preemption draw must be a pure hash of (seed, cpu,
+// tick), never the host clock or the shared process RNG.
+package stoch
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadQuantum jitters the quantum off the wall clock: flagged.
+func BadQuantum() int64 {
+	return time.Now().UnixNano() % 512 // want `wall-clock time\.Now`
+}
+
+// BadDraw draws the pick decision from the shared process RNG: flagged.
+func BadDraw(pickp float64) bool {
+	return rand.Float64() < pickp // want `global math/rand\.Float64\(\) uses the shared process RNG`
+}
+
+// BadLocalSource builds an ad-hoc generator outside uam: flagged.
+func BadLocalSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `rand\.New outside internal/uam`
+}
+
+// GoodHash derives the decision from hashed coordinates: fine.
+func GoodHash(seed, cpu, tick uint64) uint64 {
+	z := seed ^ cpu*0x9e3779b97f4a7c15 ^ tick
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	return z ^ z>>27
+}

@@ -1,0 +1,129 @@
+package hist
+
+import "testing"
+
+// TestQuantileAtDegradationBoundary pins the exact→bucket handoff: at
+// exactly the cap quantiles are exact; one Add past it they come from
+// bucket upper bounds, which may only over-report (conservative for a
+// retry-tail panel) and never exceed the observed maximum.
+func TestQuantileAtDegradationBoundary(t *testing.T) {
+	const cap = 64
+	h := Exp2(1 << 10)
+	h.SetExactCap(cap)
+	for i := int64(1); i <= cap; i++ {
+		h.Add(i)
+	}
+	if !h.Exact() {
+		t.Fatalf("histogram degraded at n == cap (%d)", cap)
+	}
+	exactP50, exactP99 := h.Quantile(0.50), h.Quantile(0.99)
+	if exactP50 != 32 || exactP99 != 64 {
+		t.Fatalf("exact quantiles wrong at cap: p50=%d p99=%d", exactP50, exactP99)
+	}
+
+	h.Add(65) // cross the boundary
+	if h.Exact() {
+		t.Fatal("histogram still exact past the cap")
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		got := h.Quantile(q)
+		if got > h.Max() {
+			t.Fatalf("degraded Quantile(%v) = %d exceeds max %d", q, got, h.Max())
+		}
+		if got < h.Min() {
+			t.Fatalf("degraded Quantile(%v) = %d below min %d", q, got, h.Min())
+		}
+	}
+	// Bucket-resolution p50 of 1..65 must cover the exact value 33:
+	// nearest power-of-two upper bound is 64 ≥ 33, never below.
+	if got := h.Quantile(0.50); got < 33 {
+		t.Fatalf("degraded p50 = %d under-reports exact 33", got)
+	}
+	// Quantile(1) and Quantile(0) stay exact even when degraded: they
+	// come from the tracked extremes, not the buckets.
+	if h.Quantile(1) != 65 || h.Quantile(0) != 1 {
+		t.Fatalf("extremes wrong after degradation: q0=%d q1=%d", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+// TestMergeExactWithDegraded checks both merge orders around the cap:
+// folding a degraded histogram into an exact one (and vice versa)
+// must drop sample retention — never resurrect phantom exactness —
+// while counts, sums, and extremes stay exact.
+func TestMergeExactWithDegraded(t *testing.T) {
+	mk := func(cap int, vals ...int64) *Hist {
+		h := Exp2(1 << 10)
+		h.SetExactCap(cap)
+		for _, v := range vals {
+			h.Add(v)
+		}
+		return h
+	}
+	exact := mk(100, 1, 2, 3, 4)
+	degraded := mk(2, 10, 20, 30) // n=3 > cap=2 → bucket-resolution
+	if degraded.Exact() {
+		t.Fatal("setup: histogram should be degraded")
+	}
+
+	// exact ← degraded
+	a := mk(100, 1, 2, 3, 4)
+	if err := a.Merge(degraded); err != nil {
+		t.Fatal(err)
+	}
+	if a.Exact() {
+		t.Fatal("merging a degraded histogram must degrade the target")
+	}
+	if a.N() != 7 || a.Sum() != 70 || a.Min() != 1 || a.Max() != 30 {
+		t.Fatalf("merged stats wrong: n=%d sum=%d min=%d max=%d", a.N(), a.Sum(), a.Min(), a.Max())
+	}
+	if q := a.Quantile(0.99); q < 30 || q > a.Max() {
+		t.Fatalf("merged p99 = %d outside [30, max]", q)
+	}
+
+	// degraded ← exact
+	b := mk(2, 10, 20, 30)
+	if err := b.Merge(exact); err != nil {
+		t.Fatal(err)
+	}
+	if b.Exact() {
+		t.Fatal("a degraded target must stay degraded after merging an exact source")
+	}
+	if b.N() != 7 || b.Sum() != 70 || b.Min() != 1 || b.Max() != 30 {
+		t.Fatalf("merged stats wrong: n=%d sum=%d min=%d max=%d", b.N(), b.Sum(), b.Min(), b.Max())
+	}
+
+	// exact ← exact overflowing the cap degrades too.
+	c := mk(10, 1, 2, 3)
+	if err := c.Merge(mk(10, 4, 5, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 6 || c.Quantile(0.5) != 3 {
+		t.Fatalf("within-cap merge lost exactness: n=%d p50=%d", c.N(), c.Quantile(0.5))
+	}
+	d := mk(4, 1, 2, 3)
+	if err := d.Merge(mk(4, 4, 5, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Exact() {
+		t.Fatal("cap-overflowing merge must degrade")
+	}
+}
+
+// TestSetExactCapZero: a zero cap disables sample retention from the
+// first Add; quantiles are bucket-resolution throughout.
+func TestSetExactCapZero(t *testing.T) {
+	h := Exp2(1 << 8)
+	h.SetExactCap(0)
+	for i := int64(1); i <= 10; i++ {
+		h.Add(i)
+	}
+	if h.Exact() {
+		t.Fatal("cap 0 must disable exact quantiles")
+	}
+	if q := h.Quantile(0.5); q < 5 || q > h.Max() {
+		t.Fatalf("bucket p50 = %d outside [5, %d]", q, h.Max())
+	}
+	if h.Summarize().P999 > h.Max() {
+		t.Fatal("P999 exceeds max")
+	}
+}

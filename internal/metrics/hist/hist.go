@@ -313,14 +313,18 @@ type Summary struct {
 	N             int64
 	Min, Max, Sum int64
 	Mean          float64
-	P50, P90, P95, P99 int64
+	P50, P90, P95, P99, P999 int64
 }
 
 // Summarize computes the digest in one pass over the retained samples.
+// P999 extends the tail view for retry-attempt distributions, where the
+// paper's interesting behaviour (and Theorem 2's bound) lives in the
+// extreme quantiles rather than the mean.
 func (h *Hist) Summarize() Summary {
 	return Summary{
 		N: h.n, Min: h.Min(), Max: h.Max(), Sum: h.sum, Mean: h.Mean(),
 		P50: h.Quantile(0.50), P90: h.Quantile(0.90),
 		P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+		P999: h.Quantile(0.999),
 	}
 }

@@ -1,0 +1,147 @@
+package ops
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rtime"
+	"repro/internal/trace"
+)
+
+func ev(at rtime.Time, k trace.Kind, task, seq, obj int) trace.Event {
+	return trace.Event{At: at, Kind: k, Task: task, Seq: seq, Object: obj}
+}
+
+// TestFoldBasic: two retries then a commit is one operation with three
+// attempts; a clean commit is one attempt; a lock release counts as a
+// one-attempt operation on the shared axis.
+func TestFoldBasic(t *testing.T) {
+	s := FromEvents([]trace.Event{
+		ev(10, trace.Retry, 0, 0, 1),
+		ev(20, trace.FaultRetry, 0, 0, 1),
+		ev(30, trace.Commit, 0, 0, 1),
+		ev(40, trace.Commit, 1, 0, 1),
+		ev(50, trace.LockRelease, 2, 0, 3),
+	})
+	if len(s.Dists) != 2 || s.Dists[0].Object != 1 || s.Dists[1].Object != 3 {
+		t.Fatalf("objects = %+v", s.Dists)
+	}
+	d := s.Dists[0]
+	if d.Ops != 2 || d.Attempts.Sum() != 4 || d.Failures.Sum() != 2 {
+		t.Fatalf("obj 1: ops=%d attempts=%d failures=%d", d.Ops, d.Attempts.Sum(), d.Failures.Sum())
+	}
+	if d.Attempts.Max() != 3 || d.Attempts.Min() != 1 {
+		t.Fatalf("obj 1 attempts range [%d,%d]", d.Attempts.Min(), d.Attempts.Max())
+	}
+	if got := d.FailureRate(); got != 1.0 {
+		t.Fatalf("obj 1 failure rate = %v, want 1.0", got)
+	}
+	if l := s.Dists[1]; l.Ops != 1 || l.Failures.Sum() != 0 || l.Attempts.Sum() != 1 {
+		t.Fatalf("lock-based op not all-ones: %+v", l)
+	}
+}
+
+// TestFoldOrderInsensitive: shuffled (but time-stamped) events fold
+// identically — the partitioned engine's per-CPU stream grouping must
+// not change the telemetry.
+func TestFoldOrderInsensitive(t *testing.T) {
+	evs := []trace.Event{
+		ev(10, trace.Retry, 0, 0, 1),
+		ev(30, trace.Commit, 0, 0, 1),
+		ev(15, trace.Retry, 1, 0, 2),
+		ev(35, trace.Commit, 1, 0, 2),
+	}
+	a := FromEvents(evs)
+	rev := []trace.Event{evs[2], evs[3], evs[0], evs[1]}
+	b := FromEvents(rev)
+	if !reflect.DeepEqual(summaries(a), summaries(b)) {
+		t.Fatal("fold depends on stream grouping")
+	}
+}
+
+// TestAbortedOperationNotCounted: retries of an operation that never
+// commits leave no distribution entry (and do not leak into another
+// job's commit on the same object).
+func TestAbortedOperationNotCounted(t *testing.T) {
+	s := FromEvents([]trace.Event{
+		ev(10, trace.Retry, 0, 0, 1), // job 0 retries then aborts — no commit
+		ev(30, trace.Commit, 1, 0, 1),
+	})
+	d := s.Dists[0]
+	if d.Ops != 1 || d.Failures.Sum() != 0 {
+		t.Fatalf("dangling retry leaked: ops=%d failures=%d", d.Ops, d.Failures.Sum())
+	}
+}
+
+// TestMergeAssociativeAndOrdered: merging shards in either order gives
+// identical sets, with objects kept ascending.
+func TestMergeAssociativeAndOrdered(t *testing.T) {
+	shard := func(obj int, fails ...int64) *Set {
+		var evs []trace.Event
+		at := rtime.Time(1)
+		for seq, f := range fails {
+			for i := int64(0); i < f; i++ {
+				evs = append(evs, ev(at, trace.Retry, 0, seq, obj))
+				at++
+			}
+			evs = append(evs, ev(at, trace.Commit, 0, seq, obj))
+			at++
+		}
+		return FromEvents(evs)
+	}
+	ab := shard(2, 1, 0)
+	if err := ab.Merge(shard(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	ba := shard(1, 3)
+	if err := ba.Merge(shard(2, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(summaries(ab), summaries(ba)) {
+		t.Fatal("merge not order-independent")
+	}
+	if ab.Dists[0].Object != 1 || ab.Dists[1].Object != 2 {
+		t.Fatalf("merge broke object order: %d, %d", ab.Dists[0].Object, ab.Dists[1].Object)
+	}
+	// Same-object merge accumulates.
+	same := shard(1, 2)
+	if err := same.Merge(shard(1, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	d := same.Dists[0]
+	if d.Ops != 3 || d.Failures.Sum() != 2 || d.Attempts.N() != 3 {
+		t.Fatalf("same-object merge wrong: %+v", d)
+	}
+}
+
+// TestTotal folds all objects into the -1 aggregate.
+func TestTotal(t *testing.T) {
+	s := FromEvents([]trace.Event{
+		ev(10, trace.Retry, 0, 0, 1),
+		ev(20, trace.Commit, 0, 0, 1),
+		ev(30, trace.Commit, 1, 0, 2),
+	})
+	tot := s.Total()
+	if tot.Object != -1 || tot.Ops != 2 || tot.Failures.Sum() != 1 || tot.Attempts.Sum() != 3 {
+		t.Fatalf("total wrong: %+v", tot)
+	}
+	empty := (&Set{}).Total()
+	if empty.Ops != 0 || empty.FailureRate() != 0 {
+		t.Fatalf("empty total wrong: %+v", empty)
+	}
+}
+
+type distSummary struct {
+	obj            int
+	ops            int64
+	attempts, fail int64
+	p99            int64
+}
+
+func summaries(s *Set) []distSummary {
+	out := make([]distSummary, 0, len(s.Dists))
+	for _, d := range s.Dists {
+		out = append(out, distSummary{d.Object, d.Ops, d.Attempts.Sum(), d.Failures.Sum(), d.Attempts.Quantile(0.99)})
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+// Package predict implements an analytic throughput predictor for the
+// lock-free simulation in the style of Atalar et al., "Analyzing the
+// Performance of Lock-Free Data Structures: A Conflict-Based Model"
+// (arXiv:1611.05793): in a retry loop, the expected cost of one
+// successful operation is an affine function of the conflict level —
+// a base cost for the winning attempt plus a marginal cost per failed
+// attempt. Folded onto this repository's virtual-time model,
+//
+//	busy-ticks per commit  ≈  α + β · (retries per commit)
+//
+// where α absorbs the operation's conflict-free path (execution slice,
+// access cost s, scheduler overhead amortized per commit) and β the
+// marginal price of one failed attempt (the wasted access window plus
+// its overhead — in the paper's §3.6 cost model roughly s plus the
+// charged retry handling).
+//
+// The predictor fits (α, β) by least squares over the windows of a
+// metrics/series fold — measured retry rates and contention windows,
+// exactly the quantities the stochastic-scheduler sweeps perturb — and
+// then inverts the model per window to predict throughput:
+//
+//	commits_w ≈ BusyTicks_w / (α + β · x_w)
+//
+// The report overlays predicted against observed commits per window
+// and states the aggregate relative error, so a reader can judge at a
+// glance how far the practically-wait-free regime (low x, throughput
+// tracking busy time) extends before contention bends the curve.
+//
+// All arithmetic is pure float64 over exact integer inputs in a fixed
+// order, so equal series produce byte-identical overlays — required
+// for the cross-`-jobs` report identity the repo guarantees.
+package predict
+
+import (
+	"math"
+
+	"repro/internal/metrics/series"
+	"repro/internal/rtime"
+)
+
+// Fit is the least-squares estimate of the per-commit cost model.
+type Fit struct {
+	Alpha   float64 // base busy-ticks per commit at zero conflicts
+	Beta    float64 // marginal busy-ticks per retry
+	Windows int     // windows with at least one commit (fit support)
+}
+
+// Sample is one window of the predicted-vs-observed overlay.
+type Sample struct {
+	Start     rtime.Time
+	X         float64 // retries per commit (conflict level)
+	Observed  int64   // committed operations in the window
+	Predicted float64 // model's commit count for the window
+}
+
+// Overlay is the rendered prediction for one run.
+type Overlay struct {
+	Fit    Fit
+	Points []Sample
+	// RelErr is |Σ predicted − Σ observed| / Σ observed over windows
+	// with commits; 0 when nothing committed.
+	RelErr float64
+}
+
+// FromSeries fits the cost model to a folded run and evaluates it per
+// window. Windows without commits contribute nothing to the fit and
+// predict zero (no committed work to model). Returns a zero-valued
+// overlay when no window commits.
+func FromSeries(s *series.Series) *Overlay {
+	o := &Overlay{}
+	if s == nil {
+		return o
+	}
+	// Pass 1: accumulate the regression moments over supported windows.
+	var n float64
+	var sx, sy, sxx, sxy float64
+	for _, p := range s.Points {
+		if p.Commits <= 0 {
+			continue
+		}
+		x := float64(p.Retries) / float64(p.Commits)
+		y := float64(p.BusyTicks) / float64(p.Commits)
+		n++
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	o.Fit.Windows = int(n)
+	if n > 0 {
+		den := n*sxx - sx*sx
+		if den > 0 {
+			o.Fit.Beta = (n*sxy - sx*sy) / den
+			o.Fit.Alpha = (sy - o.Fit.Beta*sx) / n
+		} else {
+			// Zero conflict variance (e.g. a lock-based run: x ≡ 0) —
+			// the model collapses to its intercept.
+			o.Fit.Beta = 0
+			o.Fit.Alpha = sy / n
+		}
+		// A negative marginal retry cost is noise, not physics: clamp to
+		// the intercept-only model rather than predict speedups from
+		// contention.
+		if o.Fit.Beta < 0 || math.IsNaN(o.Fit.Beta) {
+			o.Fit.Beta = 0
+			o.Fit.Alpha = sy / n
+		}
+	}
+	// Pass 2: invert the model per window.
+	var sumObs, sumPred float64
+	o.Points = make([]Sample, 0, len(s.Points))
+	for _, p := range s.Points {
+		sm := Sample{Start: p.Start}
+		if p.Commits > 0 {
+			sm.X = float64(p.Retries) / float64(p.Commits)
+			sm.Observed = p.Commits
+			if cost := o.Fit.Alpha + o.Fit.Beta*sm.X; cost > 0 {
+				sm.Predicted = float64(p.BusyTicks) / cost
+			}
+			sumObs += float64(sm.Observed)
+			sumPred += sm.Predicted
+		}
+		o.Points = append(o.Points, sm)
+	}
+	if sumObs > 0 {
+		o.RelErr = math.Abs(sumPred-sumObs) / sumObs
+	}
+	return o
+}

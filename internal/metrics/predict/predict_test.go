@@ -1,0 +1,125 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics/series"
+	"repro/internal/rtime"
+)
+
+// synthetic builds a series whose windows obey the exact affine model
+// busy = commits·(alpha + beta·retries/commits), so the fit must
+// recover (alpha, beta) and predict with ~zero error.
+func synthetic(alpha, beta float64, commits, retries []int64) *series.Series {
+	s := &series.Series{Window: 100, CPUs: 1}
+	for i := range commits {
+		c, r := commits[i], retries[i]
+		var busy int64
+		if c > 0 {
+			busy = int64(math.Round(float64(c)*alpha + float64(r)*beta))
+		}
+		s.Points = append(s.Points, series.Point{
+			Start:     rtime.Time(int64(i) * 100),
+			Commits:   c,
+			Retries:   r,
+			BusyTicks: busy,
+		})
+	}
+	s.End = rtime.Time(int64(len(commits)) * 100)
+	return s
+}
+
+func TestFitRecoversKnownModel(t *testing.T) {
+	o := FromSeries(synthetic(20, 5,
+		[]int64{10, 20, 30, 40, 10, 25},
+		[]int64{0, 10, 45, 120, 5, 50}))
+	if math.Abs(o.Fit.Alpha-20) > 0.5 || math.Abs(o.Fit.Beta-5) > 0.5 {
+		t.Fatalf("fit (α=%.2f, β=%.2f), want (20, 5)", o.Fit.Alpha, o.Fit.Beta)
+	}
+	if o.Fit.Windows != 6 {
+		t.Fatalf("fit support %d windows, want 6", o.Fit.Windows)
+	}
+	if o.RelErr > 0.01 {
+		t.Fatalf("relative error %.4f on exact synthetic data", o.RelErr)
+	}
+	for _, p := range o.Points {
+		if p.Observed > 0 && math.Abs(p.Predicted-float64(p.Observed)) > 1 {
+			t.Fatalf("window at %v: predicted %.2f vs observed %d", p.Start, p.Predicted, p.Observed)
+		}
+	}
+}
+
+// TestZeroConflictVariance: a lock-based-style series (no retries
+// anywhere) must fall back to the intercept-only model, not divide by
+// a zero variance.
+func TestZeroConflictVariance(t *testing.T) {
+	o := FromSeries(synthetic(30, 0,
+		[]int64{10, 20, 15},
+		[]int64{0, 0, 0}))
+	if o.Fit.Beta != 0 {
+		t.Fatalf("β=%v on zero-variance input", o.Fit.Beta)
+	}
+	if math.Abs(o.Fit.Alpha-30) > 0.5 {
+		t.Fatalf("α=%v, want 30", o.Fit.Alpha)
+	}
+	if o.RelErr > 0.01 {
+		t.Fatalf("relative error %.4f", o.RelErr)
+	}
+}
+
+// TestEmptyAndIdleWindows: no commits anywhere yields the zero
+// overlay; idle windows inside a busy run predict zero and are
+// excluded from the fit.
+func TestEmptyAndIdleWindows(t *testing.T) {
+	o := FromSeries(synthetic(0, 0, []int64{0, 0}, []int64{0, 0}))
+	if o.Fit.Windows != 0 || o.RelErr != 0 {
+		t.Fatalf("empty overlay: %+v", o)
+	}
+	if FromSeries(nil).Fit.Windows != 0 {
+		t.Fatal("nil series must yield the zero overlay")
+	}
+	o = FromSeries(synthetic(10, 2,
+		[]int64{10, 0, 20},
+		[]int64{5, 0, 10}))
+	if o.Fit.Windows != 2 {
+		t.Fatalf("idle window counted in fit: %d", o.Fit.Windows)
+	}
+	if o.Points[1].Predicted != 0 || o.Points[1].Observed != 0 {
+		t.Fatalf("idle window predicted %+v", o.Points[1])
+	}
+}
+
+// TestNegativeBetaClamped: when noise tilts the slope negative the fit
+// collapses to intercept-only rather than predicting contention
+// speedups.
+func TestNegativeBetaClamped(t *testing.T) {
+	// Higher conflict level ↔ cheaper commits: unphysical.
+	s := synthetic(0, 0, []int64{10, 10}, []int64{0, 20})
+	s.Points[0].BusyTicks = 400 // y=40 at x=0
+	s.Points[1].BusyTicks = 200 // y=20 at x=2
+	o := FromSeries(s)
+	if o.Fit.Beta != 0 {
+		t.Fatalf("negative slope survived: β=%v", o.Fit.Beta)
+	}
+	if math.Abs(o.Fit.Alpha-30) > 0.5 {
+		t.Fatalf("clamped α=%v, want mean 30", o.Fit.Alpha)
+	}
+}
+
+// TestDeterministic: equal series produce identical overlays.
+func TestDeterministic(t *testing.T) {
+	mk := func() *Overlay {
+		return FromSeries(synthetic(17, 3,
+			[]int64{5, 9, 13, 2}, []int64{1, 8, 20, 0}))
+	}
+	a, b := mk(), mk()
+	if a.Fit != b.Fit || a.RelErr != b.RelErr || len(a.Points) != len(b.Points) {
+		t.Fatal("overlay not deterministic")
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+}

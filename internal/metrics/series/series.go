@@ -81,6 +81,12 @@ type Point struct {
 	// Window maxima of the level tracks.
 	ReadyMax int64
 	BusyMax  int64
+
+	// MaxAttempt is the largest attempt count (1 + CAS failures) of any
+	// operation COMMITTED inside the window — the windowed view of the
+	// per-object tails internal/metrics/ops digests. Zero in windows
+	// where nothing committed.
+	MaxAttempt int64
 }
 
 // Series is the folded run.
@@ -123,6 +129,9 @@ func (s *Series) Totals() Point {
 		}
 		if p.BusyMax > t.BusyMax {
 			t.BusyMax = p.BusyMax
+		}
+		if p.MaxAttempt > t.MaxAttempt {
+			t.MaxAttempt = p.MaxAttempt
 		}
 	}
 	return t
@@ -251,6 +260,7 @@ func FromEvents(events []trace.Event, horizon rtime.Time, cfg Config) (*Series, 
 	}
 
 	phase := map[jobKey]jobPhase{}
+	attempt := map[jobKey]int64{} // CAS failures of the job's open access
 	for _, e := range evs {
 		f.advance(e.At)
 		p := &f.points[f.idx]
@@ -309,11 +319,17 @@ func FromEvents(events []trace.Event, horizon rtime.Time, cfg Config) (*Series, 
 			p.Blocks++
 		case trace.Retry:
 			p.Retries++
+			attempt[k]++
 		case trace.FaultRetry:
 			// A phantom-writer retry is still a retry of the job.
 			p.Retries++
+			attempt[k]++
 		case trace.Commit:
 			p.Commits++
+			if a := attempt[k] + 1; a > p.MaxAttempt {
+				p.MaxAttempt = a
+			}
+			delete(attempt, k)
 		case trace.LockAcquire, trace.LockRelease, trace.FaultArrival, trace.FaultOverrun, trace.Shed:
 			// Markers only. (FaultStall carries Task=-1 and is skipped with
 			// the other scheduler-level events above.)
@@ -328,6 +344,7 @@ func FromEvents(events []trace.Event, horizon rtime.Time, cfg Config) (*Series, 
 			leave()
 			phase[k] = phaseDone
 			p.Aborts++
+			delete(attempt, k) // the open access died with the job
 		default:
 			return nil, fmt.Errorf("%w: unknown event kind %v", ErrTrace, e.Kind)
 		}
@@ -340,7 +357,7 @@ func FromEvents(events []trace.Event, horizon rtime.Time, cfg Config) (*Series, 
 var csvHeader = []string{
 	"start_us", "arrivals", "completions", "aborts", "retries", "blocks",
 	"commits", "preempts", "sched_passes", "sched_ops",
-	"ready_mean", "ready_max", "busy_mean", "busy_max",
+	"ready_mean", "ready_max", "busy_mean", "busy_max", "max_attempt",
 }
 
 // WriteCSV renders the series deterministically, one row per window.
@@ -375,6 +392,7 @@ func (s *Series) WriteCSV(w io.Writer) error {
 			strconv.FormatInt(p.ReadyMax, 10),
 			meanOf(p.BusyTicks),
 			strconv.FormatInt(p.BusyMax, 10),
+			strconv.FormatInt(p.MaxAttempt, 10),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

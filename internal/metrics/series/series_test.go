@@ -178,3 +178,42 @@ func TestWriteCSVDeterministic(t *testing.T) {
 		t.Fatalf("window 1 row = %v", rows[2])
 	}
 }
+
+// TestMaxAttemptTrack: the window where an operation commits reports
+// the operation's full attempt count (1 + its retries), even when the
+// retries happened in earlier windows; aborts drop the open counter.
+func TestMaxAttemptTrack(t *testing.T) {
+	events := []trace.Event{
+		ev(0, trace.Arrival),
+		ev(2, trace.Dispatch),
+		ev(5, trace.Retry),
+		ev(8, trace.Retry),
+		ev(13, trace.Commit), // 3 attempts, committed in window 1
+		ev(15, trace.Commit), // clean second access: 1 attempt
+		ev(20, trace.Complete),
+		{At: 0, Kind: trace.Arrival, Task: 1, Seq: 0, Object: -1},
+		{At: 3, Kind: trace.Retry, Task: 1, Seq: 0, Object: 2},
+		{At: 6, Kind: trace.AbortBegin, Task: 1, Seq: 0, Object: -1},
+		{At: 7, Kind: trace.AbortDone, Task: 1, Seq: 0, Object: -1},
+	}
+	s, err := series.FromEvents(events, 30, series.Config{Window: 10, CPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Points[0].MaxAttempt; got != 0 {
+		t.Fatalf("window 0 MaxAttempt = %d, want 0 (nothing committed; abort dropped its counter)", got)
+	}
+	if got := s.Points[1].MaxAttempt; got != 3 {
+		t.Fatalf("window 1 MaxAttempt = %d, want 3", got)
+	}
+	if got := s.Totals().MaxAttempt; got != 3 {
+		t.Fatalf("total MaxAttempt = %d, want 3", got)
+	}
+	var b bytes.Buffer
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "max_attempt") {
+		t.Fatal("CSV header lacks max_attempt")
+	}
+}

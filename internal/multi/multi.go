@@ -25,6 +25,7 @@ import (
 	"repro/internal/rua"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/stoch"
 	"repro/internal/task"
 	"repro/internal/trace"
 	"repro/internal/uam"
@@ -57,6 +58,13 @@ type Config struct {
 	// are pure hashes of (plan seed, task ID, indices), so a task is
 	// perturbed identically regardless of which CPU it lands on.
 	Fault *fault.Plan
+
+	// Stoch, when non-nil and active, overlays the seeded stochastic
+	// scheduler (internal/stoch) on every partition engine. The plan is
+	// shared unchanged; each partition folds its CPU index into the
+	// decision hashes, so partitions draw independent quanta and picks
+	// from one seed.
+	Stoch *stoch.Plan
 
 	// Observer, when non-nil, receives every partition engine's trace
 	// events with Event.CPU rewritten to the partition index. Partitions
@@ -223,6 +231,8 @@ func Run(cfg Config) (Result, error) {
 			Seed:              cfg.Seed + int64(cpu)*104729,
 			ConservativeRetry: cfg.ConservativeRetry,
 			Fault:             cfg.Fault,
+			Stoch:             cfg.Stoch,
+			StochCPU:          cpu,
 			Observer:          obs,
 		})
 		if err != nil {

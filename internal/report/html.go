@@ -36,6 +36,9 @@ type runView struct {
 	Tiles      []tile
 	Dists      []distView
 	Charts     []Chart // series charts
+	Pred       *Chart  // predicted-vs-observed throughput overlay
+	PredNote   string  // fitted model + relative error caption
+	OpTable    *Table  // per-operation retry-tail panel
 	Tasks      *Table
 	Violations []string
 }
@@ -156,6 +159,52 @@ func (r *Run) seriesCharts() []Chart {
 	}
 }
 
+// predChart renders the predicted-vs-observed commits-per-window
+// overlay; nil when the run has no prediction or nothing committed.
+func predChart(run *Run) (*Chart, string) {
+	o := run.Pred
+	if o == nil || o.Fit.Windows == 0 {
+		return nil, ""
+	}
+	xs := make([]float64, len(o.Points))
+	ser := []LineSeries{
+		{Name: "observed commits", Vals: make([]float64, len(o.Points))},
+		{Name: "predicted commits", Vals: make([]float64, len(o.Points))},
+	}
+	for i, p := range o.Points {
+		xs[i] = float64(p.Start) / 1000 // ms
+		ser[0].Vals[i] = float64(p.Observed)
+		ser[1].Vals[i] = p.Predicted
+	}
+	c := LineChart("throughput: observed vs analytic prediction", xs, ser, "ms", "commits")
+	note := "fit busy/commit = " + fmtFloat(o.Fit.Alpha) + " + " + fmtFloat(o.Fit.Beta) +
+		"·(retries/commit) over " + strconv.Itoa(o.Fit.Windows) +
+		" windows · relative error " + fmtFloat(o.RelErr)
+	return &c, note
+}
+
+// opTable renders the per-operation retry-tail panel.
+func opTable(run *Run) *Table {
+	if len(run.OpDists) == 0 {
+		return nil
+	}
+	t := &Table{
+		Title:   "per-operation retry tail (attempts per committed access)",
+		Columns: []string{"op", "ops", "mean", "p95", "p99", "p999", "max", "fail rate"},
+	}
+	for i := range run.OpDists {
+		d := &run.OpDists[i]
+		s := d.Attempts.Summarize()
+		t.Rows = append(t.Rows, []string{
+			d.Name, strconv.FormatInt(d.Ops, 10), fmtFloat(s.Mean),
+			strconv.FormatInt(s.P95, 10), strconv.FormatInt(s.P99, 10),
+			strconv.FormatInt(s.P999, 10), strconv.FormatInt(s.Max, 10),
+			fmtFloat(d.FailureRate()),
+		})
+	}
+	return t
+}
+
 // buildPage assembles the template model.
 func (r *Report) buildPage() *page {
 	p := &page{
@@ -175,9 +224,11 @@ func (r *Report) buildPage() *page {
 				{"violations", strconv.Itoa(len(run.Violations()))},
 			},
 			Charts:     run.seriesCharts(),
+			OpTable:    opTable(run),
 			Tasks:      taskTable(run),
 			Violations: run.Violations(),
 		}
+		rv.Pred, rv.PredNote = predChart(run)
 		for _, d := range run.Dists {
 			s := d.Hist.Summarize()
 			bound := "-"
@@ -191,6 +242,7 @@ func (r *Report) buildPage() *page {
 					strconv.FormatInt(s.N, 10), fmtFloat(s.Mean),
 					strconv.FormatInt(s.P50, 10), strconv.FormatInt(s.P90, 10),
 					strconv.FormatInt(s.P95, 10), strconv.FormatInt(s.P99, 10),
+					strconv.FormatInt(s.P999, 10),
 					strconv.FormatInt(s.Max, 10), bound,
 				},
 				Bounded: d.Bound >= 0,
@@ -337,7 +389,7 @@ svg { max-width: 100%; height: auto; display: block; }
 <div class="card">
 <div class="legend">{{range .Chart.Legend}}<span><span class="chip c-{{.Class}}"></span>{{.Label}}</span>{{end}}</div>
 {{.Chart.SVG}}
-<table><tr><th>n</th><th>mean</th><th>p50</th><th>p90</th><th>p95</th><th>p99</th><th>max</th><th>bound</th></tr>
+<table><tr><th>n</th><th>mean</th><th>p50</th><th>p90</th><th>p95</th><th>p99</th><th>p999</th><th>max</th><th>bound</th></tr>
 <tr>{{range .Summary}}<td>{{.}}</td>{{end}}</tr></table>
 </div>
 {{end}}
@@ -346,6 +398,21 @@ svg { max-width: 100%; height: auto; display: block; }
 <div class="legend">{{range .Legend}}<span><span class="chip c-{{.Class}}"></span>{{.Label}}</span>{{end}}</div>
 {{.SVG}}
 </div>
+{{end}}
+{{if .Pred}}
+<h3>throughput: observed vs analytic prediction</h3>
+<div class="card">
+<div class="legend">{{range .Pred.Legend}}<span><span class="chip c-{{.Class}}"></span>{{.Label}}</span>{{end}}</div>
+{{.Pred.SVG}}
+<p class="caption">{{.PredNote}}</p>
+</div>
+{{end}}
+{{if .OpTable}}
+<h3>{{.OpTable.Title}}</h3>
+<div class="card"><table>
+<tr>{{range .OpTable.Columns}}<th>{{.}}</th>{{end}}</tr>
+{{range .OpTable.Rows}}<tr>{{range .}}<td>{{.}}</td>{{end}}</tr>
+{{end}}</table></div>
 {{end}}
 {{if .Tasks}}
 <h3>{{.Tasks.Title}}</h3>

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"repro/internal/metrics/hist"
+	"repro/internal/metrics/predict"
 	"repro/internal/metrics/series"
 	"repro/internal/rtime"
 	"repro/internal/trace/check"
@@ -47,6 +48,27 @@ type Dist struct {
 	BoundLabel string
 }
 
+// OpDist is one operation kind's retry telemetry (internal/metrics/ops
+// rendered): the distribution of attempts a committed access needed and
+// of the CAS failures behind them. Kept apart from Dists so the
+// cross-run summary columns stay fixed while the per-object panel
+// varies with the workload.
+type OpDist struct {
+	Name     string // slug: "all" or "obj<N>"
+	Title    string
+	Ops      int64 // committed operations
+	Attempts *hist.Hist
+	Failures *hist.Hist
+}
+
+// FailureRate is mean CAS failures per committed operation.
+func (d *OpDist) FailureRate() float64 {
+	if d.Ops == 0 {
+		return 0
+	}
+	return float64(d.Failures.Sum()) / float64(d.Ops)
+}
+
 // Run is one simulated configuration's section of the report.
 type Run struct {
 	Name  string // slug, e.g. "uni-lockfree"
@@ -62,6 +84,13 @@ type Run struct {
 	Dists  []Dist
 	Series *series.Series
 	Check  *check.Report // per-task observed extremes vs bounds
+
+	// OpDists is the per-operation retry-tail panel ("all" first, then
+	// per object ascending); empty when the run recorded no commits.
+	OpDists []OpDist
+	// Pred is the analytic throughput overlay fitted from the run's
+	// series (nil when no series was folded).
+	Pred *predict.Overlay
 }
 
 // Violations renders the run's bound violations (empty when all hold
@@ -103,7 +132,7 @@ type Report struct {
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
 
 // distSummaryCols are the per-distribution summary columns.
-var distSummaryCols = []string{"n", "mean", "p50", "p90", "p95", "p99", "max", "bound"}
+var distSummaryCols = []string{"n", "mean", "p50", "p90", "p95", "p99", "p999", "max", "bound"}
 
 // SummaryTable builds the cross-run digest: one row per run, the
 // p50/p95/p99/max tail statistics next to each mean, and the analytic
@@ -141,6 +170,7 @@ func (r *Report) SummaryTable() *Table {
 				strconv.FormatInt(s.N, 10), fmtFloat(s.Mean),
 				strconv.FormatInt(s.P50, 10), strconv.FormatInt(s.P90, 10),
 				strconv.FormatInt(s.P95, 10), strconv.FormatInt(s.P99, 10),
+				strconv.FormatInt(s.P999, 10),
 				strconv.FormatInt(s.Max, 10), bound,
 			)
 		}
@@ -227,6 +257,65 @@ func tasksCSV(w io.Writer, rep *check.Report) error {
 	return cw.Error()
 }
 
+// opsCSV renders the per-operation retry-tail digest: one attempts row
+// and one failures row per operation kind.
+func opsCSV(w io.Writer, dists []OpDist) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"op", "kind", "ops", "n", "mean", "p50", "p90", "p95", "p99", "p999", "max", "fail_rate",
+	}); err != nil {
+		return err
+	}
+	row := func(op string, kind string, ops int64, h *hist.Hist, rate float64) []string {
+		s := h.Summarize()
+		return []string{
+			op, kind, strconv.FormatInt(ops, 10),
+			strconv.FormatInt(s.N, 10), fmtFloat(s.Mean),
+			strconv.FormatInt(s.P50, 10), strconv.FormatInt(s.P90, 10),
+			strconv.FormatInt(s.P95, 10), strconv.FormatInt(s.P99, 10),
+			strconv.FormatInt(s.P999, 10), strconv.FormatInt(s.Max, 10),
+			fmtFloat(rate),
+		}
+	}
+	for i := range dists {
+		d := &dists[i]
+		if err := cw.Write(row(d.Name, "attempts", d.Ops, d.Attempts, d.FailureRate())); err != nil {
+			return err
+		}
+		if err := cw.Write(row(d.Name, "failures", d.Ops, d.Failures, d.FailureRate())); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// predictedCSV renders the throughput overlay: the fitted model in a
+// comment record, then one row per window.
+func predictedCSV(w io.Writer, o *predict.Overlay) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"# predictor",
+		"alpha=" + fmtFloat(o.Fit.Alpha) + " beta=" + fmtFloat(o.Fit.Beta) +
+			" windows=" + strconv.Itoa(o.Fit.Windows) + " rel_err=" + fmtFloat(o.RelErr),
+	}); err != nil {
+		return err
+	}
+	if err := cw.Write([]string{"start_us", "retries_per_commit", "observed_commits", "predicted_commits"}); err != nil {
+		return err
+	}
+	for _, p := range o.Points {
+		if err := cw.Write([]string{
+			strconv.FormatInt(int64(p.Start), 10), fmtFloat(p.X),
+			strconv.FormatInt(p.Observed, 10), fmtFloat(p.Predicted),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteCSVDir writes every CSV artifact into dir (created if missing)
 // and returns the sorted file names. File contents and the name list
 // are byte-deterministic.
@@ -272,6 +361,20 @@ func (r *Report) WriteCSVDir(dir string) ([]string, error) {
 				return nil, err
 			}
 		}
+		if len(run.OpDists) > 0 {
+			if err := writeFile(run.Name+"_ops.csv", func(w io.Writer) error {
+				return opsCSV(w, run.OpDists)
+			}); err != nil {
+				return nil, err
+			}
+		}
+		if run.Pred != nil {
+			if err := writeFile(run.Name+"_predicted.csv", func(w io.Writer) error {
+				return predictedCSV(w, run.Pred)
+			}); err != nil {
+				return nil, err
+			}
+		}
 	}
 	for i := range r.Figs {
 		f := &r.Figs[i]
@@ -303,8 +406,19 @@ func (r *Report) WriteText(w io.Writer) error {
 			if d.Bound >= 0 {
 				bound = strconv.FormatInt(d.Bound, 10)
 			}
-			fmt.Fprintf(&b, "  %-16s n=%d mean=%s p50=%d p90=%d p95=%d p99=%d max=%d bound=%s\n",
-				d.Name, s.N, fmtFloat(s.Mean), s.P50, s.P90, s.P95, s.P99, s.Max, bound)
+			fmt.Fprintf(&b, "  %-16s n=%d mean=%s p50=%d p90=%d p95=%d p99=%d p999=%d max=%d bound=%s\n",
+				d.Name, s.N, fmtFloat(s.Mean), s.P50, s.P90, s.P95, s.P99, s.P999, s.Max, bound)
+		}
+		for i := range run.OpDists {
+			d := &run.OpDists[i]
+			s := d.Attempts.Summarize()
+			fmt.Fprintf(&b, "  op %-13s ops=%d attempts mean=%s p95=%d p99=%d p999=%d max=%d fail_rate=%s\n",
+				d.Name, d.Ops, fmtFloat(s.Mean), s.P95, s.P99, s.P999, s.Max, fmtFloat(d.FailureRate()))
+		}
+		if run.Pred != nil {
+			fmt.Fprintf(&b, "  %-16s alpha=%s beta=%s windows=%d rel_err=%s\n",
+				"predictor", fmtFloat(run.Pred.Fit.Alpha), fmtFloat(run.Pred.Fit.Beta),
+				run.Pred.Fit.Windows, fmtFloat(run.Pred.RelErr))
 		}
 		if run.Series != nil {
 			tot := run.Series.Totals()

@@ -27,6 +27,7 @@ import (
 	"repro/internal/rtime"
 	"repro/internal/rtime/wheel"
 	"repro/internal/sched"
+	"repro/internal/stoch"
 	"repro/internal/task"
 	"repro/internal/trace"
 	"repro/internal/uam"
@@ -108,6 +109,21 @@ type Config struct {
 	// A nil or inactive plan leaves the run bit-for-bit identical to one
 	// without the field.
 	Fault *fault.Plan
+
+	// Stoch, when active, overlays the seeded stochastic-scheduler mode
+	// (internal/stoch): dispatches are force-preempted after a randomly
+	// drawn quantum, and a scheduling pass occasionally replaces the
+	// deterministic scheduler's pick with a uniformly random runnable
+	// job. Every decision is a pure hash of (plan seed, StochCPU,
+	// virtual tick); a nil or inactive plan leaves the run bit-for-bit
+	// identical to one without the field.
+	Stoch *stoch.Plan
+
+	// StochCPU is the processor coordinate folded into every stochastic
+	// decision hash — 0 for standalone uniprocessor runs; the
+	// partitioned engine sets it to the partition index so distinct
+	// partitions draw independent decisions from one shared plan.
+	StochCPU int
 }
 
 func (c *Config) validate() error {
@@ -213,6 +229,7 @@ const (
 	evInternal
 	evDispatch
 	evAbortDone
+	evPreempt // stochastic forced preemption at quantum expiry
 )
 
 // event is one scheduled occurrence. Ordering — ascending (at, push
@@ -258,7 +275,8 @@ type Engine struct {
 	dispatchSeq     int64
 
 	rstates map[*task.Job]*runState
-	rsSlab  []runState // slab the per-job runStates are carved from
+	rsSlab  []runState  // slab the per-job runStates are carved from
+	pickBuf []*task.Job // stochastic-pick candidate scratch (reused)
 	lastRun *task.Job
 
 	res1 Result
@@ -312,6 +330,11 @@ func New(cfg Config) (*Engine, error) {
 	e.allJobs = make([]*task.Job, 0, arrivals)
 	e.rstates = make(map[*task.Job]*runState, arrivals)
 	e.rsSlab = make([]runState, arrivals)
+	if cfg.Stoch.Active() {
+		// Live jobs never exceed total arrivals, so the pick scratch
+		// sized here keeps the stochastic path allocation-free too.
+		e.pickBuf = make([]*task.Job, 0, arrivals)
+	}
 	for i, t := range cfg.Tasks {
 		u := t.ComputeTime()
 		for k, at := range traces[i] {
@@ -396,7 +419,7 @@ func (e *Engine) Run() Result {
 		if ev.kind == evInternal && ev.gen != e.internalGen {
 			continue
 		}
-		if ev.kind == evDispatch && ev.gen != e.dispatchGen {
+		if (ev.kind == evDispatch || ev.kind == evPreempt) && ev.gen != e.dispatchGen {
 			continue
 		}
 		e.now = ev.at
@@ -436,6 +459,13 @@ func (e *Engine) Run() Result {
 			}
 		case evDispatch:
 			e.dispatchNow(e.pendingDispatch)
+		case evPreempt:
+			// The stochastic quantum expired with the dispatch still
+			// current (gen-guarded above): force a scheduling pass.
+			// settle() already advanced the runner to e.now.
+			if e.running != nil {
+				needResched = true
+			}
 		case evInternal:
 			// settle() already processed the boundary.
 		}
@@ -630,6 +660,23 @@ func (e *Engine) reschedule() {
 		LockBased: e.cfg.Mode == LockBased,
 	}
 	d := e.cfg.Scheduler.Select(w)
+	if d.Run != nil && e.cfg.Stoch.Active() {
+		// Stochastic pick: with the plan's probability this pass
+		// replaces the deterministic choice with a uniformly random
+		// runnable job. Candidates are collected from the live set in
+		// its deterministic order, so the drawn index is reproducible.
+		cand := e.pickBuf[:0]
+		for _, j := range e.live {
+			if sched.Runnable(w, j) {
+				//rtlint:ignore noalloc appends into the reused pick buffer; bounded by live jobs, steady capacity at warm-up
+				cand = append(cand, j)
+			}
+		}
+		if idx, ok := e.cfg.Stoch.Pick(e.cfg.StochCPU, e.now, len(cand)); ok {
+			d.Run = cand[idx]
+		}
+		e.pickBuf = cand
+	}
 	e.res1.SchedInvocations++
 	e.res1.SchedOps += d.Ops
 	e.emitSched(e.now, trace.SchedPass, d.Ops)
@@ -742,6 +789,11 @@ func (e *Engine) dispatchNow(j *task.Job) {
 	}
 	e.res1.CtxSwitches++
 	e.pushInternal(e.now.Add(j.TimeToBoundary(e.acc)))
+	if q := e.cfg.Stoch.Step(e.cfg.StochCPU, e.now); q > 0 {
+		// Arm the stochastic quantum: a forced preemption unless a
+		// newer scheduling pass (gen bump) supersedes this dispatch.
+		e.push(event{at: e.now.Add(q), kind: evPreempt, gen: e.dispatchGen})
+	}
 }
 
 // Run is a convenience: build an engine and run it.

@@ -1,0 +1,256 @@
+// Package stoch is the simulator's seeded stochastic-scheduler mode.
+// The 2006 paper proves its retry and sojourn bounds against a
+// worst-case adversarial scheduler; Alistarh, Censor-Hillel & Shavit
+// (arXiv:1311.3200) show the same lock-free algorithms behave
+// wait-free in expectation once the scheduler is stochastic. A Plan
+// overlays exactly that environment on the deterministic engines: it
+// forces preemptions after a randomly drawn quantum (uniform or
+// geometric step distribution) and occasionally replaces the
+// scheduler's deterministic pick with a uniformly random runnable job.
+//
+// Determinism follows internal/fault's design center: every decision
+// is a pure splitmix64 hash of (plan seed, decision stream, cpu,
+// virtual tick) — never a draw from a shared sequential RNG. A run
+// under a given plan is therefore byte-reproducible for any worker
+// count, and the SAME decisions fire at the same (cpu, tick)
+// coordinates in every engine.
+//
+// A nil *Plan (or one with Dist Off) is everywhere a no-op: every hook
+// short-circuits without touching engine state, so plan-free runs
+// reproduce the deterministic scheduler's output bit for bit.
+package stoch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/rtime"
+)
+
+// ErrPlan reports an unparsable or invalid plan specification.
+var ErrPlan = errors.New("stoch: invalid plan")
+
+// Dist selects the forced-preemption step distribution.
+type Dist int
+
+// Step distributions.
+const (
+	// Off disables the stochastic mode entirely (the zero value).
+	Off Dist = iota
+	// Uniform draws each quantum uniformly from [1, Quantum] ticks.
+	Uniform
+	// Geometric draws each quantum from a geometric distribution with
+	// mean Quantum ticks (memoryless preemption — the scheduler model
+	// of the stochastic wait-freedom results).
+	Geometric
+)
+
+// String renders the distribution the way -stoch spells it.
+func (d Dist) String() string {
+	switch d {
+	case Uniform:
+		return "uni"
+	case Geometric:
+		return "geo"
+	default:
+		return "off"
+	}
+}
+
+// Plan is a seeded stochastic-scheduler plan. The zero value is
+// inactive.
+type Plan struct {
+	// Seed keys every hash; two plans with different seeds make
+	// independent decisions even when their shapes match.
+	Seed int64
+
+	// Dist selects the step distribution; Off deactivates the plan.
+	Dist Dist
+
+	// Quantum parameterizes the forced-preemption step: the inclusive
+	// upper bound of a Uniform draw, the mean of a Geometric one.
+	// Zero disables forced preemptions (pick perturbation may remain).
+	Quantum rtime.Duration
+
+	// PickProb is the per-scheduling-pass probability that the
+	// deterministic scheduler's choice is replaced by a uniformly
+	// random runnable job (engines with ranked dispatch shuffle the
+	// ranking instead). Zero disables pick perturbation.
+	PickProb float64
+}
+
+// Active reports whether the plan can perturb anything. Nil-safe;
+// every hook below short-circuits through it, which is what makes a
+// nil or Off plan reproduce the deterministic schedule bit for bit.
+func (p *Plan) Active() bool {
+	if p == nil || p.Dist == Off {
+		return false
+	}
+	return p.Quantum > 0 || p.PickProb > 0
+}
+
+// Decision hash streams. Each decision kind draws from its own stream
+// so that e.g. enabling pick perturbation never changes the quanta.
+const (
+	streamStep uint64 = 1 + iota
+	streamPick
+	streamPickIdx
+	streamSwap
+)
+
+// splitmix64 is the finalizer of Vigna's SplitMix64; a single pass is
+// a strong enough mixer for decision hashing.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash folds the seed, a stream tag, and the decision coordinates.
+func (p *Plan) hash(stream uint64, ids ...int64) uint64 {
+	h := splitmix64(uint64(p.Seed) ^ stream*0x9e3779b97f4a7c15)
+	for _, id := range ids {
+		h = splitmix64(h ^ uint64(id))
+	}
+	return h
+}
+
+// unit maps a hash to [0,1) with 53 bits of precision.
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// stepCapFactor bounds a Geometric draw at stepCapFactor·Quantum so a
+// single tail draw cannot push a forced preemption past any practical
+// horizon (the geometric tail is unbounded in principle).
+const stepCapFactor = 64
+
+// Step returns the forced-preemption quantum for a dispatch made on
+// cpu at virtual tick, or 0 when the plan injects none. The draw is a
+// pure function of (seed, cpu, tick): every engine schedules the same
+// preemption point for a dispatch at the same coordinates.
+func (p *Plan) Step(cpu int, tick rtime.Time) rtime.Duration {
+	if !p.Active() || p.Quantum <= 0 {
+		return 0
+	}
+	h := p.hash(streamStep, int64(cpu), int64(tick))
+	if p.Dist == Uniform {
+		return 1 + rtime.Duration(h%uint64(p.Quantum))
+	}
+	// Geometric via inverse CDF: ⌈ln(1-u)/ln(1-1/Q)⌉ has mean Q.
+	q := float64(p.Quantum)
+	d := math.Ceil(math.Log1p(-unit(h)) / math.Log1p(-1/q))
+	step := rtime.Duration(d)
+	if step < 1 {
+		step = 1
+	}
+	if lim := stepCapFactor * p.Quantum; step > lim {
+		step = lim
+	}
+	return step
+}
+
+// Pick reports whether the scheduling pass on cpu at tick replaces the
+// deterministic choice, and if so with which uniform index among the n
+// runnable candidates. Fires with probability PickProb per pass.
+func (p *Plan) Pick(cpu int, tick rtime.Time, n int) (int, bool) {
+	if !p.Active() || p.PickProb <= 0 || n <= 0 {
+		return 0, false
+	}
+	if unit(p.hash(streamPick, int64(cpu), int64(tick))) >= p.PickProb {
+		return 0, false
+	}
+	return int(p.hash(streamPickIdx, int64(cpu), int64(tick)) % uint64(n)), true
+}
+
+// Swap returns the uniform Fisher–Yates partner in [0, i] for position
+// i of a ranked list being shuffled by a picked pass on cpu at tick
+// (the global engine's ranked-dispatch analogue of Pick).
+func (p *Plan) Swap(cpu int, tick rtime.Time, i int) int {
+	if !p.Active() || i <= 0 {
+		return 0
+	}
+	return int(p.hash(streamSwap, int64(cpu), int64(tick), int64(i)) % uint64(i+1))
+}
+
+// DefaultQuantum and DefaultPickProb shape the presets: quanta around
+// the canonical workload's access cost scale (so forced preemptions
+// land inside accesses often enough to cause retries) and a pick rate
+// that perturbs without drowning the deterministic policy.
+const (
+	DefaultQuantum  = 200 * rtime.Microsecond
+	DefaultPickProb = 0.25
+)
+
+// Presets. Both leave Seed 0 — callers reseed via ParsePlan's seed key
+// or rtsim's -stoch-seed.
+func Uni() *Plan {
+	return &Plan{Dist: Uniform, Quantum: DefaultQuantum, PickProb: DefaultPickProb}
+}
+
+func Geo() *Plan {
+	return &Plan{Dist: Geometric, Quantum: DefaultQuantum, PickProb: DefaultPickProb}
+}
+
+// ParsePlan builds a plan from a specification string: the presets
+// "off", "uni", and "geo", optionally followed by comma-separated
+// key=value overrides. Keys: seed, quantumus (ticks), pickp.
+// Example: "geo,seed=7,quantumus=100,pickp=0.5".
+func ParsePlan(s string) (*Plan, error) {
+	p := &Plan{}
+	parts := strings.Split(s, ",")
+	for i, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.Contains(part, "=") {
+			if i != 0 {
+				return nil, fmt.Errorf("%w: preset %q must come first in %q", ErrPlan, part, s)
+			}
+			switch part {
+			case "off":
+				p = &Plan{}
+			case "uni":
+				p = Uni()
+			case "geo":
+				p = Geo()
+			default:
+				return nil, fmt.Errorf("%w: unknown preset %q (want off, uni, or geo)", ErrPlan, part)
+			}
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		key, val := strings.TrimSpace(kv[0]), strings.TrimSpace(kv[1])
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				err = fmt.Errorf("%w: seed=%q is not an integer", ErrPlan, val)
+			}
+		case "quantumus":
+			var n int64
+			n, err = strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				err = fmt.Errorf("%w: quantumus=%q is not a non-negative integer", ErrPlan, val)
+			}
+			p.Quantum = rtime.Duration(n)
+		case "pickp":
+			var v float64
+			v, err = strconv.ParseFloat(val, 64)
+			if err != nil || v < 0 || v > 1 {
+				err = fmt.Errorf("%w: pickp=%q is not a probability", ErrPlan, val)
+			}
+			p.PickProb = v
+		default:
+			return nil, fmt.Errorf("%w: unknown key %q in %q", ErrPlan, key, s)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}

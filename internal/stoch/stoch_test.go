@@ -1,0 +1,193 @@
+package stoch
+
+import (
+	"testing"
+
+	"repro/internal/rtime"
+)
+
+func TestActive(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Active() {
+		t.Fatal("nil plan must be inactive")
+	}
+	if (&Plan{}).Active() {
+		t.Fatal("zero plan must be inactive")
+	}
+	if (&Plan{Dist: Uniform}).Active() {
+		t.Fatal("a plan with no quantum and no pick probability is inert")
+	}
+	if (&Plan{Quantum: 100, PickProb: 0.5}).Active() {
+		t.Fatal("Dist Off must deactivate the plan regardless of shape")
+	}
+	if !Uni().Active() || !Geo().Active() {
+		t.Fatal("presets must be active")
+	}
+}
+
+// TestNilPlanHooksAreNoOps pins the bit-identity guarantee at its
+// root: every hook on a nil or Off plan returns the zero decision.
+func TestNilPlanHooksAreNoOps(t *testing.T) {
+	for _, p := range []*Plan{nil, {}, {Dist: Off, Quantum: 100, PickProb: 1}} {
+		for tick := rtime.Time(0); tick < 50; tick++ {
+			if q := p.Step(0, tick); q != 0 {
+				t.Fatalf("inactive Step(0,%d) = %v, want 0", tick, q)
+			}
+			if idx, ok := p.Pick(0, tick, 4); ok || idx != 0 {
+				t.Fatalf("inactive Pick(0,%d) = (%d,%v), want (0,false)", tick, idx, ok)
+			}
+			if s := p.Swap(0, tick, 3); s != 0 {
+				t.Fatalf("inactive Swap(0,%d,3) = %d, want 0", tick, s)
+			}
+		}
+	}
+}
+
+// TestStepDeterministicAndPure: equal coordinates yield equal draws;
+// distinct cpus or ticks draw independently (a pure hash, no shared
+// sequential state to advance).
+func TestStepDeterministicAndPure(t *testing.T) {
+	p := &Plan{Seed: 7, Dist: Uniform, Quantum: 100}
+	for cpu := 0; cpu < 3; cpu++ {
+		for tick := rtime.Time(0); tick < 200; tick++ {
+			a, b := p.Step(cpu, tick), p.Step(cpu, tick)
+			if a != b {
+				t.Fatalf("Step(%d,%d) not pure: %v vs %v", cpu, tick, a, b)
+			}
+		}
+	}
+	// Interleaving order must not matter: drawing cpu 1 between two
+	// cpu-0 draws leaves the cpu-0 value unchanged.
+	before := p.Step(0, 42)
+	p.Step(1, 42)
+	if after := p.Step(0, 42); after != before {
+		t.Fatalf("cross-cpu draw perturbed Step(0,42): %v vs %v", before, after)
+	}
+}
+
+func TestStepUniformRange(t *testing.T) {
+	p := &Plan{Seed: 3, Dist: Uniform, Quantum: 50}
+	seen := map[rtime.Duration]bool{}
+	for tick := rtime.Time(0); tick < 5000; tick++ {
+		q := p.Step(0, tick)
+		if q < 1 || q > 50 {
+			t.Fatalf("uniform Step = %v outside [1, 50]", q)
+		}
+		seen[q] = true
+	}
+	if len(seen) < 40 {
+		t.Fatalf("uniform draws cover only %d of 50 values", len(seen))
+	}
+}
+
+func TestStepGeometricShape(t *testing.T) {
+	p := &Plan{Seed: 11, Dist: Geometric, Quantum: 100}
+	var sum int64
+	n := int64(20000)
+	for tick := rtime.Time(0); tick < rtime.Time(n); tick++ {
+		q := p.Step(0, tick)
+		if q < 1 || q > stepCapFactor*p.Quantum {
+			t.Fatalf("geometric Step = %v outside [1, %v]", q, stepCapFactor*p.Quantum)
+		}
+		sum += int64(q)
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 85 || mean > 115 {
+		t.Fatalf("geometric mean %.1f far from Quantum 100", mean)
+	}
+	// Quantum 1 must not divide by log(0): every draw collapses to 1.
+	one := &Plan{Seed: 1, Dist: Geometric, Quantum: 1}
+	for tick := rtime.Time(0); tick < 100; tick++ {
+		if q := one.Step(0, tick); q != 1 {
+			t.Fatalf("Quantum=1 geometric Step = %v, want 1", q)
+		}
+	}
+}
+
+func TestPickRateAndRange(t *testing.T) {
+	p := &Plan{Seed: 5, Dist: Uniform, Quantum: 100, PickProb: 0.25}
+	hits := 0
+	n := 20000
+	counts := make([]int, 4)
+	for tick := 0; tick < n; tick++ {
+		idx, ok := p.Pick(0, rtime.Time(tick), 4)
+		if !ok {
+			continue
+		}
+		hits++
+		if idx < 0 || idx >= 4 {
+			t.Fatalf("Pick index %d outside [0,4)", idx)
+		}
+		counts[idx]++
+	}
+	rate := float64(hits) / float64(n)
+	if rate < 0.22 || rate > 0.28 {
+		t.Fatalf("pick rate %.3f far from 0.25", rate)
+	}
+	for i, c := range counts {
+		if c < hits/8 {
+			t.Fatalf("pick index %d chosen only %d of %d times (not uniform)", i, c, hits)
+		}
+	}
+	if _, ok := p.Pick(0, 1, 0); ok {
+		t.Fatal("Pick with zero candidates must not fire")
+	}
+}
+
+func TestSwapRange(t *testing.T) {
+	p := Uni()
+	p.Seed = 9
+	for i := 1; i < 20; i++ {
+		for tick := rtime.Time(0); tick < 500; tick++ {
+			s := p.Swap(1, tick, i)
+			if s < 0 || s > i {
+				t.Fatalf("Swap(1,%d,%d) = %d outside [0,%d]", tick, i, s, i)
+			}
+		}
+	}
+	if s := p.Swap(0, 3, 0); s != 0 {
+		t.Fatalf("Swap at position 0 = %d, want 0", s)
+	}
+}
+
+func TestSeedIndependence(t *testing.T) {
+	a := &Plan{Seed: 1, Dist: Uniform, Quantum: 1000}
+	b := &Plan{Seed: 2, Dist: Uniform, Quantum: 1000}
+	same := 0
+	for tick := rtime.Time(0); tick < 1000; tick++ {
+		if a.Step(0, tick) == b.Step(0, tick) {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("seeds 1 and 2 agree on %d of 1000 draws; hashes not independent", same)
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Plan
+	}{
+		{"off", Plan{}},
+		{"", Plan{}},
+		{"uni", *Uni()},
+		{"geo", *Geo()},
+		{"uni,seed=7", Plan{Seed: 7, Dist: Uniform, Quantum: DefaultQuantum, PickProb: DefaultPickProb}},
+		{"geo,quantumus=100,pickp=0.5", Plan{Dist: Geometric, Quantum: 100, PickProb: 0.5}},
+	}
+	for _, c := range cases {
+		got, err := ParsePlan(c.in)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", c.in, err)
+		}
+		if *got != c.want {
+			t.Fatalf("ParsePlan(%q) = %+v, want %+v", c.in, *got, c.want)
+		}
+	}
+	for _, bad := range []string{"heavy", "uni,pickp=2", "uni,quantumus=-1", "seed=1,uni", "uni,bogus=1"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Fatalf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
