@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: all build test race race-all stress vet lint bench trace-demo \
 	check-bounds report metrics bench-baseline bench-diff profile \
-	fuzz-smoke scale-smoke stoch-smoke
+	fuzz-smoke scale-smoke stoch-smoke obs-smoke
 
 all: build vet lint test
 
@@ -63,6 +63,21 @@ stoch-smoke:
 	grep -q "predictor" stoch-j1.txt
 	grep -q "pred_rel_err" stoch-j1.txt
 	@echo "stoch smoke OK: cross-jobs identical, predictor fitted"
+
+# Streaming-observability smoke: (1) a long-horizon n=10⁴ run with the
+# full online pipeline attached — flight recorder, deterministic
+# progress stream, online span/series folds, no event buffering; (2) the
+# streaming -metrics digest must be byte-identical to the batch one
+# across -jobs values; (3) the steady-state sink path must report
+# 0 B/op. The unit twins live in internal/obs and internal/experiment.
+obs-smoke:
+	$(GO) test -run TestObsSmoke -v ./internal/experiment/
+	$(GO) run ./cmd/rtsim -profile quick -jobs 1 -metrics > obs-batch.txt
+	$(GO) run ./cmd/rtsim -profile quick -jobs 4 -stream -metrics > obs-stream.txt
+	cmp obs-batch.txt obs-stream.txt
+	$(GO) test -run NONE -bench BenchmarkPipelineObserve -benchmem ./internal/obs/ | tee obs-bench.txt
+	grep -q "0 B/op" obs-bench.txt
+	@echo "obs smoke OK: streaming digest byte-identical to batch, sink path 0 B/op"
 
 # Trace the canonical workload on the uniprocessor engine and export it
 # in the Chrome trace-event format: drag trace.json onto ui.perfetto.dev

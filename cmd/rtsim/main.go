@@ -22,6 +22,9 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/rtime"
 	"repro/internal/runner"
 	"repro/internal/stoch"
 	"repro/internal/trace"
@@ -62,6 +65,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceFormat := fs.String("trace-format", "perfetto", "trace file format: json, perfetto, or spans")
 	traceSim := fs.String("trace-sim", experiment.TraceSimUni, "traced simulator: uni, multi, or global")
 	traceMode := fs.String("trace-mode", "lockfree", "traced synchronization mode: lockfree or lockbased")
+	traceLimit := fs.Int("trace-limit", 0, "keep at most `n` trace events (0 = unbounded); drops are counted, never silent")
+	flight := fs.Int("flight", 0, "attach a flight recorder retaining the last `n` events to the traced run; dumps FILE.flight.json on the first anomaly")
+	progress := fs.Bool("progress", false, "print deterministic virtual-time progress lines to stderr during the traced run")
+	stream := fs.Bool("stream", false, "fold -metrics/-report online (bounded memory) instead of recording full event streams; output is byte-identical")
 	checkBounds := fs.Bool("check-bounds", false, "run the Theorem 2/3 bound-check suite; exit 1 on any violation")
 	faults := fs.String("faults", "", "inject a deterministic fault plan into traced runs: off, light, heavy, or key=value pairs (see internal/fault)")
 	faultSeed := fs.Int64("fault-seed", 0, "override the fault plan's seed (0 keeps the plan's own)")
@@ -96,6 +103,19 @@ observability:
                        ui.perfetto.dev), or spans (per-job text)
   -trace-sim SIM       uni (default), multi (partitioned), or global
   -trace-mode MODE     lockfree (default) or lockbased
+  -trace-limit N       keep at most N trace events (0 = unbounded); the
+                       drop count is reported on stdout, never silent
+  -flight N            bounded flight recorder: retain the last N events
+                       of the traced run and dump them to FILE.flight.json
+                       the moment the first anomaly (shed or fault-induced
+                       abort) occurs
+  -progress            stream deterministic progress lines (virtual time,
+                       commits, retries, attempt p99, live jobs, flight
+                       occupancy) to stderr while the traced run executes
+  -stream              fold -metrics and -report online through the
+                       internal/obs pipeline — O(windows + live jobs)
+                       memory instead of O(events) — with byte-identical
+                       output
   -check-bounds        check observed retries and sojourns against the
                        Theorem 2/3 bounds across the trace suite; any
                        violation exits 1
@@ -212,7 +232,7 @@ experiments:
 
 	exitCode := 0
 	if *traceFile != "" {
-		if err := writeTrace(p, *traceFile, *traceFormat, *traceSim, *traceMode, stdout); err != nil {
+		if err := writeTrace(p, *traceFile, *traceFormat, *traceSim, *traceMode, *traceLimit, *flight, *progress, stdout, stderr); err != nil {
 			fmt.Fprintf(stderr, "rtsim: trace: %v\n", err)
 			return 1
 		}
@@ -237,9 +257,15 @@ experiments:
 		if len(args) == 1 && args[0] == "all" {
 			figIDs = experiment.Names()
 		}
+		// -stream swaps the post-hoc builder for the online pipeline;
+		// both render byte-identically (pinned by the experiment tests).
+		build := experiment.BuildReport
+		if *stream {
+			build = experiment.BuildReportStream
+		}
 		if *metrics {
 			// The digest skips the figure sweeps: it is the fast look.
-			rep, err := experiment.BuildReport(p, nil)
+			rep, err := build(p, nil)
 			if err != nil {
 				fmt.Fprintf(stderr, "rtsim: metrics: %v\n", err)
 				return 1
@@ -250,7 +276,7 @@ experiments:
 			}
 		}
 		if *reportDir != "" {
-			if err := writeReport(p, *reportDir, figIDs, stdout); err != nil {
+			if err := writeReport(p, build, *reportDir, figIDs, stdout); err != nil {
 				fmt.Fprintf(stderr, "rtsim: report: %v\n", err)
 				return 1
 			}
@@ -307,11 +333,12 @@ experiments:
 	return exitCode
 }
 
-// writeReport builds the canonical-workload report and writes its CSV
-// artifacts plus the self-contained HTML page into dir. The stdout
-// listing and every file are byte-identical for any -jobs value.
-func writeReport(p experiment.Profile, dir string, figIDs []string, stdout io.Writer) error {
-	rep, err := experiment.BuildReport(p, figIDs)
+// writeReport builds the canonical-workload report (with the batch or
+// streaming builder) and writes its CSV artifacts plus the
+// self-contained HTML page into dir. The stdout listing and every file
+// are byte-identical for any -jobs value and either builder.
+func writeReport(p experiment.Profile, build func(experiment.Profile, []string) (*report.Report, error), dir string, figIDs []string, stdout io.Writer) error {
+	rep, err := build(p, figIDs)
 	if err != nil {
 		return err
 	}
@@ -336,10 +363,13 @@ func writeReport(p experiment.Profile, dir string, figIDs []string, stdout io.Wr
 }
 
 // writeTrace runs one fully-observed canonical-workload simulation and
-// writes its trace to file in the requested format. The stdout summary
-// and the file are pure functions of (profile, sim, mode): byte-identical
-// for any -jobs value.
-func writeTrace(p experiment.Profile, file, format, simName, mode string, stdout io.Writer) error {
+// writes its trace to file in the requested format. An obs.Pipeline
+// rides along when -flight or -progress ask for it: the engine's single
+// observer stream is Tee'd between the recorder and the online sinks.
+// The stdout summary, the trace file, and the flight dump are pure
+// functions of (profile, sim, mode, limit, flight): byte-identical for
+// any -jobs value. Only -progress touches stderr.
+func writeTrace(p experiment.Profile, file, format, simName, mode string, limit, flight int, progress bool, stdout, stderr io.Writer) error {
 	var lockBased bool
 	switch mode {
 	case "lockfree":
@@ -349,19 +379,74 @@ func writeTrace(p experiment.Profile, file, format, simName, mode string, stdout
 		return fmt.Errorf("unknown -trace-mode %q (want lockfree or lockbased)", mode)
 	}
 	seed := p.Seeds[0]
-	tr, err := experiment.RunTrace(p, simName, lockBased, seed)
+	tasks, horizon, err := experiment.TraceSetup(p)
 	if err != nil {
 		return err
 	}
+
+	rec := trace.NewRecorder(limit)
+	observer := rec.Record
+	var pipe *obs.Pipeline
+	var dumpFile string
+	var dumpErr error
+	dumpLen, dumpDropped := 0, int64(0)
+	if flight > 0 || progress {
+		cpus := 1
+		if simName != experiment.TraceSimUni {
+			cpus = experiment.TraceCPUs
+		}
+		cfg := obs.Config{Horizon: horizon, CPUs: cpus, Flight: flight}
+		if progress {
+			// Ten lines per run, paced by virtual time — a pure function
+			// of the horizon, so progress output is deterministic too.
+			every := rtime.Duration(horizon / 10)
+			if every < 1 {
+				every = 1
+			}
+			cfg.Progress = stderr
+			cfg.ProgressEvery = every
+		}
+		if flight > 0 {
+			dumpFile = file + ".flight.json"
+			cfg.OnTrigger = func(reason string, at rtime.Time) {
+				// Dump the ring the moment the anomaly happens: the
+				// window ends at the event that tripped it.
+				dumpLen, dumpDropped = pipe.Flight().Len(), pipe.Flight().Dropped()
+				var b bytes.Buffer
+				if dumpErr = pipe.Flight().WritePerfetto(&b); dumpErr == nil {
+					dumpErr = os.WriteFile(dumpFile, b.Bytes(), 0o644)
+				}
+			}
+		}
+		if pipe, err = obs.NewPipeline(cfg); err != nil {
+			return err
+		}
+		observer = obs.Tee(obs.Func(rec.Record), pipe)
+	}
+
+	if err := experiment.StreamTrace(p, simName, lockBased, seed, tasks, horizon, observer); err != nil {
+		return err
+	}
+	var res *obs.Results
+	if pipe != nil {
+		if res, err = pipe.Finish(); err != nil {
+			return err
+		}
+		if dumpErr != nil {
+			return fmt.Errorf("flight dump: %w", dumpErr)
+		}
+	}
+
+	events := rec.Events()
 	var buf bytes.Buffer
 	switch format {
 	case "json":
-		err = trace.WriteJSON(&buf, tr.Events)
+		err = trace.WriteJSON(&buf, events)
 	case "perfetto":
-		err = trace.WritePerfetto(&buf, tr.Events)
+		err = trace.WritePerfetto(&buf, events)
 	case "spans":
 		var spans []span.JobSpan
-		if spans, err = tr.Spans(); err == nil {
+		if spans, err = span.Build(events, horizon); err == nil {
 			err = span.WriteText(&buf, spans)
 		}
 	default:
@@ -373,8 +458,16 @@ func writeTrace(p experiment.Profile, file, format, simName, mode string, stdout
 	if err := os.WriteFile(file, buf.Bytes(), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "trace: sim=%s mode=%s seed=%d profile=%s events=%d horizon=%v format=%s\n",
-		tr.Sim, mode, seed, p.Name, len(tr.Events), tr.Horizon, format)
-	fmt.Fprintf(stdout, "counts: %s\n", trace.Summary(tr.Events))
+	dropped := ""
+	if rec.Dropped() > 0 {
+		dropped = fmt.Sprintf(" dropped=%d", rec.Dropped())
+	}
+	fmt.Fprintf(stdout, "trace: sim=%s mode=%s seed=%d profile=%s events=%d%s horizon=%v format=%s\n",
+		simName, mode, seed, p.Name, len(events), dropped, horizon, format)
+	fmt.Fprintf(stdout, "counts: %s\n", trace.Summary(events))
+	if res != nil && res.Trigger != "" && flight > 0 {
+		fmt.Fprintf(stdout, "flight: trigger=%s at=%dus events=%d dropped=%d file=%s\n",
+			res.Trigger, res.TriggerAt.Micros(), dumpLen, dumpDropped, dumpFile)
+	}
 	return nil
 }

@@ -468,7 +468,7 @@ func Thm3(p Profile) ([]*Table, error) {
 	points := make([]pairPoint, len(ratios))
 	svals := make([]rtime.Duration, len(ratios))
 	for pi, ratio := range ratios {
-		svals[pi] = rtime.Duration(math.Max(1, math.Round(float64(r) * ratio)))
+		svals[pi] = rtime.Duration(math.Max(1, math.Round(float64(r)*ratio)))
 		points[pi] = pairPoint{w: w, r: r, s: svals[pi], opCost: DefaultOpCost}
 	}
 	lbs, lfs, err := runPairs(p, points)

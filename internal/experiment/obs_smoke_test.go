@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics/series"
+	"repro/internal/obs"
+	"repro/internal/rtime"
+	"repro/internal/rua"
+	"repro/internal/sim"
+	"repro/internal/trace/span"
+	"repro/internal/uam"
+)
+
+// TestObsSmoke is the CI obs-smoke entry point (see Makefile obs-smoke):
+// one n=10⁴ uniprocessor lock-free run on the clustered scale workload
+// with the full streaming pipeline attached — flight recorder, progress
+// reporting, online series and span folds — and no event buffering
+// anywhere. It proves live introspection works at the scales the
+// engines reach: the pipeline's counters agree with the engine's own
+// result, the progress stream is emitted and deterministic, and the
+// flight ring holds exactly its bounded window.
+func TestObsSmoke(t *testing.T) {
+	const n = 10_000
+	run := func() (*obs.Results, sim.Result, string, int) {
+		t.Helper()
+		tasks, err := ScaleWorkload(n, 0.4, StepTUFs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		horizon := horizonFor(tasks, Quick)
+		var progress bytes.Buffer
+		var spans int
+		pipe, err := obs.NewPipeline(obs.Config{
+			Horizon:       horizon,
+			CPUs:          1,
+			SeriesWindow:  series.WindowFor(horizon, 0),
+			OnSpan:        func(*span.JobSpan) { spans++ },
+			Flight:        4096,
+			Progress:      &progress,
+			ProgressEvery: rtime.Duration(horizon / 10),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			Tasks: tasks, Scheduler: rua.NewLockFree(), Mode: sim.LockFree,
+			R: DefaultR, S: DefaultS, OpCost: 0,
+			Horizon: horizon, ArrivalKind: uam.KindJittered, Seed: Quick.Seeds[0],
+			ConservativeRetry: true,
+			Observer:          pipe.Observer(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := pipe.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pipe.Flight().Len() != 4096 {
+			t.Fatalf("flight ring holds %d events, want full 4096", pipe.Flight().Len())
+		}
+		return out, res, progress.String(), spans
+	}
+
+	out, res, progress, spans := run()
+	if out.Retries != res.Retries {
+		t.Fatalf("pipeline retries %d != engine %d", out.Retries, res.Retries)
+	}
+	if int64(spans) < int64(n) {
+		t.Fatalf("folded %d spans, want ≥ %d (one per released job)", spans, n)
+	}
+	if out.Commits == 0 || out.Events < int64(n) {
+		t.Fatalf("pipeline saw commits=%d events=%d; smoke is vacuous", out.Commits, out.Events)
+	}
+	if out.Series == nil || len(out.Series.Points) == 0 {
+		t.Fatal("no online series folded")
+	}
+	lines := strings.Split(strings.TrimSuffix(progress, "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("want ≥ 5 progress lines, got %d:\n%s", len(lines), progress)
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "progress t=") {
+			t.Fatalf("malformed progress line %q", ln)
+		}
+	}
+
+	// Determinism: the whole introspection surface is a pure function of
+	// the run.
+	_, _, progress2, spans2 := run()
+	if progress != progress2 || spans != spans2 {
+		t.Fatal("streaming introspection not deterministic across identical runs")
+	}
+}

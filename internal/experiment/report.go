@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/metrics/hist"
 	"repro/internal/metrics/ops"
-	"repro/internal/metrics/predict"
 	"repro/internal/metrics/series"
 	"repro/internal/report"
 	"repro/internal/rtime"
@@ -151,46 +150,11 @@ func BuildReport(p Profile, figIDs []string) (*report.Report, error) {
 				run.Series = sr
 			}
 		}
-		retryBound, sojournBound := int64(-1), int64(-1)
-		if merged != nil {
-			for _, tr := range merged.Tasks {
-				if !combo.lockBased && tr.RetryBound > retryBound {
-					retryBound = tr.RetryBound
-				}
-				if b := tr.SojournBound.Micros(); tr.SojournBound >= 0 && b > sojournBound {
-					sojournBound = b
-				}
-			}
-		}
-		run.Dists = []report.Dist{
-			{Name: "retries", Title: "retries per job", Unit: "retries",
-				Hist: retries, Bound: retryBound, BoundLabel: "theorem 2 bound"},
-			{Name: "sojourn_us", Title: "sojourn time of completed jobs", Unit: "µs",
-				Hist: sojourn, Bound: sojournBound, BoundLabel: "theorem 3 bound"},
-		}
-		run.Check = merged
-		run.OpDists = opDists(opSet)
-		if run.Series != nil {
-			run.Pred = predict.FromSeries(run.Series)
-		}
+		finishRun(&run, combo.lockBased, merged, opSet, retries, sojourn)
 		rep.Runs = append(rep.Runs, run)
 	}
-
-	for _, id := range figIDs {
-		r, ok := Registry[id]
-		if !ok {
-			return nil, fmt.Errorf("experiment: unknown experiment %q for report", id)
-		}
-		tables, err := r(p)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: report fig %s: %w", id, err)
-		}
-		for _, t := range tables {
-			rep.Figs = append(rep.Figs, report.Table{
-				ID: t.ID, Title: t.Title, Note: t.Note,
-				Columns: t.Columns, Rows: t.Rows,
-			})
-		}
+	if err := attachFigs(rep, p, figIDs); err != nil {
+		return nil, err
 	}
 	return rep, nil
 }

@@ -1,0 +1,214 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/metrics/hist"
+	"repro/internal/metrics/ops"
+	"repro/internal/metrics/predict"
+	"repro/internal/metrics/series"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/trace/check"
+	"repro/internal/trace/span"
+)
+
+// BuildReportStream is BuildReport's streaming twin: the same run grid,
+// the same folds, the same report — but each cell attaches an
+// obs.Pipeline to the engine and folds its trace ONLINE instead of
+// recording the full event slice and folding post-hoc. Memory per cell
+// drops from O(events) to O(series windows + live jobs); the rendered
+// artifacts (CSV files, -metrics digest, HTML) are byte-identical to
+// BuildReport's, which the report tests pin.
+func BuildReportStream(p Profile, figIDs []string) (*report.Report, error) {
+	type cell struct {
+		combo int
+		seed  int64
+		first bool // first seed of its combo: folds the series
+	}
+	var cells []cell
+	for ci := range reportCombos {
+		for si, seed := range p.Seeds {
+			cells = append(cells, cell{combo: ci, seed: seed, first: si == 0})
+		}
+	}
+	type outcome struct {
+		jobs, completed, aborted, shed int64
+		dropped                        int64
+		retries, sojourn               *hist.Hist
+		check                          *check.Report
+		ops                            *ops.Set
+		series                         *series.Series // first seed only
+	}
+	outs, err := runner.Map(p.Jobs, len(cells), func(i int) (outcome, error) {
+		c := cells[i]
+		combo := reportCombos[c.combo]
+		tasks, horizon, err := TraceSetup(p)
+		if err != nil {
+			return outcome{}, err
+		}
+		cpus := 1
+		if combo.sim != TraceSimUni {
+			cpus = TraceCPUs
+		}
+		o := outcome{retries: newRetryHist(), sojourn: newSojournHist()}
+		cfg := obs.Config{
+			Horizon: horizon,
+			CPUs:    cpus,
+			// The span fold replaces the batch path's post-hoc span.Build:
+			// jobs stream through as they depart and only the histograms
+			// and counters stay behind.
+			OnSpan: func(s *span.JobSpan) {
+				o.jobs++
+				o.retries.Add(s.Retries)
+				switch s.Outcome {
+				case span.Completed:
+					o.completed++
+					o.sojourn.Add(s.Sojourn().Micros())
+				case span.Aborted:
+					o.aborted++
+				}
+				if s.Shed {
+					o.shed++
+				}
+			},
+		}
+		// The global engine's commit-time validation retries fall outside
+		// Theorem 2's model (see internal/gsim), so its runs carry no
+		// bound check; uni and multi check every seed online.
+		if combo.sim != TraceSimGlobal {
+			ck := boundCheckConfig(p, combo.lockBased, tasks)
+			cfg.CheckTasks = tasks
+			cfg.Check = &ck
+		}
+		if c.first {
+			cfg.SeriesWindow = series.WindowFor(horizon, 0)
+		}
+		pipe, err := obs.NewPipeline(cfg)
+		if err != nil {
+			return outcome{}, err
+		}
+		if err := StreamTrace(p, combo.sim, combo.lockBased, c.seed, tasks, horizon, pipe.Observer()); err != nil {
+			return outcome{}, err
+		}
+		res, err := pipe.Finish()
+		if err != nil {
+			return outcome{}, err
+		}
+		o.check = res.Check
+		o.ops = res.Ops
+		o.series = res.Series
+		o.dropped = res.FlightDropped
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &report.Report{
+		Title:    "rtsim canonical-workload report",
+		Profile:  p.Name,
+		Workload: "thm2-trace",
+	}
+	for ci, combo := range reportCombos {
+		mode := "lockfree"
+		modeLabel := "lock-free"
+		if combo.lockBased {
+			mode = "lockbased"
+			modeLabel = "lock-based"
+		}
+		run := report.Run{
+			Name: combo.sim + "-" + mode,
+			Sim:  combo.sim,
+			Mode: modeLabel,
+		}
+		retries, sojourn := newRetryHist(), newSojournHist()
+		var merged *check.Report
+		opSet := &ops.Set{}
+		for i, c := range cells {
+			if c.combo != ci {
+				continue
+			}
+			o := outs[i]
+			run.Seeds = append(run.Seeds, c.seed)
+			run.Jobs += o.jobs
+			run.Completed += o.completed
+			run.Aborted += o.aborted
+			run.Shed += o.shed
+			run.Dropped += o.dropped
+			if err := retries.Merge(o.retries); err != nil {
+				return nil, fmt.Errorf("experiment: merge %s retry hist: %w", run.Name, err)
+			}
+			if err := sojourn.Merge(o.sojourn); err != nil {
+				return nil, fmt.Errorf("experiment: merge %s sojourn hist: %w", run.Name, err)
+			}
+			merged = mergeChecks(merged, o.check)
+			if o.ops != nil {
+				if err := opSet.Merge(o.ops); err != nil {
+					return nil, fmt.Errorf("experiment: merge %s op telemetry: %w", run.Name, err)
+				}
+			}
+			if c.first {
+				run.Series = o.series
+			}
+		}
+		finishRun(&run, combo.lockBased, merged, opSet, retries, sojourn)
+		rep.Runs = append(rep.Runs, run)
+	}
+	if err := attachFigs(rep, p, figIDs); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// finishRun attaches a combo's merged fold products to its report run:
+// the bound overlays extracted from the merged check, the two canonical
+// distributions, the op-telemetry panel, and the throughput overlay.
+// Shared by the batch and streaming build paths so their assembly can
+// never drift apart.
+func finishRun(run *report.Run, lockBased bool, merged *check.Report, opSet *ops.Set, retries, sojourn *hist.Hist) {
+	retryBound, sojournBound := int64(-1), int64(-1)
+	if merged != nil {
+		for _, tr := range merged.Tasks {
+			if !lockBased && tr.RetryBound > retryBound {
+				retryBound = tr.RetryBound
+			}
+			if b := tr.SojournBound.Micros(); tr.SojournBound >= 0 && b > sojournBound {
+				sojournBound = b
+			}
+		}
+	}
+	run.Dists = []report.Dist{
+		{Name: "retries", Title: "retries per job", Unit: "retries",
+			Hist: retries, Bound: retryBound, BoundLabel: "theorem 2 bound"},
+		{Name: "sojourn_us", Title: "sojourn time of completed jobs", Unit: "µs",
+			Hist: sojourn, Bound: sojournBound, BoundLabel: "theorem 3 bound"},
+	}
+	run.Check = merged
+	run.OpDists = opDists(opSet)
+	if run.Series != nil {
+		run.Pred = predict.FromSeries(run.Series)
+	}
+}
+
+// attachFigs appends the requested figure tables to the report.
+func attachFigs(rep *report.Report, p Profile, figIDs []string) error {
+	for _, id := range figIDs {
+		r, ok := Registry[id]
+		if !ok {
+			return fmt.Errorf("experiment: unknown experiment %q for report", id)
+		}
+		tables, err := r(p)
+		if err != nil {
+			return fmt.Errorf("experiment: report fig %s: %w", id, err)
+		}
+		for _, t := range tables {
+			rep.Figs = append(rep.Figs, report.Table{
+				ID: t.ID, Title: t.Title, Note: t.Note,
+				Columns: t.Columns, Rows: t.Rows,
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/rtime"
+	"repro/internal/stoch"
+	"repro/internal/trace"
+)
+
+// streamProfiles returns the property-suite grid: the plain quick
+// profile plus fault-injected and stochastic-scheduler variants, so the
+// streaming folds face sheds, aborts, injected retries, and quantum
+// preemptions — every event kind the engines emit.
+func streamProfiles(t *testing.T) map[string]Profile {
+	t.Helper()
+	fp, err := fault.ParsePlan("heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := stoch.ParsePlan("geo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := Quick
+	plain.Seeds = []int64{1, 2}
+	faulty := plain
+	faulty.Fault = fp
+	stochastic := plain
+	stochastic.Stoch = sp
+	return map[string]Profile{"plain": plain, "fault": faulty, "stoch": stochastic}
+}
+
+// TestStreamReportMatchesBatch is the streaming pipeline's acceptance
+// property: BuildReportStream renders byte-identically to BuildReport —
+// same -metrics digest, same HTML — across every simulator × mode the
+// grid covers, under fault injection and stochastic scheduling alike.
+// One comparison covers every online sink at once: the span fold feeds
+// the histograms, the series fold the throughput panel, the ops fold
+// the retry-tail panel, and the check fold the violation tables.
+func TestStreamReportMatchesBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the trace grid twice per profile")
+	}
+	for _, name := range []string{"plain", "fault", "stoch"} {
+		p := streamProfiles(t)[name]
+		t.Run(name, func(t *testing.T) {
+			batch, err := BuildReport(p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream, err := BuildReportStream(p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var bt, st, bh, sh bytes.Buffer
+			if err := batch.WriteText(&bt); err != nil {
+				t.Fatal(err)
+			}
+			if err := stream.WriteText(&st); err != nil {
+				t.Fatal(err)
+			}
+			if bt.String() != st.String() {
+				t.Fatalf("-metrics digest differs between batch and streaming builds:\n--- batch\n%s\n--- stream\n%s", bt.String(), st.String())
+			}
+			if err := batch.WriteHTML(&bh); err != nil {
+				t.Fatal(err)
+			}
+			if err := stream.WriteHTML(&sh); err != nil {
+				t.Fatal(err)
+			}
+			if bh.String() != sh.String() {
+				t.Fatal("HTML report differs between batch and streaming builds")
+			}
+			var jobs int64
+			for i := range stream.Runs {
+				jobs += stream.Runs[i].Jobs
+			}
+			if jobs == 0 {
+				t.Fatal("streaming build folded no jobs; identity check is vacuous")
+			}
+		})
+	}
+}
+
+// TestStreamReportJobsInvariant: the streaming build fans out on
+// runner.Map like the batch build; its rendered digest must be
+// byte-equal for serial and parallel execution.
+func TestStreamReportJobsInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the trace grid twice")
+	}
+	render := func(jobs int) string {
+		p := streamProfiles(t)["plain"]
+		p.Jobs = jobs
+		rep, err := BuildReportStream(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var txt bytes.Buffer
+		if err := rep.WriteText(&txt); err != nil {
+			t.Fatal(err)
+		}
+		return txt.String()
+	}
+	if a, b := render(1), render(4); a != b {
+		t.Fatalf("streaming digest differs between -jobs 1 and 4:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestObserverStreamsOrdered pins the contract the whole streaming
+// pipeline rests on: every engine's observer stream is nondecreasing in
+// Event.At — including the partitioned engine, whose per-CPU streams
+// are merged in lockstep — under fault injection and stochastic
+// scheduling alike.
+func TestObserverStreamsOrdered(t *testing.T) {
+	for _, simName := range []string{TraceSimUni, TraceSimMulti, TraceSimGlobal} {
+		for _, lockBased := range []bool{false, true} {
+			for _, prof := range []string{"plain", "fault", "stoch"} {
+				p := streamProfiles(t)[prof]
+				tasks, horizon, err := TraceSetup(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var last rtime.Time
+				var events int
+				bad := 0
+				obs := func(e trace.Event) {
+					if e.At < last {
+						bad++
+					}
+					last = e.At
+					events++
+				}
+				if err := StreamTrace(p, simName, lockBased, p.Seeds[0], tasks, horizon, obs); err != nil {
+					t.Fatalf("%s lb=%v %s: %v", simName, lockBased, prof, err)
+				}
+				if events == 0 {
+					t.Fatalf("%s lb=%v %s: no events", simName, lockBased, prof)
+				}
+				if bad != 0 {
+					t.Fatalf("%s lb=%v %s: %d of %d events out of order", simName, lockBased, prof, bad, events)
+				}
+			}
+		}
+	}
+}

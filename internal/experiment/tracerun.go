@@ -80,17 +80,43 @@ func buildTraceTasks() ([]*task.Task, error) {
 	return tasks, nil
 }
 
-// RunTrace executes one fully-observed simulation of the canonical
-// trace workload on the selected simulator. The run is a pure function
-// of (profile, simName, lockBased, seed): equal inputs yield
-// byte-identical event streams.
-func RunTrace(p Profile, simName string, lockBased bool, seed int64) (*TraceRun, error) {
+// TraceSetup materializes the canonical trace workload and its horizon
+// under p — everything an online consumer (internal/obs) needs to
+// configure itself before the engine runs.
+func TraceSetup(p Profile) ([]*task.Task, rtime.Time, error) {
 	tasks, err := buildTraceTasks()
+	if err != nil {
+		return nil, 0, err
+	}
+	return tasks, horizonFor(tasks, p), nil
+}
+
+// RunTrace executes one fully-observed simulation of the canonical
+// trace workload on the selected simulator, recording the full event
+// stream. The run is a pure function of (profile, simName, lockBased,
+// seed): equal inputs yield byte-identical event streams.
+func RunTrace(p Profile, simName string, lockBased bool, seed int64) (*TraceRun, error) {
+	tasks, horizon, err := TraceSetup(p)
 	if err != nil {
 		return nil, err
 	}
-	horizon := horizonFor(tasks, p)
 	rec := trace.NewRecorder(0)
+	if err := StreamTrace(p, simName, lockBased, seed, tasks, horizon, rec.Record); err != nil {
+		return nil, err
+	}
+	return &TraceRun{
+		Sim: simName, LockBased: lockBased, Seed: seed,
+		Tasks: tasks, Horizon: horizon, Events: rec.Events(),
+	}, nil
+}
+
+// StreamTrace executes one simulation of the canonical trace workload
+// (tasks and horizon from TraceSetup) feeding every event to observer
+// as it happens — nothing is buffered. The event stream is
+// nondecreasing in Event.At on every simulator, so online sinks
+// (internal/obs) fold it directly.
+func StreamTrace(p Profile, simName string, lockBased bool, seed int64, tasks []*task.Task, horizon rtime.Time, observer func(trace.Event)) error {
+	var err error
 	mode := sim.LockFree
 	if lockBased {
 		mode = sim.LockBased
@@ -116,7 +142,7 @@ func RunTrace(p Profile, simName string, lockBased bool, seed int64) (*TraceRun,
 			Tasks: tasks, Scheduler: newRUA(), Mode: mode,
 			R: DefaultR, S: DefaultS, OpCost: DefaultOpCost,
 			Horizon: horizon, ArrivalKind: uam.KindJittered, Seed: seed,
-			ConservativeRetry: true, Fault: p.Fault, Stoch: p.Stoch, Observer: rec.Record,
+			ConservativeRetry: true, Fault: p.Fault, Stoch: p.Stoch, Observer: observer,
 		})
 	case TraceSimMulti:
 		_, err = multi.Run(multi.Config{
@@ -124,26 +150,20 @@ func RunTrace(p Profile, simName string, lockBased bool, seed int64) (*TraceRun,
 			NewScheduler: func() sched.Scheduler { return newRUA() },
 			R:            DefaultR, S: DefaultS, OpCost: DefaultOpCost,
 			Horizon: horizon, ArrivalKind: uam.KindJittered, Seed: seed,
-			ConservativeRetry: true, Fault: p.Fault, Stoch: p.Stoch, Observer: rec.Record,
+			ConservativeRetry: true, Fault: p.Fault, Stoch: p.Stoch, Observer: observer,
 		})
 	case TraceSimGlobal:
 		_, err = gsim.Run(gsim.Config{
 			CPUs: TraceCPUs, Tasks: tasks, Scheduler: newRUA(), Mode: mode,
 			R: DefaultR, S: DefaultS, OpCost: DefaultOpCost,
 			Horizon: horizon, ArrivalKind: uam.KindJittered, Seed: seed,
-			Fault: p.Fault, Stoch: p.Stoch, Observer: rec.Record,
+			Fault: p.Fault, Stoch: p.Stoch, Observer: observer,
 		})
 	default:
-		return nil, fmt.Errorf("experiment: unknown trace simulator %q (want %s|%s|%s)",
+		return fmt.Errorf("experiment: unknown trace simulator %q (want %s|%s|%s)",
 			simName, TraceSimUni, TraceSimMulti, TraceSimGlobal)
 	}
-	if err != nil {
-		return nil, err
-	}
-	return &TraceRun{
-		Sim: simName, LockBased: lockBased, Seed: seed,
-		Tasks: tasks, Horizon: horizon, Events: rec.Events(),
-	}, nil
+	return err
 }
 
 // Spans folds the run's events into per-job spans.

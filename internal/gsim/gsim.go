@@ -58,7 +58,10 @@ type Config struct {
 	// Observer, when non-nil, receives the same trace-event vocabulary
 	// internal/sim emits, with Event.CPU carrying the dispatching
 	// processor (or -1 for unbound events: arrivals, aborts, scheduler
-	// passes — the global scheduler runs on no particular CPU).
+	// passes — the global scheduler runs on no particular CPU). The
+	// stream is nondecreasing in Event.At: every emission is stamped at
+	// the engine event being processed, so online sinks (internal/obs)
+	// can fold it without buffering or sorting.
 	Observer func(trace.Event)
 
 	// Fault, when active, injects deterministic faults exactly as
@@ -482,8 +485,14 @@ func (e *Engine) stopCPU(cpu int) {
 	if j.State == task.Running {
 		j.State = task.Ready
 		// Unlike internal/sim (whose Preempt marks the NEXT dispatch),
-		// the global engine events every deschedule at stop time.
-		e.emit(e.runPos[cpu], trace.Preempt, j, -1, cpu)
+		// the global engine events every deschedule at stop time. The
+		// event is stamped e.now, not runPos[cpu]: a reschedule reached
+		// from a single-CPU boundary (evInternal) may stop a CPU that was
+		// not settled this event, whose runPos still sits at an earlier
+		// instant — but the job occupied the CPU until now, and stamping
+		// now keeps the observer stream nondecreasing in virtual time
+		// (the ordering contract internal/obs streams over).
+		e.emit(e.now, trace.Preempt, j, -1, cpu)
 	}
 	e.running[cpu] = nil
 }

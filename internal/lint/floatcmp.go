@@ -26,6 +26,10 @@ var floatcmpScope = []string{
 	// probabilities, and the throughput predictor fits float models:
 	// exact equality in either flips decisions on rounding drift.
 	"internal/stoch", "internal/metrics/predict",
+	// The streaming pipeline surfaces quantiles and rates in progress
+	// lines and snapshots; exact float equality there would flip output
+	// on rounding drift.
+	"internal/obs",
 }
 
 // Floatcmp flags == and != between floating-point operands in the

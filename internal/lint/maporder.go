@@ -21,6 +21,10 @@ var maporderScope = []string{
 	// preemption decisions; a map walk feeding those decisions would
 	// reintroduce the nondeterminism the hash exists to exclude.
 	"internal/stoch",
+	// The streaming pipeline folds live runs into the same rendered
+	// artifacts the batch path produces; a map walk there would make the
+	// streamed digest diverge from the batch one between runs.
+	"internal/obs",
 }
 
 // Maporder flags `range` over a map in the simulator and experiment

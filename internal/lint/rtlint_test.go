@@ -16,7 +16,8 @@ func TestMaporder(t *testing.T) {
 		"maporder/internal/sim", "maporder/internal/trace", "maporder/notscoped",
 		"maporder/internal/report", "maporder/internal/metrics/hist",
 		"maporder/internal/rtime/wheel", "maporder/internal/fault",
-		"maporder/internal/waitfree", "maporder/internal/stoch")
+		"maporder/internal/waitfree", "maporder/internal/stoch",
+		"maporder/internal/obs")
 }
 
 func TestSimclock(t *testing.T) {
@@ -39,7 +40,8 @@ func TestFloatcmp(t *testing.T) {
 	analysistest.Run(t, "testdata/src", lint.Floatcmp,
 		"floatcmp/internal/metrics", "floatcmp/internal/report",
 		"floatcmp/internal/rua", "floatcmp/internal/fault",
-		"floatcmp/internal/waitfree", "floatcmp/internal/stoch")
+		"floatcmp/internal/waitfree", "floatcmp/internal/stoch",
+		"floatcmp/internal/obs")
 }
 
 // TestIgnoreDirective proves the suppression contract: a justified

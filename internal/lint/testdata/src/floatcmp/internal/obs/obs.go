@@ -1,0 +1,22 @@
+// Package obs is a floatcmp fixture: the streaming pipeline surfaces
+// commit rates and attempt quantiles in progress lines and snapshots,
+// newly inside the analyzer's internal/obs scope. Exact float equality
+// there flips output on rounding drift.
+package obs
+
+// BadRate reports whether the live commit rate has reached the target
+// by exact equality: flagged.
+func BadRate(rate, target float64) bool {
+	return rate == target // want `float comparison rate == target`
+}
+
+// GoodRate compares against the target with an epsilon.
+func GoodRate(rate, target float64) bool {
+	const eps = 1e-9
+	return rate > target-eps
+}
+
+// GoodNaN is the accepted NaN self-test idiom.
+func GoodNaN(rate float64) bool {
+	return rate != rate
+}

@@ -1,0 +1,28 @@
+// Package obs is a maporder fixture: the streaming pipeline folds live
+// runs into the same rendered artifacts the batch path produces, newly
+// inside the analyzer's internal/obs scope. A map walk feeding a fold
+// or a progress line makes the streamed digest diverge between runs.
+package obs
+
+import "sort"
+
+// BadFold flushes per-task live counts straight from the map: the
+// emission order changes per run, flagged.
+func BadFold(live map[int]int64, emit func(int, int64)) {
+	for task, n := range live { // want `range over map live`
+		emit(task, n)
+	}
+}
+
+// GoodFold collects task ids and sorts them before emitting: the
+// blessed collect-then-sort idiom.
+func GoodFold(live map[int]int64, emit func(int, int64)) {
+	tasks := make([]int, 0, len(live))
+	for task := range live {
+		tasks = append(tasks, task)
+	}
+	sort.Ints(tasks)
+	for _, task := range tasks {
+		emit(task, live[task])
+	}
+}

@@ -67,6 +67,76 @@ type jobObj struct {
 	task, seq, obj int
 }
 
+// Stream folds a trace event stream into per-object operation
+// telemetry online, one event at a time. The fold is per-(job, object)
+// and order-insensitive within a job's access — fed the events
+// FromEvents sorts, in any time order, it produces an identical Set —
+// and its memory is O(objects + in-flight accesses) regardless of trace
+// length.
+type Stream struct {
+	byObj   map[int]*Dist
+	pending map[jobObj]int64 // open operation → CAS failures so far
+	total   *Dist            // cross-object running total (Object = -1)
+}
+
+// NewStream builds an online operation-telemetry folder.
+func NewStream() *Stream {
+	return &Stream{byObj: map[int]*Dist{}, pending: map[jobObj]int64{}, total: newDist(-1)}
+}
+
+// Total returns the live cross-object distribution (Object = -1). It is
+// maintained incrementally — reading it costs nothing — and agrees with
+// Set().Total() on counts, sums, extremes, and quantiles (samples are
+// multiset-equal; both render sorted).
+func (s *Stream) Total() *Dist { return s.total }
+
+// dist returns (allocating on first use) the distribution for obj.
+func (s *Stream) dist(obj int) *Dist {
+	d := s.byObj[obj]
+	if d == nil {
+		d = newDist(obj)
+		s.byObj[obj] = d
+	}
+	return d
+}
+
+// Observe folds one event. Events that name no object or no job are
+// ignored.
+func (s *Stream) Observe(e trace.Event) {
+	if e.Object < 0 || e.Task < 0 {
+		return
+	}
+	k := jobObj{e.Task, e.Seq, e.Object}
+	switch e.Kind {
+	case trace.Retry, trace.FaultRetry:
+		s.pending[k]++
+	case trace.Commit:
+		s.dist(e.Object).record(s.pending[k])
+		s.total.record(s.pending[k])
+		delete(s.pending, k)
+	case trace.LockRelease:
+		// A lock-based access commits by releasing its lock: count it
+		// as a one-attempt operation so both modes share an axis.
+		s.dist(e.Object).record(0)
+		s.total.record(0)
+	}
+}
+
+// Set returns the folded distributions, ascending by object id. Open
+// (uncommitted) accesses contribute nothing, exactly as in FromEvents.
+func (s *Stream) Set() *Set {
+	out := &Set{}
+	objs := make([]int, 0, len(s.byObj))
+	for obj := range s.byObj {
+		objs = append(objs, obj)
+	}
+	sort.Ints(objs)
+	for _, obj := range objs {
+		out.Dists = append(out.Dists, s.byObj[obj])
+	}
+	return out
+}
+
 // FromEvents folds events into per-object operation telemetry. Events
 // are sorted by virtual time first (stable), so any interleaving of
 // per-partition streams folds identically.
@@ -74,46 +144,11 @@ func FromEvents(events []trace.Event) *Set {
 	evs := make([]trace.Event, len(events))
 	copy(evs, events)
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
-
-	byObj := map[int]*Dist{}
-	pending := map[jobObj]int64{} // open operation → CAS failures so far
+	s := NewStream()
 	for _, e := range evs {
-		if e.Object < 0 || e.Task < 0 {
-			continue
-		}
-		k := jobObj{e.Task, e.Seq, e.Object}
-		switch e.Kind {
-		case trace.Retry, trace.FaultRetry:
-			pending[k]++
-		case trace.Commit:
-			d := byObj[e.Object]
-			if d == nil {
-				d = newDist(e.Object)
-				byObj[e.Object] = d
-			}
-			d.record(pending[k])
-			delete(pending, k)
-		case trace.LockRelease:
-			// A lock-based access commits by releasing its lock: count it
-			// as a one-attempt operation so both modes share an axis.
-			d := byObj[e.Object]
-			if d == nil {
-				d = newDist(e.Object)
-				byObj[e.Object] = d
-			}
-			d.record(0)
-		}
+		s.Observe(e)
 	}
-	s := &Set{}
-	objs := make([]int, 0, len(byObj))
-	for obj := range byObj {
-		objs = append(objs, obj)
-	}
-	sort.Ints(objs)
-	for _, obj := range objs {
-		s.Dists = append(s.Dists, byObj[obj])
-	}
-	return s
+	return s.Set()
 }
 
 // Merge folds o into s: distributions of the same object merge

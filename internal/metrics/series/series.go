@@ -227,18 +227,195 @@ func (f *folder) level(dReady, dBusy int64) {
 	}
 }
 
-// FromEvents folds events into a Series. horizon seals the run's end;
-// when events extend past it, the end is clamped up to the last event.
-// The stream must contain every job's Arrival (use an unbounded
-// recorder); scheduler-level events contribute to the pass/ops tracks
-// without moving any job.
-func FromEvents(events []trace.Event, horizon rtime.Time, cfg Config) (*Series, error) {
+// Stream folds a time-ordered trace event stream into a Series online,
+// one event at a time, without buffering. It runs the exact fold
+// FromEvents runs — fed the same events in the same order it produces a
+// byte-identical Series — but its memory is O(windows + live jobs)
+// regardless of trace length.
+//
+// The stream requires events nondecreasing in Event.At (the contract
+// every engine's Observer documents) and within the horizon fixed at
+// construction; a violation is recorded as an error and the stream goes
+// inert — surfaced by Err and Finish, never silently absorbed.
+type Stream struct {
+	cfg Config
+	end rtime.Time
+	f   folder
+
+	phase   map[jobKey]jobPhase
+	attempt map[jobKey]int64 // CAS failures of the job's open access
+
+	lastAt rtime.Time
+	seen   bool
+	err    error
+}
+
+// NewStream builds an online series folder covering [0, horizon). The
+// horizon must be known up front (every engine's is) so window count —
+// and the assignment of boundary-instant events to windows — matches
+// the batch fold exactly.
+func NewStream(cfg Config, horizon rtime.Time) (*Stream, error) {
 	if cfg.Window <= 0 {
 		return nil, fmt.Errorf("%w: Window must be positive, got %v", ErrConfig, cfg.Window)
 	}
 	if cfg.CPUs < 1 {
 		cfg.CPUs = 1
 	}
+	end := horizon
+	if end < 1 {
+		end = 1
+	}
+	nWin := int((int64(end) + int64(cfg.Window) - 1) / int64(cfg.Window))
+	if nWin < 1 {
+		nWin = 1
+	}
+	s := &Stream{
+		cfg:     cfg,
+		end:     end,
+		f:       folder{window: cfg.Window, points: make([]Point, nWin)},
+		phase:   map[jobKey]jobPhase{},
+		attempt: map[jobKey]int64{},
+	}
+	for i := range s.f.points {
+		s.f.points[i].Start = rtime.Time(int64(cfg.Window) * int64(i))
+	}
+	return s, nil
+}
+
+// Err returns the first stream error (malformed trace, out-of-order or
+// beyond-horizon input), if any.
+func (s *Stream) Err() error { return s.err }
+
+func (s *Stream) failf(format string, args ...any) {
+	if s.err == nil {
+		s.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Observe folds one event. After an error the stream is inert.
+func (s *Stream) Observe(e trace.Event) {
+	if s.err != nil {
+		return
+	}
+	if s.seen && e.At < s.lastAt {
+		s.failf("%w: event %v at %v after %v (stream not time-ordered)", ErrTrace, e.Kind, e.At, s.lastAt)
+		return
+	}
+	if e.At > s.end {
+		s.failf("%w: event %v at %v beyond horizon %v", ErrTrace, e.Kind, e.At, s.end)
+		return
+	}
+	s.lastAt, s.seen = e.At, true
+	f := &s.f
+	f.advance(e.At)
+	p := &f.points[f.idx]
+	if e.Kind == trace.SchedPass {
+		p.SchedPasses++
+		p.SchedOps += e.Ops
+		return
+	}
+	if e.Task < 0 || e.Kind == trace.FeasOK || e.Kind == trace.FeasFail {
+		// Feasibility probes name a job but do not move it; their cost
+		// is already inside the enclosing pass's Ops.
+		return
+	}
+	k := jobKey{e.Task, e.Seq}
+	ph, seen := s.phase[k]
+	if e.Kind == trace.Arrival {
+		if seen {
+			s.failf("%w: duplicate arrival for J[%d,%d]", ErrTrace, e.Task, e.Seq)
+			return
+		}
+		s.phase[k] = phaseReady
+		p.Arrivals++
+		f.level(+1, 0)
+		return
+	}
+	if !seen {
+		s.failf("%w: %v for J[%d,%d] before its arrival (recorder limit?)", ErrTrace, e.Kind, e.Task, e.Seq)
+		return
+	}
+	if ph == phaseDone {
+		s.failf("%w: %v for J[%d,%d] after its departure", ErrTrace, e.Kind, e.Task, e.Seq)
+		return
+	}
+	leave := func() {
+		switch ph {
+		case phaseReady:
+			f.level(-1, 0)
+		case phaseRun:
+			f.level(0, -1)
+		}
+	}
+	switch e.Kind {
+	case trace.Dispatch:
+		leave()
+		s.phase[k] = phaseRun
+		f.level(0, +1)
+	case trace.Preempt:
+		// Only descheduled runners move; elsewhere it is a marker (the
+		// uniprocessor engine also tags blocked jobs whose CPU moved on).
+		p.Preempts++
+		if ph == phaseRun {
+			f.level(0, -1)
+			s.phase[k] = phaseReady
+			f.level(+1, 0)
+		}
+	case trace.Block:
+		leave()
+		s.phase[k] = phaseBlocked
+		p.Blocks++
+	case trace.Retry:
+		p.Retries++
+		s.attempt[k]++
+	case trace.FaultRetry:
+		// A phantom-writer retry is still a retry of the job.
+		p.Retries++
+		s.attempt[k]++
+	case trace.Commit:
+		p.Commits++
+		if a := s.attempt[k] + 1; a > p.MaxAttempt {
+			p.MaxAttempt = a
+		}
+		delete(s.attempt, k)
+	case trace.LockAcquire, trace.LockRelease, trace.FaultArrival, trace.FaultOverrun, trace.Shed:
+		// Markers only. (FaultStall carries Task=-1 and is skipped with
+		// the other scheduler-level events above.)
+	case trace.Complete:
+		leave()
+		s.phase[k] = phaseDone
+		p.Completions++
+		delete(s.phase, k) // retired; phaseDone is only ever observed transiently
+	case trace.AbortBegin:
+		leave()
+		s.phase[k] = phaseAborting
+	case trace.AbortDone:
+		leave()
+		s.phase[k] = phaseDone
+		p.Aborts++
+		delete(s.attempt, k) // the open access died with the job
+		delete(s.phase, k)
+	default:
+		s.failf("%w: unknown event kind %v", ErrTrace, e.Kind)
+	}
+}
+
+// Finish integrates the level tracks out to the horizon and returns the
+// folded Series, or the first stream error.
+func (s *Stream) Finish() (*Series, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	s.f.advance(s.end)
+	return &Series{Window: s.cfg.Window, End: s.end, CPUs: s.cfg.CPUs, Points: s.f.points}, nil
+}
+
+// FromEvents folds events into a Series. horizon seals the run's end;
+// when events extend past it, the end is clamped up to the last event.
+// The stream must contain every job's Arrival (use an unbounded
+// recorder); scheduler-level events contribute to the pass/ops tracks
+// without moving any job.
+func FromEvents(events []trace.Event, horizon rtime.Time, cfg Config) (*Series, error) {
 	evs := make([]trace.Event, len(events))
 	copy(evs, events)
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
@@ -247,110 +424,14 @@ func FromEvents(events []trace.Event, horizon rtime.Time, cfg Config) (*Series, 
 	if n := len(evs); n > 0 && evs[n-1].At > end {
 		end = evs[n-1].At
 	}
-	if end < 1 {
-		end = 1
+	s, err := NewStream(cfg, end)
+	if err != nil {
+		return nil, err
 	}
-	nWin := int((int64(end) + int64(cfg.Window) - 1) / int64(cfg.Window))
-	if nWin < 1 {
-		nWin = 1
-	}
-	f := &folder{window: cfg.Window, points: make([]Point, nWin)}
-	for i := range f.points {
-		f.points[i].Start = rtime.Time(int64(cfg.Window) * int64(i))
-	}
-
-	phase := map[jobKey]jobPhase{}
-	attempt := map[jobKey]int64{} // CAS failures of the job's open access
 	for _, e := range evs {
-		f.advance(e.At)
-		p := &f.points[f.idx]
-		if e.Kind == trace.SchedPass {
-			p.SchedPasses++
-			p.SchedOps += e.Ops
-			continue
-		}
-		if e.Task < 0 || e.Kind == trace.FeasOK || e.Kind == trace.FeasFail {
-			// Feasibility probes name a job but do not move it; their cost
-			// is already inside the enclosing pass's Ops.
-			continue
-		}
-		k := jobKey{e.Task, e.Seq}
-		ph, seen := phase[k]
-		if e.Kind == trace.Arrival {
-			if seen {
-				return nil, fmt.Errorf("%w: duplicate arrival for J[%d,%d]", ErrTrace, e.Task, e.Seq)
-			}
-			phase[k] = phaseReady
-			p.Arrivals++
-			f.level(+1, 0)
-			continue
-		}
-		if !seen {
-			return nil, fmt.Errorf("%w: %v for J[%d,%d] before its arrival (recorder limit?)", ErrTrace, e.Kind, e.Task, e.Seq)
-		}
-		if ph == phaseDone {
-			return nil, fmt.Errorf("%w: %v for J[%d,%d] after its departure", ErrTrace, e.Kind, e.Task, e.Seq)
-		}
-		leave := func() {
-			switch ph {
-			case phaseReady:
-				f.level(-1, 0)
-			case phaseRun:
-				f.level(0, -1)
-			}
-		}
-		switch e.Kind {
-		case trace.Dispatch:
-			leave()
-			phase[k] = phaseRun
-			f.level(0, +1)
-		case trace.Preempt:
-			// Only descheduled runners move; elsewhere it is a marker (the
-			// uniprocessor engine also tags blocked jobs whose CPU moved on).
-			p.Preempts++
-			if ph == phaseRun {
-				f.level(0, -1)
-				phase[k] = phaseReady
-				f.level(+1, 0)
-			}
-		case trace.Block:
-			leave()
-			phase[k] = phaseBlocked
-			p.Blocks++
-		case trace.Retry:
-			p.Retries++
-			attempt[k]++
-		case trace.FaultRetry:
-			// A phantom-writer retry is still a retry of the job.
-			p.Retries++
-			attempt[k]++
-		case trace.Commit:
-			p.Commits++
-			if a := attempt[k] + 1; a > p.MaxAttempt {
-				p.MaxAttempt = a
-			}
-			delete(attempt, k)
-		case trace.LockAcquire, trace.LockRelease, trace.FaultArrival, trace.FaultOverrun, trace.Shed:
-			// Markers only. (FaultStall carries Task=-1 and is skipped with
-			// the other scheduler-level events above.)
-		case trace.Complete:
-			leave()
-			phase[k] = phaseDone
-			p.Completions++
-		case trace.AbortBegin:
-			leave()
-			phase[k] = phaseAborting
-		case trace.AbortDone:
-			leave()
-			phase[k] = phaseDone
-			p.Aborts++
-			delete(attempt, k) // the open access died with the job
-		default:
-			return nil, fmt.Errorf("%w: unknown event kind %v", ErrTrace, e.Kind)
-		}
+		s.Observe(e)
 	}
-	f.advance(end)
-	return &Series{Window: cfg.Window, End: end, CPUs: cfg.CPUs, Points: f.points}, nil
+	return s.Finish()
 }
 
 // csvHeader is the fixed column set of WriteCSV.

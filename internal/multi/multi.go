@@ -67,10 +67,12 @@ type Config struct {
 	Stoch *stoch.Plan
 
 	// Observer, when non-nil, receives every partition engine's trace
-	// events with Event.CPU rewritten to the partition index. Partitions
-	// run sequentially in CPU order, so the merged stream is grouped by
-	// CPU, not globally time-ordered — consumers sort by Event.At
-	// (trace.WritePerfetto and trace/span.Build already do).
+	// events with Event.CPU rewritten to the partition index. The
+	// partition engines are stepped in lockstep — at each step the engine
+	// with the earliest pending event (ties broken by ascending CPU)
+	// advances one event — so the merged stream is nondecreasing in
+	// Event.At and online sinks (internal/obs) can fold it without
+	// buffering or sorting.
 	Observer func(trace.Event)
 }
 
@@ -201,6 +203,14 @@ func Run(cfg Config) (Result, error) {
 	}
 	res := Result{Assignment: assign, PerCPU: make([]sim.Result, cfg.CPUs)}
 	merged := sim.Result{Horizon: cfg.Horizon}
+
+	// Build one stepper engine per non-empty partition. Each engine only
+	// emits observer events at the virtual time of the event it is
+	// currently processing, so interleaving the engines by earliest
+	// NextAt (ties broken by ascending CPU) yields a merged stream
+	// nondecreasing in Event.At — equivalent to a stable sort by At of
+	// the old sequential per-CPU streams.
+	engines := make([]*sim.Engine, cfg.CPUs)
 	for cpu := 0; cpu < cfg.CPUs; cpu++ {
 		var part []*task.Task
 		for ti, t := range cfg.Tasks {
@@ -214,12 +224,13 @@ func Run(cfg Config) (Result, error) {
 		}
 		var obs func(trace.Event)
 		if cfg.Observer != nil {
+			cpu := cpu
 			obs = func(ev trace.Event) {
 				ev.CPU = cpu
 				cfg.Observer(ev)
 			}
 		}
-		r, err := sim.Run(sim.Config{
+		eng, err := sim.New(sim.Config{
 			Tasks:             part,
 			Scheduler:         newSched(),
 			Mode:              cfg.Mode,
@@ -237,6 +248,47 @@ func Run(cfg Config) (Result, error) {
 		})
 		if err != nil {
 			return Result{}, fmt.Errorf("multi: cpu %d: %w", cpu, err)
+		}
+		engines[cpu] = eng
+	}
+
+	// Lockstep merge: repeatedly advance the live engine with the
+	// earliest pending event.
+	for {
+		best := -1
+		var bestAt rtime.Time
+		for cpu, eng := range engines {
+			if eng == nil {
+				continue
+			}
+			at, ok := eng.NextAt()
+			if !ok {
+				if err := eng.Err(); err != nil {
+					return Result{}, fmt.Errorf("multi: cpu %d: %w", cpu, err)
+				}
+				continue
+			}
+			if best < 0 || at < bestAt {
+				best, bestAt = cpu, at
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if !engines[best].StepNext() {
+			if err := engines[best].Err(); err != nil {
+				return Result{}, fmt.Errorf("multi: cpu %d: %w", best, err)
+			}
+		}
+	}
+
+	for cpu, eng := range engines {
+		if eng == nil {
+			continue
+		}
+		r := eng.Finish()
+		if r.Err != nil {
+			return Result{}, fmt.Errorf("multi: cpu %d: %w", cpu, r.Err)
 		}
 		res.PerCPU[cpu] = r
 		merged.Jobs = append(merged.Jobs, r.Jobs...)

@@ -1,0 +1,328 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics/ops"
+	"repro/internal/metrics/series"
+	"repro/internal/obs"
+	"repro/internal/rtime"
+	"repro/internal/rua"
+	"repro/internal/sim"
+	"repro/internal/stoch"
+	"repro/internal/task"
+	"repro/internal/trace"
+	"repro/internal/trace/check"
+	"repro/internal/trace/span"
+	"repro/internal/tuf"
+	"repro/internal/uam"
+)
+
+func ev(at rtime.Time, kind trace.Kind) trace.Event {
+	return trace.Event{At: at, Kind: kind, Task: 0, Seq: int(at), Object: -1, CPU: -1}
+}
+
+func TestFlightRing(t *testing.T) {
+	f := obs.NewFlight(4)
+	for i := 0; i < 10; i++ {
+		f.Observe(ev(rtime.Time(i), trace.Arrival))
+	}
+	if f.Len() != 4 || f.Cap() != 4 {
+		t.Fatalf("len/cap = %d/%d", f.Len(), f.Cap())
+	}
+	if f.Total() != 10 || f.Dropped() != 6 {
+		t.Fatalf("total=%d dropped=%d", f.Total(), f.Dropped())
+	}
+	got := f.Events()
+	for i, e := range got {
+		if want := rtime.Time(6 + i); e.At != want {
+			t.Fatalf("event %d at %v, want %v", i, e.At, want)
+		}
+	}
+}
+
+func TestFlightPartial(t *testing.T) {
+	f := obs.NewFlight(8)
+	f.Observe(ev(1, trace.Arrival))
+	f.Observe(ev(2, trace.Commit))
+	if f.Len() != 2 || f.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", f.Len(), f.Dropped())
+	}
+	got := f.Events()
+	if len(got) != 2 || got[0].At != 1 || got[1].At != 2 {
+		t.Fatalf("events = %+v", got)
+	}
+	var b bytes.Buffer
+	if err := f.WritePerfetto(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "traceEvents") {
+		t.Fatal("perfetto dump missing traceEvents")
+	}
+}
+
+func TestTeeOrderAndNil(t *testing.T) {
+	var log []string
+	mk := func(name string) obs.Sink {
+		return obs.Func(func(e trace.Event) { log = append(log, name) })
+	}
+	cb := obs.Tee(mk("a"), nil, mk("b"))
+	cb(ev(1, trace.Arrival))
+	cb(ev(2, trace.Commit))
+	if strings.Join(log, ",") != "a,b,a,b" {
+		t.Fatalf("tee order = %v", log)
+	}
+}
+
+// testTasks builds a small lock-free workload that produces retries and
+// commits under the uniprocessor engine (the stochastic overlay in
+// runWith force-preempts mid-access, so preempted accesses re-run).
+func testTasks(t testing.TB) []*task.Task {
+	t.Helper()
+	tasks := make([]*task.Task, 4)
+	for i := range tasks {
+		tasks[i] = &task.Task{
+			ID: i, Name: "T", TUF: tuf.MustStep(float64(10*(i+1)), 4000),
+			Arrival:  uam.Spec{L: 1, A: 2, W: 5000},
+			Segments: task.InterleavedSegments(600, 2, []int{i % 2, (i + 1) % 2}),
+		}
+		if err := tasks[i].Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tasks
+}
+
+// runWith executes the reference workload with the given observer.
+func runWith(t testing.TB, tasks []*task.Task, horizon rtime.Time, observer func(trace.Event)) sim.Result {
+	t.Helper()
+	plan, err := stoch.ParsePlan("geo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		Tasks: tasks, Scheduler: rua.NewLockFree(), Mode: sim.LockFree,
+		R: 150, S: 120, OpCost: 0.02, Horizon: horizon,
+		ArrivalKind: uam.KindJittered, Seed: 1, ConservativeRetry: true,
+		Stoch:    plan,
+		Observer: observer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestPipelineMatchesBatch runs one engine with a full recorder and a
+// pipeline side by side (Tee) and checks every online fold against its
+// post-hoc batch counterpart.
+func TestPipelineMatchesBatch(t *testing.T) {
+	tasks := testTasks(t)
+	const horizon = rtime.Time(60_000)
+
+	rec := trace.NewRecorder(0)
+	ckCfg := check.Config{Theorem2: true, Theorem3: true, R: 150, S: 5}
+	var streamed []span.JobSpan
+	p, err := obs.NewPipeline(obs.Config{
+		Horizon:      horizon,
+		CPUs:         1,
+		SeriesWindow: 1000,
+		CheckTasks:   tasks,
+		Check:        &ckCfg,
+		OnSpan: func(s *span.JobSpan) {
+			cp := *s
+			cp.Segments = append([]span.Segment(nil), s.Segments...)
+			streamed = append(streamed, cp)
+		},
+		Flight: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runWith(t, tasks, horizon, obs.Tee(obs.Func(rec.Record), p))
+	out, err := p.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Counters against the engine's own result.
+	if out.Retries != res.Retries {
+		t.Fatalf("retries %d != result %d", out.Retries, res.Retries)
+	}
+	if out.Events != int64(rec.Len()) {
+		t.Fatalf("events %d != recorded %d", out.Events, rec.Len())
+	}
+
+	// Spans: batch Build vs streamed retirement (re-keyed to batch order).
+	batch, err := span.Build(rec.Events(), horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(batch) {
+		t.Fatalf("%d streamed spans, %d batch", len(streamed), len(batch))
+	}
+	var sb, bb bytes.Buffer
+	byKey := make(map[[2]int]span.JobSpan, len(streamed))
+	for _, s := range streamed {
+		byKey[[2]int{s.Task, s.Seq}] = s
+	}
+	ordered := make([]span.JobSpan, len(batch))
+	for i, s := range batch {
+		ordered[i] = byKey[[2]int{s.Task, s.Seq}]
+	}
+	if err := span.WriteText(&sb, ordered); err != nil {
+		t.Fatal(err)
+	}
+	if err := span.WriteText(&bb, batch); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != bb.String() {
+		t.Fatal("streamed spans differ from batch Build")
+	}
+
+	// Series: byte-identical CSV.
+	bSer, err := series.FromEvents(rec.Events(), horizon, series.Config{Window: 1000, CPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c1, c2 bytes.Buffer
+	if err := out.Series.WriteCSV(&c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bSer.WriteCSV(&c2); err != nil {
+		t.Fatal(err)
+	}
+	if c1.String() != c2.String() {
+		t.Fatal("streamed series CSV differs from batch fold")
+	}
+
+	// Ops: identical per-object summaries.
+	bOps := ops.FromEvents(rec.Events())
+	if len(out.Ops.Dists) != len(bOps.Dists) {
+		t.Fatalf("%d ops dists, batch %d", len(out.Ops.Dists), len(bOps.Dists))
+	}
+	for i, d := range out.Ops.Dists {
+		bd := bOps.Dists[i]
+		if d.Object != bd.Object || d.Ops != bd.Ops ||
+			d.Attempts.Sum() != bd.Attempts.Sum() || d.Attempts.Quantile(0.99) != bd.Attempts.Quantile(0.99) ||
+			d.Failures.Sum() != bd.Failures.Sum() {
+			t.Fatalf("ops dist %d differs: %+v vs %+v", i, d, bd)
+		}
+	}
+
+	// Check: byte-identical report.
+	bRep, err := check.Check(batch, tasks, ckCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r1, r2 bytes.Buffer
+	if err := out.Check.WriteText(&r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bRep.WriteText(&r2); err != nil {
+		t.Fatal(err)
+	}
+	if r1.String() != r2.String() {
+		t.Fatal("streamed check report differs from batch Check")
+	}
+
+	if out.Commits == 0 || out.Retries == 0 {
+		t.Fatal("workload produced no commits/retries; test is vacuous")
+	}
+}
+
+// TestProgressDeterministic runs the same traced workload twice and
+// asserts the progress stream is byte-identical, well-formed, and
+// paced by virtual time.
+func TestProgressDeterministic(t *testing.T) {
+	tasks := testTasks(t)
+	const horizon = rtime.Time(60_000)
+	run := func() string {
+		var buf bytes.Buffer
+		p, err := obs.NewPipeline(obs.Config{
+			Horizon: horizon, CPUs: 1,
+			Flight:        32,
+			Progress:      &buf,
+			ProgressEvery: 10_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runWith(t, tasks, horizon, p.Observer())
+		if _, err := p.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("progress output not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	lines := strings.Split(strings.TrimSuffix(a, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("want 6 progress lines over 60ms/10ms, got %d:\n%s", len(lines), a)
+	}
+	for i, ln := range lines {
+		if !strings.HasPrefix(ln, "progress t=") || !strings.Contains(ln, "flight=") {
+			t.Fatalf("malformed progress line %d: %q", i, ln)
+		}
+	}
+}
+
+// TestPipelineTriggersOnShed checks OnTrigger fires exactly once, on
+// the first anomaly, with the flight recorder holding the window.
+func TestPipelineTriggersOnShed(t *testing.T) {
+	var fired []string
+	p, err := obs.NewPipeline(obs.Config{
+		Horizon: 1000, Flight: 8,
+		OnTrigger: func(reason string, at rtime.Time) {
+			fired = append(fired, reason)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(trace.Event{At: 1, Kind: trace.Arrival, Task: 0, Seq: 0, Object: -1})
+	p.Observe(trace.Event{At: 5, Kind: trace.Shed, Task: 0, Seq: 0, Object: -1})
+	p.Observe(trace.Event{At: 6, Kind: trace.Shed, Task: 0, Seq: 1, Object: -1})
+	snap := p.Snapshot()
+	if len(fired) != 1 || fired[0] != "shed" {
+		t.Fatalf("fired = %v", fired)
+	}
+	if snap.Trigger != "shed" || snap.Sheds != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if p.Flight().Len() != 3 {
+		t.Fatalf("flight len = %d", p.Flight().Len())
+	}
+}
+
+// TestPipelineRejectsOutOfOrder asserts a time-regressing stream
+// surfaces as an error from Finish, not silence.
+func TestPipelineRejectsOutOfOrder(t *testing.T) {
+	p, err := obs.NewPipeline(obs.Config{Horizon: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(trace.Event{At: 10, Kind: trace.Arrival, Task: 0, Seq: 0, Object: -1})
+	p.Observe(trace.Event{At: 5, Kind: trace.Arrival, Task: 0, Seq: 1, Object: -1})
+	if _, err := p.Finish(); err == nil {
+		t.Fatal("out-of-order stream accepted")
+	}
+}
+
+func TestSnapshotLiveJobs(t *testing.T) {
+	p, err := obs.NewPipeline(obs.Config{Horizon: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(trace.Event{At: 1, Kind: trace.Arrival, Task: 0, Seq: 0, Object: -1})
+	p.Observe(trace.Event{At: 2, Kind: trace.Arrival, Task: 1, Seq: 0, Object: -1})
+	p.Observe(trace.Event{At: 9, Kind: trace.Complete, Task: 0, Seq: 0, Object: -1})
+	snap := p.Snapshot()
+	if snap.LiveJobs != 1 || snap.Now != 9 || snap.Events != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}

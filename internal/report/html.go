@@ -214,9 +214,13 @@ func (r *Report) buildPage() *page {
 	}
 	for i := range r.Runs {
 		run := &r.Runs[i]
+		caption := "sim " + run.Sim + " · " + run.Mode + " · " + strconv.Itoa(len(run.Seeds)) + " seed(s)"
+		if run.Dropped > 0 {
+			caption += " · " + strconv.FormatInt(run.Dropped, 10) + " event(s) dropped by bounded recording"
+		}
 		rv := runView{
 			Name:    run.Name,
-			Caption: "sim " + run.Sim + " · " + run.Mode + " · " + strconv.Itoa(len(run.Seeds)) + " seed(s)",
+			Caption: caption,
 			Tiles: []tile{
 				{"jobs", strconv.FormatInt(run.Jobs, 10)},
 				{"completed", strconv.FormatInt(run.Completed, 10)},

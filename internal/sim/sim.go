@@ -279,6 +279,12 @@ type Engine struct {
 	pickBuf []*task.Job // stochastic-pick candidate scratch (reused)
 	lastRun *task.Job
 
+	// Stepping state: the wheel has no Peek, so NextAt pops the next
+	// event into a one-slot stash that StepNext consumes.
+	stash    event
+	stashed  bool
+	finished bool
+
 	res1 Result
 	fail error
 }
@@ -411,68 +417,122 @@ func (e *Engine) emitSched(at rtime.Time, kind trace.Kind, ops int64) {
 //
 //rtlint:noalloc steady state carves from pre-sized slabs and reused scratch (PR-6 contract)
 func (e *Engine) Run() Result {
-	for e.events.Len() > 0 && e.fail == nil {
-		_, ev, _ := e.events.Pop()
-		if ev.at > e.cfg.Horizon {
-			break
+	for e.StepNext() {
+	}
+	return e.Finish()
+}
+
+// next pops the engine's next live event (skipping superseded
+// generation-guarded ones) into the stash, or reports none remain.
+func (e *Engine) next() (event, bool) {
+	for !e.stashed {
+		if e.events.Len() == 0 {
+			return event{}, false
 		}
+		_, ev, _ := e.events.Pop()
 		if ev.kind == evInternal && ev.gen != e.internalGen {
 			continue
 		}
 		if (ev.kind == evDispatch || ev.kind == evPreempt) && ev.gen != e.dispatchGen {
 			continue
 		}
-		e.now = ev.at
-		needResched := e.settle()
-		switch ev.kind {
-		case evArrival:
-			j := ev.job
-			//rtlint:ignore noalloc bounded by total arrivals; reaches steady capacity at warm-up
-			e.live = append(e.live, j)
-			//rtlint:ignore noalloc pre-sized in New for every arrival
-			e.allJobs = append(e.allJobs, j)
-			e.res1.Arrivals++
-			e.emit(e.now, trace.Arrival, j, -1)
-			if j.Injected {
-				e.res1.FaultArrivals++
-				e.emit(e.now, trace.FaultArrival, j, -1)
-			}
-			if j.Overrun > 0 {
-				e.res1.FaultOverruns++
-				e.emit(e.now, trace.FaultOverrun, j, -1)
-			}
-			e.push(event{at: j.AbsoluteCriticalTime(), kind: evCritical, job: j})
-			needResched = true
-		case evCritical:
-			if !ev.job.Done() && ev.job.State != task.Aborting {
-				e.beginAbort(ev.job)
-				needResched = true
-			}
-		case evAbortDone:
-			j := ev.job
-			if j.State == task.Aborting {
-				j.State = task.Aborted
-				e.res.ReleaseAll(j)
-				e.res1.Aborts++
-				e.emit(e.now, trace.AbortDone, j, -1)
-				needResched = true // departure is a scheduling event
-			}
-		case evDispatch:
-			e.dispatchNow(e.pendingDispatch)
-		case evPreempt:
-			// The stochastic quantum expired with the dispatch still
-			// current (gen-guarded above): force a scheduling pass.
-			// settle() already advanced the runner to e.now.
-			if e.running != nil {
-				needResched = true
-			}
-		case evInternal:
-			// settle() already processed the boundary.
-		}
-		if needResched && e.fail == nil {
-			e.reschedule()
-		}
+		e.stash = ev
+		e.stashed = true
 	}
+	return e.stash, true
+}
+
+// NextAt peeks the virtual time of the engine's next event. ok is false
+// when the engine has nothing left to process: no events remain, the
+// next event lies beyond the horizon, or the engine failed. The
+// partitioned driver (internal/multi) uses this to interleave several
+// engines' events in global time order.
+func (e *Engine) NextAt() (rtime.Time, bool) {
+	if e.fail != nil || e.finished {
+		return 0, false
+	}
+	ev, ok := e.next()
+	if !ok || ev.at > e.cfg.Horizon {
+		return 0, false
+	}
+	return ev.at, true
+}
+
+// Err returns the engine's failure, if any.
+func (e *Engine) Err() error { return e.fail }
+
+// StepNext processes exactly one event and reports whether the run can
+// continue. Observer emissions of the processed event all carry its
+// virtual time, so repeatedly calling StepNext yields an event stream
+// nondecreasing in Event.At.
+//
+//rtlint:noalloc steady state carves from pre-sized slabs and reused scratch (PR-6 contract)
+func (e *Engine) StepNext() bool {
+	if e.fail != nil || e.finished {
+		return false
+	}
+	ev, ok := e.next()
+	if !ok || ev.at > e.cfg.Horizon {
+		e.finished = true
+		return false
+	}
+	e.stashed = false
+	e.now = ev.at
+	needResched := e.settle()
+	switch ev.kind {
+	case evArrival:
+		j := ev.job
+		//rtlint:ignore noalloc bounded by total arrivals; reaches steady capacity at warm-up
+		e.live = append(e.live, j)
+		//rtlint:ignore noalloc pre-sized in New for every arrival
+		e.allJobs = append(e.allJobs, j)
+		e.res1.Arrivals++
+		e.emit(e.now, trace.Arrival, j, -1)
+		if j.Injected {
+			e.res1.FaultArrivals++
+			e.emit(e.now, trace.FaultArrival, j, -1)
+		}
+		if j.Overrun > 0 {
+			e.res1.FaultOverruns++
+			e.emit(e.now, trace.FaultOverrun, j, -1)
+		}
+		e.push(event{at: j.AbsoluteCriticalTime(), kind: evCritical, job: j})
+		needResched = true
+	case evCritical:
+		if !ev.job.Done() && ev.job.State != task.Aborting {
+			e.beginAbort(ev.job)
+			needResched = true
+		}
+	case evAbortDone:
+		j := ev.job
+		if j.State == task.Aborting {
+			j.State = task.Aborted
+			e.res.ReleaseAll(j)
+			e.res1.Aborts++
+			e.emit(e.now, trace.AbortDone, j, -1)
+			needResched = true // departure is a scheduling event
+		}
+	case evDispatch:
+		e.dispatchNow(e.pendingDispatch)
+	case evPreempt:
+		// The stochastic quantum expired with the dispatch still
+		// current (gen-guarded above): force a scheduling pass.
+		// settle() already advanced the runner to e.now.
+		if e.running != nil {
+			needResched = true
+		}
+	case evInternal:
+		// settle() already processed the boundary.
+	}
+	if needResched && e.fail == nil {
+		e.reschedule()
+	}
+	return e.fail == nil
+}
+
+// Finish seals and returns the result. Idempotent; call it after
+// StepNext reports the run is over (Run does).
+func (e *Engine) Finish() Result {
 	e.res1.Jobs = e.allJobs
 	e.res1.Horizon = e.cfg.Horizon
 	e.res1.Err = e.fail

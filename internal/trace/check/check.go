@@ -179,13 +179,30 @@ func (r *Report) WriteText(w io.Writer) error {
 	return err
 }
 
-// Check evaluates the configured bounds over spans produced from a run
-// of tasks. Every span's Task id must name a task in tasks; bounds are
-// computed from the full task set (sound, if loose, for a partition's
-// spans under multi). The error return reports evaluation problems
-// (unknown task, invalid formula inputs) — bound violations land in the
-// Report, not the error.
-func Check(spans []span.JobSpan, tasks []*task.Task, cfg Config) (*Report, error) {
+// Stream evaluates the configured bounds over spans one at a time, as
+// they retire from an online span folder (span.Stream). All bound
+// formulas are evaluated once at construction; Observe is pure lookup
+// and comparison, so checking is O(1) per span with no per-span
+// allocation unless a violation is found. Fed the same spans Check
+// sees, in any order, Report returns a byte-identical Report.
+type Stream struct {
+	cfg             Config
+	checkT2         bool
+	byID            map[int]int
+	retryBound      []int64
+	sojournBound    []rtime.Duration
+	effRetryBound   []int64
+	effSojournBound []rtime.Duration
+
+	rep  *Report
+	slot map[int]*TaskReport
+	err  error
+}
+
+// NewStream precomputes the bounds for tasks under cfg. The error
+// return reports evaluation problems (duplicate task ids, invalid
+// formula inputs).
+func NewStream(tasks []*task.Task, cfg Config) (*Stream, error) {
 	byID := make(map[int]int, len(tasks))
 	for i, t := range tasks {
 		if _, dup := byID[t.ID]; dup {
@@ -231,39 +248,97 @@ func Check(spans []span.JobSpan, tasks []*task.Task, cfg Config) (*Report, error
 		slot[rep.Tasks[i].Task] = &rep.Tasks[i]
 	}
 
-	for si := range spans {
-		s := &spans[si]
-		i, ok := byID[s.Task]
-		if !ok {
-			return nil, fmt.Errorf("check: span for unknown task %d", s.Task)
-		}
-		tr := slot[s.Task]
-		tr.Jobs++
-		if s.Retries > tr.MaxRetries {
-			tr.MaxRetries = s.Retries
-		}
-		if checkT2 && s.Retries > retryBound[i] {
-			rep.Violations = append(rep.Violations, Violation{
-				Theorem: 2, Task: s.Task, Seq: s.Seq, Observed: s.Retries, Bound: retryBound[i],
-				Expected: cfg.ExpectedT2 || (effRetryBound != nil && s.Retries <= effRetryBound[i]),
-			})
-		}
-		if s.Outcome != span.Completed {
-			continue
-		}
-		tr.Completed++
-		soj := s.Sojourn()
-		if soj > tr.MaxSojourn {
-			tr.MaxSojourn = soj
-		}
-		if cfg.Theorem3 && soj > sojournBound[i] {
-			rep.Violations = append(rep.Violations, Violation{
-				Theorem: 3, Task: s.Task, Seq: s.Seq, Observed: soj.Micros(), Bound: sojournBound[i].Micros(),
-				Expected: cfg.ExpectedT3 || (effSojournBound != nil && soj <= effSojournBound[i]),
-			})
-		}
+	return &Stream{
+		cfg: cfg, checkT2: checkT2, byID: byID,
+		retryBound: retryBound, sojournBound: sojournBound,
+		effRetryBound: effRetryBound, effSojournBound: effSojournBound,
+		rep: rep, slot: slot,
+	}, nil
+}
+
+// Err returns the first evaluation error (span for an unknown task), if
+// any.
+func (st *Stream) Err() error { return st.err }
+
+// Observe checks one span and returns the violations it produced (a
+// view into the report's violation list, valid until the next call
+// appends). After an error the stream is inert.
+func (st *Stream) Observe(s *span.JobSpan) []Violation {
+	if st.err != nil {
+		return nil
 	}
-	return rep, nil
+	i, ok := st.byID[s.Task]
+	if !ok {
+		st.err = fmt.Errorf("check: span for unknown task %d", s.Task)
+		return nil
+	}
+	n := len(st.rep.Violations)
+	tr := st.slot[s.Task]
+	tr.Jobs++
+	if s.Retries > tr.MaxRetries {
+		tr.MaxRetries = s.Retries
+	}
+	if st.checkT2 && s.Retries > st.retryBound[i] {
+		st.rep.Violations = append(st.rep.Violations, Violation{
+			Theorem: 2, Task: s.Task, Seq: s.Seq, Observed: s.Retries, Bound: st.retryBound[i],
+			Expected: st.cfg.ExpectedT2 || (st.effRetryBound != nil && s.Retries <= st.effRetryBound[i]),
+		})
+	}
+	if s.Outcome != span.Completed {
+		return st.rep.Violations[n:]
+	}
+	tr.Completed++
+	soj := s.Sojourn()
+	if soj > tr.MaxSojourn {
+		tr.MaxSojourn = soj
+	}
+	if st.cfg.Theorem3 && soj > st.sojournBound[i] {
+		st.rep.Violations = append(st.rep.Violations, Violation{
+			Theorem: 3, Task: s.Task, Seq: s.Seq, Observed: soj.Micros(), Bound: st.sojournBound[i].Micros(),
+			Expected: st.cfg.ExpectedT3 || (st.effSojournBound != nil && soj <= st.effSojournBound[i]),
+		})
+	}
+	return st.rep.Violations[n:]
+}
+
+// Report sorts the accumulated violations into the order Check promises
+// — ascending (task, seq), theorem 2 before 3 — and returns the report,
+// or the first evaluation error. Spans retire from an online folder in
+// departure order, not key order, so the sort re-establishes the batch
+// contract; per (task, seq) at most one violation of each theorem
+// exists, making the order unique.
+func (st *Stream) Report() (*Report, error) {
+	if st.err != nil {
+		return nil, st.err
+	}
+	v := st.rep.Violations
+	sort.Slice(v, func(a, b int) bool {
+		if v[a].Task != v[b].Task {
+			return v[a].Task < v[b].Task
+		}
+		if v[a].Seq != v[b].Seq {
+			return v[a].Seq < v[b].Seq
+		}
+		return v[a].Theorem < v[b].Theorem
+	})
+	return st.rep, nil
+}
+
+// Check evaluates the configured bounds over spans produced from a run
+// of tasks. Every span's Task id must name a task in tasks; bounds are
+// computed from the full task set (sound, if loose, for a partition's
+// spans under multi). The error return reports evaluation problems
+// (unknown task, invalid formula inputs) — bound violations land in the
+// Report, not the error.
+func Check(spans []span.JobSpan, tasks []*task.Task, cfg Config) (*Report, error) {
+	st, err := NewStream(tasks, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for si := range spans {
+		st.Observe(&spans[si])
+	}
+	return st.Report()
 }
 
 // boundsFor evaluates the configured analytical bounds for every task;

@@ -27,10 +27,15 @@ import (
 // enumerations are sorted, so equal traces produce byte-identical
 // files.
 func WritePerfetto(w io.Writer, events []Event) error {
-	// Sort by time, preserving the (deterministic) input order of ties.
-	evs := make([]Event, len(events))
-	copy(evs, events)
-	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	// Sort an index by time, preserving the (deterministic) input order
+	// of ties. Sorting indices instead of a copy of the slice keeps the
+	// export's working memory at one int per event instead of doubling
+	// the (much larger) event storage at peak.
+	idx := make([]int, len(events))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return events[idx[i]].At < events[idx[j]].At })
 
 	pw := &perfettoWriter{w: w}
 	pw.raw(`{"traceEvents":[`)
@@ -40,7 +45,7 @@ func WritePerfetto(w io.Writer, events []Event) error {
 	cpuSet := map[int]bool{}
 	schedCPUSet := map[int]bool{}
 	var end rtime.Time
-	for _, e := range evs {
+	for _, e := range events {
 		if e.Task >= 0 {
 			taskSet[e.Task] = true
 		}
@@ -90,7 +95,8 @@ func WritePerfetto(w io.Writer, events []Event) error {
 		pw.slice(1, s.task+1, s.from, to, "run", fmt.Sprintf(`{"seq":%d,"cpu":%d}`, s.seq, s.cpu))
 		pw.slice(2, s.cpu+1, s.from, to, fmt.Sprintf("J[%d,%d]", s.task, s.seq), "")
 	}
-	for _, e := range evs {
+	for _, i := range idx {
+		e := events[i]
 		switch e.Kind {
 		case Dispatch:
 			c := cpu0(e.CPU)

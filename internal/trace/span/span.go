@@ -179,106 +179,22 @@ func Build(events []trace.Event, end rtime.Time) ([]JobSpan, error) {
 	evs := make([]trace.Event, len(events))
 	copy(evs, events)
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
-
-	states := map[jobKey]*state{}
-	var keys []jobKey
+	s := NewStream(nil)
 	for _, e := range evs {
-		// Scheduler-level events carry no job state transition (FeasOK and
-		// FeasFail name the examined job but do not move it).
-		if e.Task < 0 || e.Kind == trace.SchedPass || e.Kind == trace.FeasOK || e.Kind == trace.FeasFail {
-			continue
-		}
-		k := jobKey{e.Task, e.Seq}
-		st := states[k]
-		if e.Kind == trace.Arrival {
-			if st != nil {
-				return nil, fmt.Errorf("%w: duplicate arrival for J[%d,%d]", ErrTrace, e.Task, e.Seq)
-			}
-			st = &state{span: JobSpan{Task: e.Task, Seq: e.Seq, Arrival: e.At}, curKind: Ready, curCPU: -1, curStart: e.At}
-			states[k] = st
-			keys = append(keys, k)
-			continue
-		}
-		if st == nil {
-			return nil, fmt.Errorf("%w: %v for J[%d,%d] before its arrival (recorder limit?)", ErrTrace, e.Kind, e.Task, e.Seq)
-		}
-		if st.done {
-			return nil, fmt.Errorf("%w: %v for J[%d,%d] after its departure", ErrTrace, e.Kind, e.Task, e.Seq)
-		}
-		switch e.Kind {
-		case trace.Dispatch:
-			st.close(e.At)
-			st.open(Run, cpu0(e.CPU))
-			st.span.Dispatches++
-		case trace.Preempt:
-			// Emitted only for descheduled runners; in other states it is
-			// a marker (the uniprocessor engine also tags blocked jobs
-			// whose processor moved on).
-			if st.curKind == Run {
-				st.close(e.At)
-				st.open(Ready, -1)
-			}
-		case trace.Block:
-			st.close(e.At)
-			st.open(Blocked, -1)
-		case trace.Retry:
-			st.span.Retries++
-		case trace.FaultRetry:
-			// A phantom-writer retry is a real retry of the job — it counts
-			// toward the f_i Theorem 2 speaks about — but is tallied
-			// separately so check can attribute expected violations.
-			st.span.Retries++
-			st.span.InjectedRetries++
-		case trace.Commit:
-			st.span.Commits++
-		case trace.FaultArrival, trace.FaultOverrun:
-			st.span.Injected = true
-		case trace.Shed:
-			st.span.Shed = true
-		case trace.LockAcquire, trace.LockRelease:
-			// Markers only; occupancy state does not change here.
-		case trace.Complete:
-			st.close(e.At)
-			st.done = true
-			st.span.End = e.At
-			st.span.Outcome = Completed
-		case trace.AbortBegin:
-			st.close(e.At)
-			st.open(Aborting, -1)
-		case trace.AbortDone:
-			st.close(e.At)
-			st.done = true
-			st.span.End = e.At
-			st.span.Outcome = Aborted
-		default:
-			return nil, fmt.Errorf("%w: unknown event kind %v", ErrTrace, e.Kind)
-		}
+		s.Observe(e)
 	}
-	// Seal unfinished jobs at the end of the trace.
-	for _, k := range keys {
-		st := states[k]
-		if st.done {
-			continue
-		}
-		to := end
-		if to < st.curStart {
-			to = st.curStart
-		}
-		st.close(to)
-		st.span.End = to
-		st.span.Outcome = Unfinished
-	}
+	return s.Finish(end)
+}
+
+// sortKeys orders job keys by (task, seq) — the deterministic output
+// order Build and Stream.Finish promise.
+func sortKeys(keys []jobKey) {
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].task != keys[j].task {
 			return keys[i].task < keys[j].task
 		}
 		return keys[i].seq < keys[j].seq
 	})
-	out := make([]JobSpan, len(keys))
-	for i, k := range keys {
-		out[i] = states[k].span
-	}
-	return out, nil
 }
 
 // cpu0 maps unbound (-1) CPUs onto processor 0, mirroring

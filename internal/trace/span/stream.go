@@ -1,0 +1,229 @@
+package span
+
+import (
+	"fmt"
+
+	"repro/internal/rtime"
+	"repro/internal/trace"
+)
+
+// Stream folds a time-ordered trace event stream into per-job spans
+// online, one event at a time, instead of post-hoc over a recorded
+// slice. It runs the exact state machine Build runs — fed the same
+// events in the same order it produces byte-identical spans — but
+// retires each job's span the moment the job departs, so steady-state
+// memory is O(live jobs), not O(total jobs).
+//
+// The stream requires events nondecreasing in Event.At (the contract
+// every engine's Observer documents); a regression is recorded as an
+// error and the stream goes inert — surfaced by Err and Finish, never
+// silently absorbed.
+//
+// Two retirement modes:
+//
+//   - onSpan != nil: each retired span is handed to the callback and its
+//     storage (segment slice, state record) is recycled for later jobs.
+//     The *JobSpan is valid only during the call; copy what you keep.
+//     Finish seals still-live jobs in arrival order and delivers them
+//     too, then returns nil spans.
+//   - onSpan == nil: every span is retained and Finish returns them all
+//     sorted by (task, seq) — the Build path.
+type Stream struct {
+	onSpan func(*JobSpan)
+
+	states map[jobKey]*state
+	// order holds job keys in arrival order; Finish seals survivors in
+	// this order. In recycling mode retired keys linger until compact
+	// rewrites the slice, keeping memory proportional to live jobs
+	// without iterating the map (which would be nondeterministic).
+	order []jobKey
+	free  []*state
+
+	lastAt rtime.Time
+	seen   bool
+	err    error
+}
+
+// NewStream builds an online span folder. See Stream for the two
+// retirement modes onSpan selects.
+func NewStream(onSpan func(*JobSpan)) *Stream {
+	return &Stream{onSpan: onSpan, states: map[jobKey]*state{}}
+}
+
+// Err returns the first stream error (malformed trace or out-of-order
+// input), if any.
+func (s *Stream) Err() error { return s.err }
+
+// Live returns the number of jobs currently live in the stream —
+// arrived but not yet retired. In retaining mode this includes departed
+// jobs, matching what Finish will return.
+func (s *Stream) Live() int { return len(s.states) }
+
+func (s *Stream) failf(format string, args ...any) {
+	if s.err == nil {
+		s.err = fmt.Errorf(format, args...)
+	}
+}
+
+// alloc takes a state record from the free list or the heap.
+func (s *Stream) alloc() *state {
+	if n := len(s.free); n > 0 {
+		st := s.free[n-1]
+		s.free = s.free[:n-1]
+		return st
+	}
+	return &state{}
+}
+
+// retire finishes a departed job: in recycling mode the span is
+// delivered and its storage reclaimed; in retaining mode the state
+// simply stays in the map (done=true) until Finish collects it.
+func (s *Stream) retire(k jobKey, st *state) {
+	if s.onSpan == nil {
+		return
+	}
+	s.onSpan(&st.span)
+	delete(s.states, k)
+	segs := st.span.Segments[:0]
+	*st = state{span: JobSpan{Segments: segs}}
+	s.free = append(s.free, st)
+	if len(s.order) > 4*len(s.states)+16 {
+		s.compact()
+	}
+}
+
+// compact drops retired keys from the arrival-order list, preserving
+// the relative order of live ones.
+func (s *Stream) compact() {
+	live := s.order[:0]
+	for _, k := range s.order {
+		if _, ok := s.states[k]; ok {
+			live = append(live, k)
+		}
+	}
+	s.order = live
+}
+
+// Observe folds one event. Events must arrive nondecreasing in At;
+// scheduler-level events (negative task, SchedPass, FeasOK, FeasFail)
+// are ignored. After an error the stream is inert.
+func (s *Stream) Observe(e trace.Event) {
+	if s.err != nil {
+		return
+	}
+	if s.seen && e.At < s.lastAt {
+		s.failf("%w: event %v at %v after %v (stream not time-ordered)", ErrTrace, e.Kind, e.At, s.lastAt)
+		return
+	}
+	s.lastAt, s.seen = e.At, true
+	if e.Task < 0 || e.Kind == trace.SchedPass || e.Kind == trace.FeasOK || e.Kind == trace.FeasFail {
+		return
+	}
+	k := jobKey{e.Task, e.Seq}
+	st := s.states[k]
+	if e.Kind == trace.Arrival {
+		if st != nil {
+			s.failf("%w: duplicate arrival for J[%d,%d]", ErrTrace, e.Task, e.Seq)
+			return
+		}
+		st = s.alloc()
+		st.span.Task, st.span.Seq, st.span.Arrival = e.Task, e.Seq, e.At
+		st.curKind, st.curCPU, st.curStart = Ready, -1, e.At
+		s.states[k] = st
+		s.order = append(s.order, k)
+		return
+	}
+	if st == nil {
+		s.failf("%w: %v for J[%d,%d] before its arrival (recorder limit?)", ErrTrace, e.Kind, e.Task, e.Seq)
+		return
+	}
+	if st.done {
+		s.failf("%w: %v for J[%d,%d] after its departure", ErrTrace, e.Kind, e.Task, e.Seq)
+		return
+	}
+	switch e.Kind {
+	case trace.Dispatch:
+		st.close(e.At)
+		st.open(Run, cpu0(e.CPU))
+		st.span.Dispatches++
+	case trace.Preempt:
+		// Emitted only for descheduled runners; in other states it is
+		// a marker (the uniprocessor engine also tags blocked jobs
+		// whose processor moved on).
+		if st.curKind == Run {
+			st.close(e.At)
+			st.open(Ready, -1)
+		}
+	case trace.Block:
+		st.close(e.At)
+		st.open(Blocked, -1)
+	case trace.Retry:
+		st.span.Retries++
+	case trace.FaultRetry:
+		// A phantom-writer retry is a real retry of the job — it counts
+		// toward the f_i Theorem 2 speaks about — but is tallied
+		// separately so check can attribute expected violations.
+		st.span.Retries++
+		st.span.InjectedRetries++
+	case trace.Commit:
+		st.span.Commits++
+	case trace.FaultArrival, trace.FaultOverrun:
+		st.span.Injected = true
+	case trace.Shed:
+		st.span.Shed = true
+	case trace.LockAcquire, trace.LockRelease:
+		// Markers only; occupancy state does not change here.
+	case trace.Complete:
+		st.close(e.At)
+		st.done = true
+		st.span.End = e.At
+		st.span.Outcome = Completed
+		s.retire(k, st)
+	case trace.AbortBegin:
+		st.close(e.At)
+		st.open(Aborting, -1)
+	case trace.AbortDone:
+		st.close(e.At)
+		st.done = true
+		st.span.End = e.At
+		st.span.Outcome = Aborted
+		s.retire(k, st)
+	default:
+		s.failf("%w: unknown event kind %v", ErrTrace, e.Kind)
+	}
+}
+
+// Finish seals still-live jobs at instant end (clamped per job to its
+// last transition), retiring them in arrival order, and returns the
+// retained spans sorted by (task, seq) — nil in recycling mode. The
+// first stream error, if any, is returned with nil spans.
+func (s *Stream) Finish(end rtime.Time) ([]JobSpan, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for _, k := range s.order {
+		st, ok := s.states[k]
+		if !ok || st.done {
+			continue
+		}
+		to := end
+		if to < st.curStart {
+			to = st.curStart
+		}
+		st.close(to)
+		st.span.End = to
+		st.span.Outcome = Unfinished
+		st.done = true
+		s.retire(k, st)
+	}
+	if s.onSpan != nil {
+		return nil, nil
+	}
+	keys := s.order
+	sortKeys(keys)
+	out := make([]JobSpan, len(keys))
+	for i, k := range keys {
+		out[i] = s.states[k].span
+	}
+	return out, nil
+}

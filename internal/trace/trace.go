@@ -123,8 +123,9 @@ func (e Event) String() string {
 // Recorder accumulates events. It is not safe for concurrent use; the
 // simulator is single-goroutine by design.
 type Recorder struct {
-	events []Event
-	limit  int
+	events  []Event
+	limit   int
+	dropped int64
 }
 
 // NewRecorder returns a recorder keeping at most limit events (0 means
@@ -135,9 +136,16 @@ func NewRecorder(limit int) *Recorder { return &Recorder{limit: limit} }
 func (r *Recorder) Record(e Event) {
 	r.events = append(r.events, e)
 	if r.limit > 0 && len(r.events) > r.limit {
+		r.dropped += int64(len(r.events) - r.limit)
 		r.events = r.events[len(r.events)-r.limit:]
 	}
 }
+
+// Dropped returns how many events the limit has discarded. A non-zero
+// count means Events is a suffix of the run: consumers that need every
+// event (span.Build, series/ops folds) were silently starved before
+// this counter existed — check it before trusting derived artifacts.
+func (r *Recorder) Dropped() int64 { return r.dropped }
 
 // Observer returns the recorder's Record method bound as a callback.
 func (r *Recorder) Observer() func(Event) { return r.Record }
