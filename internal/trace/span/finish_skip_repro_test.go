@@ -1,0 +1,43 @@
+package span
+
+import (
+	"testing"
+
+	"repro/internal/rtime"
+	"repro/internal/trace"
+)
+
+// Repro: compact() firing inside Finish's range over s.order rewrites
+// the backing array under the iterator, skipping live jobs.
+func TestFinishCompactSkipRepro(t *testing.T) {
+	delivered := map[int]bool{}
+	s := NewStream(func(js *JobSpan) { delivered[js.Task] = true })
+	at := rtime.Time(0)
+	// 100 long-lived jobs arrive first (tasks 0..99) and never depart.
+	for i := 0; i < 100; i++ {
+		s.Observe(trace.Event{At: at, Kind: trace.Arrival, Task: i, Seq: 0, Object: -1, CPU: -1})
+	}
+	// Short jobs arrive and complete, leaving stale keys in order until
+	// len(order) sits exactly at the compact threshold (4*100+16 = 416).
+	for i := 100; len(s.order) < 416; i++ {
+		at++
+		s.Observe(trace.Event{At: at, Kind: trace.Arrival, Task: i, Seq: 0, Object: -1, CPU: -1})
+		at++
+		s.Observe(trace.Event{At: at, Kind: trace.Complete, Task: i, Seq: 0, Object: -1, CPU: -1})
+	}
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	if _, err := s.Finish(at + 1); err != nil {
+		t.Fatal(err)
+	}
+	miss := 0
+	for i := 0; i < 100; i++ {
+		if !delivered[i] {
+			miss++
+		}
+	}
+	if miss > 0 {
+		t.Fatalf("%d of 100 live jobs were never delivered by Finish (live remaining in states: %d)", miss, s.Live())
+	}
+}
