@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: all build test race race-all stress vet lint bench trace-demo \
 	check-bounds report metrics bench-baseline bench-diff profile \
-	fuzz-smoke scale-smoke stoch-smoke obs-smoke
+	fuzz-smoke scale-smoke stoch-smoke obs-smoke serve-smoke
 
 all: build vet lint test
 
@@ -132,6 +132,39 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz '^FuzzGenerateSatisfiesSpec$$' -fuzztime $(FUZZTIME) ./internal/uam
 	$(GO) test -run NONE -fuzz '^FuzzCheckTraceNoPanic$$' -fuzztime $(FUZZTIME) ./internal/uam
 	$(GO) test -run NONE -fuzz '^FuzzIgnoreDirective$$' -fuzztime $(FUZZTIME) ./internal/lint
+	$(GO) test -run NONE -fuzz '^FuzzSpecDecode$$' -fuzztime $(FUZZTIME) ./internal/serve
+
+# Serving-mode smoke: boot rtsimd, submit a fault-injected trace spec
+# twice over real HTTP (the second must be an exact cache hit), stream
+# the NDJSON feed to completion, download the served artifacts, and
+# diff every byte against the batch rtsim invocation of the same
+# scenario — the daemon/CLI conformance contract end to end.
+serve-smoke:
+	$(GO) build -o rtsimd.smoke ./cmd/rtsimd
+	$(GO) build -o rtsim.smoke ./cmd/rtsim
+	rm -rf serve-smoke-out && mkdir -p serve-smoke-out/served serve-smoke-out/batch
+	sh -ec '\
+	  ./rtsimd.smoke -addr 127.0.0.1:18089 -workers 1 -drain-timeout 10s > serve-smoke-out/rtsimd.log 2>&1 & pid=$$!; \
+	  trap "kill $$pid 2>/dev/null || true" EXIT; \
+	  for i in $$(seq 1 50); do curl -fs http://127.0.0.1:18089/healthz >/dev/null 2>&1 && break; sleep 0.2; done; \
+	  spec="{\"faults\":\"light\",\"fault_seed\":7,\"trace\":{\"format\":\"perfetto\",\"flight\":256}}"; \
+	  curl -fs -X POST -d "$$spec" http://127.0.0.1:18089/api/v1/runs > serve-smoke-out/submit1.json; \
+	  curl -fs http://127.0.0.1:18089/api/v1/runs/r00000001/events > serve-smoke-out/events.ndjson; \
+	  grep -q "\"kind\":\"done\"" serve-smoke-out/events.ndjson; \
+	  curl -fs -X POST -d "$$spec" http://127.0.0.1:18089/api/v1/runs > serve-smoke-out/submit2.json; \
+	  grep -q "\"cache\":\"hit\"" serve-smoke-out/submit2.json; \
+	  for a in trace.perfetto.json trace.perfetto.json.flight.json trace.summary.txt; do \
+	    curl -fs http://127.0.0.1:18089/api/v1/runs/r00000001/artifacts/$$a > serve-smoke-out/served/$$a; \
+	  done; \
+	  curl -fs http://127.0.0.1:18089/api/v1/statz > serve-smoke-out/statz.json; \
+	  grep -q "\"hits\":1" serve-smoke-out/statz.json; \
+	  grep -q "\"misses\":1" serve-smoke-out/statz.json'
+	cd serve-smoke-out/batch && ../../rtsim.smoke -profile quick -faults light -fault-seed 7 \
+	  -flight 256 -trace trace.perfetto.json -trace-format perfetto > trace.summary.txt
+	cmp serve-smoke-out/served/trace.perfetto.json serve-smoke-out/batch/trace.perfetto.json
+	cmp serve-smoke-out/served/trace.perfetto.json.flight.json serve-smoke-out/batch/trace.perfetto.json.flight.json
+	cmp serve-smoke-out/served/trace.summary.txt serve-smoke-out/batch/trace.summary.txt
+	@echo "serve smoke OK: served bytes byte-identical to batch, cache counters exact"
 
 # CPU + heap profiles of the canonical metrics fold; inspect with
 # `go tool pprof cpu.pprof`.

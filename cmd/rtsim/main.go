@@ -9,7 +9,6 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,15 +19,11 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/experiment"
 	"repro/internal/fault"
-	"repro/internal/obs"
-	"repro/internal/report"
-	"repro/internal/rtime"
 	"repro/internal/runner"
 	"repro/internal/stoch"
-	"repro/internal/trace"
-	"repro/internal/trace/span"
 )
 
 // benchEntry is one experiment's wall-clock timing for -bench-json.
@@ -259,24 +254,20 @@ experiments:
 		}
 		// -stream swaps the post-hoc builder for the online pipeline;
 		// both render byte-identically (pinned by the experiment tests).
-		build := experiment.BuildReport
-		if *stream {
-			build = experiment.BuildReportStream
-		}
 		if *metrics {
 			// The digest skips the figure sweeps: it is the fast look.
-			rep, err := build(p, nil)
+			digest, err := artifact.BuildMetrics(p, *stream)
 			if err != nil {
 				fmt.Fprintf(stderr, "rtsim: metrics: %v\n", err)
 				return 1
 			}
-			if err := rep.WriteText(stdout); err != nil {
+			if _, err := stdout.Write(digest); err != nil {
 				fmt.Fprintf(stderr, "rtsim: metrics: %v\n", err)
 				return 1
 			}
 		}
 		if *reportDir != "" {
-			if err := writeReport(p, build, *reportDir, figIDs, stdout); err != nil {
+			if err := writeReport(p, *stream, *reportDir, figIDs, stdout); err != nil {
 				fmt.Fprintf(stderr, "rtsim: report: %v\n", err)
 				return 1
 			}
@@ -334,140 +325,55 @@ experiments:
 }
 
 // writeReport builds the canonical-workload report (with the batch or
-// streaming builder) and writes its CSV artifacts plus the
-// self-contained HTML page into dir. The stdout listing and every file
-// are byte-identical for any -jobs value and either builder.
-func writeReport(p experiment.Profile, build func(experiment.Profile, []string) (*report.Report, error), dir string, figIDs []string, stdout io.Writer) error {
-	rep, err := build(p, figIDs)
+// streaming builder) via the shared artifact path — the same bytes the
+// rtsimd daemon serves — and writes every file into dir. The stdout
+// listing and every file are byte-identical for any -jobs value and
+// either builder.
+func writeReport(p experiment.Profile, stream bool, dir string, figIDs []string, stdout io.Writer) error {
+	set, err := artifact.BuildReportSet(p, figIDs, stream)
 	if err != nil {
 		return err
 	}
-	names, err := rep.WriteCSVDir(dir)
-	if err != nil {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	var html bytes.Buffer
-	if err := rep.WriteHTML(&html); err != nil {
-		return err
+	for _, f := range set.Files {
+		if err := os.WriteFile(filepath.Join(dir, f.Name), f.Data, 0o644); err != nil {
+			return err
+		}
 	}
-	if err := os.WriteFile(filepath.Join(dir, "report.html"), html.Bytes(), 0o644); err != nil {
-		return err
-	}
-	names = append(names, "report.html")
 	fmt.Fprintf(stdout, "report: profile=%s runs=%d figs=%d files=%d dir=%s\n",
-		p.Name, len(rep.Runs), len(rep.Figs), len(names), dir)
-	for _, n := range names {
+		p.Name, set.Runs, set.Figs, len(set.Files), dir)
+	for _, n := range set.Names() {
 		fmt.Fprintf(stdout, "  %s\n", n)
 	}
 	return nil
 }
 
-// writeTrace runs one fully-observed canonical-workload simulation and
-// writes its trace to file in the requested format. An obs.Pipeline
-// rides along when -flight or -progress ask for it: the engine's single
-// observer stream is Tee'd between the recorder and the online sinks.
-// The stdout summary, the trace file, and the flight dump are pure
-// functions of (profile, sim, mode, limit, flight): byte-identical for
-// any -jobs value. Only -progress touches stderr.
+// writeTrace runs one fully-observed canonical-workload simulation via
+// the shared artifact path — the same bytes the rtsimd daemon serves —
+// and writes the trace (plus any flight dump) to disk. The stdout
+// summary, the trace file, and the flight dump are pure functions of
+// (profile, sim, mode, limit, flight): byte-identical for any -jobs
+// value. Only -progress touches stderr.
 func writeTrace(p experiment.Profile, file, format, simName, mode string, limit, flight int, progress bool, stdout, stderr io.Writer) error {
-	var lockBased bool
-	switch mode {
-	case "lockfree":
-	case "lockbased":
-		lockBased = true
-	default:
-		return fmt.Errorf("unknown -trace-mode %q (want lockfree or lockbased)", mode)
+	o := artifact.TraceOptions{Sim: simName, Mode: mode, Format: format, Limit: limit, Flight: flight}
+	if progress {
+		o.Progress = stderr
 	}
-	seed := p.Seeds[0]
-	tasks, horizon, err := experiment.TraceSetup(p)
+	t, err := artifact.BuildTrace(p, o)
 	if err != nil {
 		return err
 	}
-
-	rec := trace.NewRecorder(limit)
-	observer := rec.Record
-	var pipe *obs.Pipeline
-	var dumpFile string
-	var dumpErr error
-	dumpLen, dumpDropped := 0, int64(0)
-	if flight > 0 || progress {
-		cpus := 1
-		if simName != experiment.TraceSimUni {
-			cpus = experiment.TraceCPUs
-		}
-		cfg := obs.Config{Horizon: horizon, CPUs: cpus, Flight: flight}
-		if progress {
-			// Ten lines per run, paced by virtual time — a pure function
-			// of the horizon, so progress output is deterministic too.
-			every := rtime.Duration(horizon / 10)
-			if every < 1 {
-				every = 1
-			}
-			cfg.Progress = stderr
-			cfg.ProgressEvery = every
-		}
-		if flight > 0 {
-			dumpFile = file + ".flight.json"
-			cfg.OnTrigger = func(reason string, at rtime.Time) {
-				// Dump the ring the moment the anomaly happens: the
-				// window ends at the event that tripped it.
-				dumpLen, dumpDropped = pipe.Flight().Len(), pipe.Flight().Dropped()
-				var b bytes.Buffer
-				if dumpErr = pipe.Flight().WritePerfetto(&b); dumpErr == nil {
-					dumpErr = os.WriteFile(dumpFile, b.Bytes(), 0o644)
-				}
-			}
-		}
-		if pipe, err = obs.NewPipeline(cfg); err != nil {
+	if err := os.WriteFile(file, t.Data, 0o644); err != nil {
+		return err
+	}
+	dumpFile := file + ".flight.json"
+	if t.FlightDump != nil {
+		if err := os.WriteFile(dumpFile, t.FlightDump, 0o644); err != nil {
 			return err
 		}
-		observer = obs.Tee(obs.Func(rec.Record), pipe)
 	}
-
-	if err := experiment.StreamTrace(p, simName, lockBased, seed, tasks, horizon, observer); err != nil {
-		return err
-	}
-	var res *obs.Results
-	if pipe != nil {
-		if res, err = pipe.Finish(); err != nil {
-			return err
-		}
-		if dumpErr != nil {
-			return fmt.Errorf("flight dump: %w", dumpErr)
-		}
-	}
-
-	events := rec.Events()
-	var buf bytes.Buffer
-	switch format {
-	case "json":
-		err = trace.WriteJSON(&buf, events)
-	case "perfetto":
-		err = trace.WritePerfetto(&buf, events)
-	case "spans":
-		var spans []span.JobSpan
-		if spans, err = span.Build(events, horizon); err == nil {
-			err = span.WriteText(&buf, spans)
-		}
-	default:
-		return fmt.Errorf("unknown -trace-format %q (want json, perfetto, or spans)", format)
-	}
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(file, buf.Bytes(), 0o644); err != nil {
-		return err
-	}
-	dropped := ""
-	if rec.Dropped() > 0 {
-		dropped = fmt.Sprintf(" dropped=%d", rec.Dropped())
-	}
-	fmt.Fprintf(stdout, "trace: sim=%s mode=%s seed=%d profile=%s events=%d%s horizon=%v format=%s\n",
-		simName, mode, seed, p.Name, len(events), dropped, horizon, format)
-	fmt.Fprintf(stdout, "counts: %s\n", trace.Summary(events))
-	if res != nil && res.Trigger != "" && flight > 0 {
-		fmt.Fprintf(stdout, "flight: trigger=%s at=%dus events=%d dropped=%d file=%s\n",
-			res.Trigger, res.TriggerAt.Micros(), dumpLen, dumpDropped, dumpFile)
-	}
+	fmt.Fprint(stdout, t.Summary(file, dumpFile))
 	return nil
 }

@@ -30,6 +30,10 @@ var floatcmpScope = []string{
 	// lines and snapshots; exact float equality there would flip output
 	// on rounding drift.
 	"internal/obs",
+	// The serving daemon canonicalizes client specs carrying fault and
+	// scheduler probabilities; exact float equality there would split or
+	// merge cache lines on rounding drift.
+	"internal/serve",
 }
 
 // Floatcmp flags == and != between floating-point operands in the

@@ -25,6 +25,10 @@ var maporderScope = []string{
 	// artifacts the batch path produces; a map walk there would make the
 	// streamed digest diverge from the batch one between runs.
 	"internal/obs",
+	// The serving daemon's conformance contract is byte-identity with
+	// the batch CLI: a map walk feeding an artifact listing, an event
+	// feed, or a canonical spec rendering would break it per run.
+	"internal/serve",
 }
 
 // Maporder flags `range` over a map in the simulator and experiment

@@ -17,7 +17,7 @@ func TestMaporder(t *testing.T) {
 		"maporder/internal/report", "maporder/internal/metrics/hist",
 		"maporder/internal/rtime/wheel", "maporder/internal/fault",
 		"maporder/internal/waitfree", "maporder/internal/stoch",
-		"maporder/internal/obs")
+		"maporder/internal/obs", "maporder/internal/serve")
 }
 
 func TestSimclock(t *testing.T) {
@@ -41,7 +41,7 @@ func TestFloatcmp(t *testing.T) {
 		"floatcmp/internal/metrics", "floatcmp/internal/report",
 		"floatcmp/internal/rua", "floatcmp/internal/fault",
 		"floatcmp/internal/waitfree", "floatcmp/internal/stoch",
-		"floatcmp/internal/obs")
+		"floatcmp/internal/obs", "floatcmp/internal/serve")
 }
 
 // TestIgnoreDirective proves the suppression contract: a justified

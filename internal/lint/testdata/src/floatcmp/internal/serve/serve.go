@@ -1,0 +1,23 @@
+// Package serve is a floatcmp fixture: the serving daemon
+// canonicalizes client specs carrying fault and scheduler
+// probabilities, newly inside the analyzer's internal/serve scope.
+// Exact float equality there would split or merge cache lines on
+// rounding drift.
+package serve
+
+// BadProbEqual collapses two plan probabilities into one cache line by
+// exact equality: flagged.
+func BadProbEqual(a, b float64) bool {
+	return a == b // want `float comparison a == b`
+}
+
+// GoodProbRender renders the probability exactly instead of comparing
+// it: canonical strings are compared as bytes, never as floats.
+func GoodProbRender(p float64, format func(float64) string) string {
+	return format(p)
+}
+
+// GoodNaN is the accepted NaN self-test idiom.
+func GoodNaN(p float64) bool {
+	return p != p
+}

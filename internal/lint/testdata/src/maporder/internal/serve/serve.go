@@ -1,0 +1,29 @@
+// Package serve is a maporder fixture: the serving daemon's contract
+// is byte-identity with the batch CLI, newly inside the analyzer's
+// internal/serve scope. A map walk feeding an artifact listing or a
+// cache eviction order would change served output (or which entry is
+// evicted) per run.
+package serve
+
+import "sort"
+
+// BadListing renders the artifact listing straight from the map: the
+// served order changes per run, flagged.
+func BadListing(artifacts map[string][]byte, emit func(string, int)) {
+	for name, data := range artifacts { // want `range over map artifacts`
+		emit(name, len(data))
+	}
+}
+
+// GoodListing collects names and sorts them before emitting: the
+// blessed collect-then-sort idiom.
+func GoodListing(artifacts map[string][]byte, emit func(string, int)) {
+	names := make([]string, 0, len(artifacts))
+	for name := range artifacts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		emit(name, len(artifacts[name]))
+	}
+}

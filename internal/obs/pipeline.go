@@ -58,6 +58,13 @@ type Config struct {
 	// equal runs produce equal progress output.
 	Progress      io.Writer
 	ProgressEvery rtime.Duration
+
+	// OnProgress, when non-nil (with ProgressEvery set), receives the
+	// pipeline's Snapshot at every progress mark — the same pacing, and
+	// the same state, as the Progress text lines. It is called from the
+	// engine's goroutine; a consumer that republishes snapshots to other
+	// goroutines (a serving daemon) must do its own synchronization.
+	OnProgress func(mark rtime.Time, s Snapshot)
 }
 
 // Snapshot is a point-in-time view of a running pipeline — the pollable
@@ -158,7 +165,7 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	if cfg.Flight > 0 {
 		p.flight = NewFlight(cfg.Flight)
 	}
-	if cfg.Progress != nil && cfg.ProgressEvery > 0 {
+	if (cfg.Progress != nil || cfg.OnProgress != nil) && cfg.ProgressEvery > 0 {
 		p.nextMark = rtime.Time(0).Add(cfg.ProgressEvery)
 	}
 	return p, nil
@@ -264,6 +271,12 @@ func (p *Pipeline) progressLine(mark rtime.Time) {
 		return
 	}
 	s := p.Snapshot()
+	if p.cfg.OnProgress != nil {
+		p.cfg.OnProgress(mark, s)
+	}
+	if p.cfg.Progress == nil {
+		return
+	}
 	line := fmt.Sprintf("progress t=%dus events=%d commits=%d retries=%d sheds=%d p99attempt=%d live=%d",
 		mark.Micros(), s.Events, s.Commits, s.Retries, s.Sheds, s.AttemptP99, s.LiveJobs)
 	if p.checks != nil {

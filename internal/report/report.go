@@ -322,23 +322,25 @@ func predictedCSV(w io.Writer, o *predict.Overlay) error {
 	return cw.Error()
 }
 
-// WriteCSVDir writes every CSV artifact into dir (created if missing)
-// and returns the sorted file names. File contents and the name list
-// are byte-deterministic.
-func (r *Report) WriteCSVDir(dir string) ([]string, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
-	var names []string
+// File is one rendered artifact: a name and its exact bytes. The
+// in-memory form lets consumers that never touch the filesystem (the
+// rtsimd serving daemon) hand out the same bytes WriteCSVDir writes.
+type File struct {
+	Name string
+	Data []byte
+}
+
+// CSVFiles renders every CSV artifact in memory and returns them
+// sorted by name. Contents and the name list are byte-deterministic;
+// WriteCSVDir writes exactly these files.
+func (r *Report) CSVFiles() ([]File, error) {
+	var files []File
 	writeFile := func(name string, fill func(io.Writer) error) error {
 		var b strings.Builder
 		if err := fill(&b); err != nil {
 			return fmt.Errorf("report: %s: %w", name, err)
 		}
-		if err := os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o644); err != nil {
-			return err
-		}
-		names = append(names, name)
+		files = append(files, File{Name: name, Data: []byte(b.String())})
 		return nil
 	}
 	summary := r.SummaryTable()
@@ -388,7 +390,28 @@ func (r *Report) WriteCSVDir(dir string) ([]string, error) {
 			return nil, err
 		}
 	}
-	sort.Strings(names)
+	sort.Slice(files, func(i, j int) bool { return files[i].Name < files[j].Name })
+	return files, nil
+}
+
+// WriteCSVDir writes every CSV artifact into dir (created if missing)
+// and returns the sorted file names. File contents and the name list
+// are byte-deterministic.
+func (r *Report) WriteCSVDir(dir string) ([]string, error) {
+	files, err := r.CSVFiles()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(files))
+	for i, f := range files {
+		if err := os.WriteFile(filepath.Join(dir, f.Name), f.Data, 0o644); err != nil {
+			return nil, err
+		}
+		names[i] = f.Name
+	}
 	return names, nil
 }
 

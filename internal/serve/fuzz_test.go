@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSpecDecode fuzzes the daemon's admission decoder, the one parser
+// exposed to untrusted bytes. Invariants:
+//
+//   - DecodeSpec never panics; any failure is a structured *Error with
+//     a known code and a non-empty reason (the body of a 400);
+//   - a successfully decoded spec is canonical: Encode → DecodeSpec →
+//     Encode is a byte fixed point, so equal scenarios always share one
+//     cache key.
+//
+// The committed corpus under testdata/fuzz/FuzzSpecDecode seeds every
+// run; `make fuzz-smoke` gives it coverage-guided time on each CI pass.
+func FuzzSpecDecode(f *testing.F) {
+	seeds := []string{
+		`{"metrics":true}`,
+		`{"trace":{}}`,
+		`{"trace":{"sim":"multi","mode":"lockbased","format":"spans","limit":10,"flight":8}}`,
+		`{"faults":"light","fault_seed":7,"trace":{"format":"perfetto","flight":256}}`,
+		`{"stoch":"geo","stoch_seed":3,"metrics":true}`,
+		`{"report":{"figs":["all"]}}`,
+		`{"profile":"full","stream":true,"report":{}}`,
+		`{"faults":"seed=1,burstp=0.5,burstn=3","metrics":true}`,
+		`{}`,
+		`{"bogus":1}`,
+		`[1,2,3]`,
+		`{"metrics":true}{"metrics":true}`,
+		`{"trace":{"limit":-5}}`,
+		"not json at all",
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, specErr := DecodeSpec(data)
+		if specErr != nil {
+			if specErr.Code != "invalid-json" && specErr.Code != "invalid-spec" {
+				t.Fatalf("error code %q, want invalid-json or invalid-spec", specErr.Code)
+			}
+			if specErr.Reason == "" {
+				t.Fatalf("structured error with empty reason: %+v", specErr)
+			}
+			return
+		}
+		enc1 := spec.Encode()
+		again, err2 := DecodeSpec(enc1)
+		if err2 != nil {
+			t.Fatalf("canonical bytes %q failed to re-decode: %v", enc1, err2)
+		}
+		enc2 := again.Encode()
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("canonicalization not a fixed point:\n  in:     %q\n  first:  %q\n  second: %q",
+				data, enc1, enc2)
+		}
+		if spec.CacheKey() != again.CacheKey() {
+			t.Fatalf("cache key unstable across re-decode")
+		}
+	})
+}

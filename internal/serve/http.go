@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// maxSpecBytes bounds a submission body; a scenario spec is small by
+// construction.
+const maxSpecBytes = 1 << 20
+
+// retryAfterSeconds is the fixed backoff hint on 429 responses.
+const retryAfterSeconds = "1"
+
+// routes wires the HTTP surface onto the server's mux.
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /api/v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/runs", s.handleList)
+	s.mux.HandleFunc("GET /api/v1/runs/{id}", s.handleRun)
+	s.mux.HandleFunc("GET /api/v1/runs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /api/v1/runs/{id}/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /api/v1/runs/{id}/artifacts", s.handleArtifacts)
+	s.mux.HandleFunc("GET /api/v1/runs/{id}/artifacts/{name}", s.handleArtifact)
+	s.mux.HandleFunc("GET /api/v1/statz", s.handleStatz)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON renders one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// errorBody is the envelope every error response uses.
+type errorBody struct {
+	Error *Error `json:"error"`
+}
+
+// writeError renders a structured error response.
+func writeError(w http.ResponseWriter, status int, e *Error) {
+	writeJSON(w, status, errorBody{Error: e})
+}
+
+// runJSON is the status document of one run.
+type runJSON struct {
+	ID        string          `json:"id"`
+	State     string          `json:"state"`
+	Cache     string          `json:"cache"` // "hit" or "miss"
+	Error     string          `json:"error,omitempty"`
+	Artifacts []string        `json:"artifacts,omitempty"`
+	Events    int             `json:"events"`
+	Spec      json.RawMessage `json:"spec"`
+}
+
+func runDoc(run *Run) runJSON {
+	st, errMsg, names, events, _, _ := run.snapshot()
+	cacheTag := "miss"
+	if run.cacheHit {
+		cacheTag = "hit"
+	}
+	return runJSON{
+		ID: run.ID, State: string(st), Cache: cacheTag, Error: errMsg,
+		Artifacts: names, Events: events,
+		Spec: json.RawMessage(strings.TrimSuffix(string(run.Spec.Encode()), "\n")),
+	}
+}
+
+// handleSubmit admits one scenario spec: 400 on an invalid spec
+// (structured body), 429 + Retry-After past the queue bound, 503 while
+// draining, 200 on a cache hit, 202 on a fresh admission.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, &Error{Code: "invalid-json", Reason: "read body: " + err.Error()})
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			&Error{Code: "invalid-spec", Reason: "spec exceeds 1 MiB"})
+		return
+	}
+	spec, specErr := DecodeSpec(body)
+	if specErr != nil {
+		writeError(w, http.StatusBadRequest, specErr)
+		return
+	}
+	run, status := s.Submit(spec)
+	switch status {
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeError(w, status, &Error{Code: "overloaded",
+			Reason: "admission queue is full; retry after the indicated backoff"})
+	case http.StatusServiceUnavailable:
+		writeError(w, status, &Error{Code: "draining", Reason: "server is draining"})
+	default:
+		writeJSON(w, status, runDoc(run))
+	}
+}
+
+// handleList returns every run id in admission order with its state.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	var out []entry
+	for _, id := range s.RunIDs() {
+		if run, ok := s.Get(id); ok {
+			st, _, _, _, _, _ := run.snapshot()
+			out = append(out, entry{ID: id, State: string(st)})
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": out})
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Run, bool) {
+	run, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, &Error{Code: "not-found",
+			Reason: "unknown run " + r.PathValue("id")})
+		return nil, false
+	}
+	return run, true
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, runDoc(run))
+}
+
+// handleSnapshot serves the latest metric snapshot — the most recent
+// obs.Pipeline.Snapshot() the run published — plus the run state.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	st, _, _, _, last, hasProgress := run.snapshot()
+	doc := map[string]any{"id": run.ID, "state": string(st)}
+	if hasProgress {
+		doc["progress"] = last
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleEvents streams the run's event feed as NDJSON: everything so
+// far immediately, then each new event as it happens, ending when the
+// run reaches a terminal state (or the client goes away).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	ctx := r.Context()
+	// The waiter below sleeps on the run's cond; wake it when the
+	// client disconnects so the handler can exit.
+	stopWake := context.AfterFunc(ctx, run.cond.Broadcast)
+	defer stopWake()
+
+	enc := json.NewEncoder(w)
+	idx := 0
+	for {
+		run.mu.Lock()
+		for idx >= len(run.events) && !terminal(run.state) && ctx.Err() == nil {
+			run.cond.Wait()
+		}
+		batch := append([]Event(nil), run.events[idx:]...)
+		idx += len(batch)
+		st := run.state
+		run.mu.Unlock()
+		for _, e := range batch {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		if terminal(st) && len(batch) == 0 {
+			return
+		}
+	}
+}
+
+// handleArtifacts lists a run's artifacts.
+func (s *Server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	type entry struct {
+		Name string `json:"name"`
+		Size int    `json:"size"`
+	}
+	run.mu.Lock()
+	out := make([]entry, 0, len(run.files))
+	for _, f := range run.files {
+		out = append(out, entry{Name: f.Name, Size: len(f.Data)})
+	}
+	run.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"artifacts": out})
+}
+
+// handleArtifact serves one artifact's exact bytes.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	name := r.PathValue("name")
+	data, ok := run.artifactData(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, &Error{Code: "not-found",
+			Reason: "unknown artifact " + name})
+		return
+	}
+	w.Header().Set("Content-Type", contentType(name))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// contentType maps artifact names onto media types.
+func contentType(name string) string {
+	switch {
+	case strings.HasSuffix(name, ".html"):
+		return "text/html; charset=utf-8"
+	case strings.HasSuffix(name, ".csv"):
+		return "text/csv; charset=utf-8"
+	case strings.HasSuffix(name, ".json"):
+		return "application/json"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = io.WriteString(w, "draining\n")
+		return
+	}
+	_, _ = io.WriteString(w, "ok\n")
+}

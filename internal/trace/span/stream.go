@@ -201,7 +201,12 @@ func (s *Stream) Finish(end rtime.Time) ([]JobSpan, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
-	for _, k := range s.order {
+	// Iterate a snapshot: retiring a sealed span can trigger compact(),
+	// which rewrites s.order's backing array in place — ranging over the
+	// live slice would shift not-yet-visited keys under the iterator and
+	// skip them.
+	order := append([]jobKey(nil), s.order...)
+	for _, k := range order {
 		st, ok := s.states[k]
 		if !ok || st.done {
 			continue
